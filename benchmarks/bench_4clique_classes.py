@@ -1,0 +1,53 @@
+"""Appendix F.3.2: the 4-clique class analysis.
+
+Paper: 1296 EJ queries -> 81 reduced -> 6 isomorphism classes, every
+class with fhtw = subw = 2; ij-width 2 (vs FAQ-AI's exponent 3).
+"""
+
+from fractions import Fraction
+
+import pytest
+from conftest import print_table
+
+from repro.core import nice_fraction
+from repro.queries import catalog
+from repro.widths import ij_width_report
+
+
+@pytest.mark.slow
+def test_clique4_class_table(benchmark):
+    q = catalog.clique4_ij()
+    report = benchmark.pedantic(
+        lambda: ij_width_report(q.hypergraph(), q.interval_variable_names()),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for i, c in enumerate(report.classes, start=1):
+        sizes = sorted(len(e) for e in c.representative.edges.values())
+        rows.append(
+            (
+                i,
+                c.count,
+                str(sizes),
+                str(nice_fraction(c.fhtw)),
+                str(nice_fraction(c.subw)),
+            )
+        )
+    print_table(
+        "Appendix F.3.2: 4-clique isomorphism classes",
+        ["class", "count", "edge sizes", "fhtw", "subw"],
+        rows,
+    )
+    print(
+        f"|tau| = {report.num_ej_hypergraphs}, reduced = "
+        f"{report.num_reduced}, ijw = {nice_fraction(report.ijw)}"
+    )
+    assert report.num_ej_hypergraphs == 1296
+    assert report.num_reduced == 81
+    assert len(report.classes) == 6
+    for c in report.classes:
+        assert nice_fraction(c.fhtw) == Fraction(2), c
+        assert nice_fraction(c.subw) == Fraction(2), c
+    assert nice_fraction(report.ijw) == Fraction(2)
+    assert sum(c.count for c in report.classes) == 81

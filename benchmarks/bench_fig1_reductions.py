@@ -1,0 +1,102 @@
+"""Figure 1: the two reductions and their size bounds.
+
+Forward: ``|D̃| = O(|D| · polylog |D|)`` — measured blowup ratios are
+compared against the ``log^2 N`` reference curve (each triangle
+relation has two 2-way interval variables).
+Backward: ``|D₂| = O(|D̃₂|)`` — equality in our construction.
+"""
+
+import random
+
+import pytest
+from conftest import polylog_ratio, print_table
+
+from repro.engine import Database, Relation
+from repro.queries import catalog
+from repro.reduction import backward_reduce, forward_reduce
+from repro.workloads import random_database
+
+NS = [32, 64, 128, 256]
+
+
+@pytest.mark.slow
+def test_forward_blowup_polylog(benchmark):
+    q = catalog.triangle_ij()
+
+    def measure():
+        rows = []
+        for n in NS:
+            db = random_database(q, n, seed=n, domain=20.0 * n, mean_length=8.0)
+            result = forward_reduce(q, db)
+            ratio = result.blowup(db)
+            rows.append((n, db.size, result.database.size, ratio))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    display = [
+        (
+            n,
+            size,
+            tsize,
+            f"{ratio:.1f}",
+            f"{ratio / polylog_ratio(size, 2):.2f}",
+        )
+        for n, size, tsize, ratio in rows
+    ]
+    print_table(
+        "forward reduction blowup |D~|/|D| vs log^2|D| (Lemma 4.10)",
+        ["n/rel", "|D|", "|D~|", "blowup", "blowup/log^2|D|"],
+        display,
+    )
+    # the normalised column must stay bounded (no polynomial blowup)
+    normalised = [ratio / polylog_ratio(size, 2) for _, size, _, ratio in rows]
+    assert max(normalised) < 4 * min(normalised)
+
+
+def test_backward_size_preserved(benchmark):
+    q = catalog.triangle_ij()
+    positions = {
+        "A": {"R": 2, "T": 1},
+        "B": {"R": 1, "S": 2},
+        "C": {"S": 2, "T": 1},
+    }
+    rng = random.Random(0)
+
+    def build(n):
+        return Database(
+            [
+                Relation(
+                    "R",
+                    ("A1", "A2", "B1"),
+                    {
+                        tuple(rng.randrange(8) for _ in range(3))
+                        for _ in range(n)
+                    },
+                ),
+                Relation(
+                    "S",
+                    ("B1", "B2", "C1", "C2"),
+                    {
+                        tuple(rng.randrange(8) for _ in range(4))
+                        for _ in range(n)
+                    },
+                ),
+                Relation(
+                    "T",
+                    ("A1", "C1"),
+                    {
+                        tuple(rng.randrange(8) for _ in range(2))
+                        for _ in range(n)
+                    },
+                ),
+            ]
+        )
+
+    ej_db = build(200)
+    ij_db = benchmark(lambda: backward_reduce(q, positions, ej_db))
+    print_table(
+        "backward reduction size |D2| vs |D~2| (Theorem 5.2)",
+        ["|D~2|", "|D2|"],
+        [(ej_db.size, ij_db.size)],
+    )
+    assert ij_db.size == ej_db.size

@@ -1,0 +1,105 @@
+"""Figure 5: the acyclicity Venn diagram.
+
+Regenerates the strict inclusion chain Berge ⊂ ι ⊂ γ ⊂ α with explicit
+witnesses in each gap, and verifies the inclusions hold on a random
+hypergraph population (counting the population per region).
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.hypergraph import (
+    Hypergraph,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_gamma_acyclic,
+    is_iota_acyclic,
+)
+from repro.queries import catalog
+
+
+def _classify(h):
+    return (
+        is_berge_acyclic(h),
+        is_iota_acyclic(h),
+        is_gamma_acyclic(h),
+        is_alpha_acyclic(h),
+    )
+
+
+WITNESSES = [
+    ("berge-acyclic", catalog.figure9e_ij().hypergraph(),
+     (True, True, True, True)),
+    ("iota, not berge", Hypergraph({"R": ["A", "B"], "S": ["A", "B"]}),
+     (False, True, True, True)),
+    ("gamma, not iota",
+     Hypergraph({"R": ["X", "Y", "Z"], "S": ["X", "Y", "Z"],
+                 "T": ["X", "Y", "Z"]}),
+     (False, False, True, True)),
+    ("alpha, not gamma", catalog.figure9c_ij().hypergraph(),
+     (False, False, False, True)),
+    ("not alpha", catalog.triangle_ij().hypergraph(),
+     (False, False, False, False)),
+]
+
+
+def test_fig5_witnesses(benchmark):
+    results = benchmark.pedantic(
+        lambda: [(name, _classify(h)) for name, h, _ in WITNESSES],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (name, *("yes" if f else "no" for f in flags))
+        for name, flags in results
+    ]
+    print_table(
+        "Figure 5: acyclicity witnesses (strict inclusions)",
+        ["witness", "berge", "iota", "gamma", "alpha"],
+        rows,
+    )
+    for (name, flags), (_, _, expected) in zip(results, WITNESSES):
+        assert flags == expected, name
+
+
+def test_fig5_population(benchmark):
+    """Inclusion chain over a random hypergraph population; counts per
+    Venn region regenerate the diagram quantitatively."""
+
+    def census():
+        rng = random.Random(0)
+        vertices = list("ABCDE")
+        counts = {
+            "berge": 0, "iota-only": 0, "gamma-only": 0,
+            "alpha-only": 0, "cyclic": 0,
+        }
+        for _ in range(400):
+            edges = {}
+            for i in range(rng.randint(1, 4)):
+                edges[f"e{i}"] = rng.sample(vertices, rng.randint(1, 4))
+            h = Hypergraph(edges)
+            berge, iota, gamma, alpha = _classify(h)
+            # inclusion chain must never be violated
+            assert (not berge or iota) and (not iota or gamma)
+            assert not gamma or alpha
+            if berge:
+                counts["berge"] += 1
+            elif iota:
+                counts["iota-only"] += 1
+            elif gamma:
+                counts["gamma-only"] += 1
+            elif alpha:
+                counts["alpha-only"] += 1
+            else:
+                counts["cyclic"] += 1
+        return counts
+
+    counts = benchmark.pedantic(census, rounds=1, iterations=1)
+    print_table(
+        "Figure 5 census over 400 random hypergraphs",
+        ["region", "count"],
+        sorted(counts.items()),
+    )
+    # every strict region is inhabited
+    assert all(v > 0 for v in counts.values())

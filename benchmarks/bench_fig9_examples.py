@@ -1,0 +1,100 @@
+"""Figures 4 & 9 + Appendix E.4: the six example hypergraphs.
+
+Regenerates the full per-query analysis table: ι-acyclicity, |τ(H)|,
+reduced count, isomorphism classes with exact fhtw/subw, ij-width, and
+the predicted runtime — matching Appendix E.4's hand derivations.
+
+Note on E.4.4: the paper prints "3!·2!·1! = 12" for Q4, but [B] and [C]
+each occur in two atoms, so |τ| = 3!·2!·2! = 24; all members are
+α-acyclic either way and the ij-width is 1 (see EXPERIMENTS.md).
+"""
+
+from fractions import Fraction
+
+from conftest import print_table
+
+from repro.core import analyze_query, nice_fraction
+from repro.queries import catalog
+
+EXPECTED = {
+    # name: (iota, |tau|, reduced, ijw)
+    "fig9a": (False, 216, 27, Fraction(3, 2)),
+    "fig9b": (False, 72, 9, Fraction(3, 2)),
+    "fig9c": (False, 24, 3, Fraction(3, 2)),
+    "fig9d": (True, 24, 3, Fraction(1)),
+    "fig9e": (True, 12, 3, Fraction(1)),
+    "fig9f": (True, 4, 1, Fraction(1)),
+}
+
+
+def _analyse_all():
+    out = {}
+    for name in EXPECTED:
+        q = catalog.PAPER_IJ_QUERIES[name]()
+        out[name] = analyze_query(q, compute_faqai=False)
+    return out
+
+
+def test_fig9_table(benchmark):
+    analyses = benchmark.pedantic(_analyse_all, rounds=1, iterations=1)
+    rows = []
+    for name, analysis in analyses.items():
+        report = analysis.width_report
+        classes = ", ".join(
+            f"{c.count}x(fhtw={nice_fraction(c.fhtw)},subw={nice_fraction(c.subw)})"
+            for c in report.classes
+        )
+        rows.append(
+            (
+                name,
+                "yes" if analysis.iota_acyclic else "no",
+                report.num_ej_hypergraphs,
+                report.num_reduced,
+                classes,
+                str(analysis.ijw),
+                analysis.predicted_runtime,
+            )
+        )
+    print_table(
+        "Appendix E.4 / Figure 9: example hypergraph analyses",
+        ["query", "iota", "|tau|", "reduced", "classes", "ijw", "runtime"],
+        rows,
+    )
+    for name, (iota, tau_size, reduced, ijw) in EXPECTED.items():
+        analysis = analyses[name]
+        assert analysis.iota_acyclic == iota, name
+        assert analysis.width_report.num_ej_hypergraphs == tau_size, name
+        assert analysis.width_report.num_reduced == reduced, name
+        assert analysis.ijw == ijw, name
+
+
+def test_example_65_width_classes(benchmark):
+    """Example 6.5's three reduced hypergraphs of Figure 4a with fhtw
+    1.5 / 1.0 / 1.0."""
+    from repro.widths import fractional_hypertree_width
+    from repro.hypergraph import Hypergraph
+
+    def widths():
+        h1 = Hypergraph(
+            {"R": ["A1", "B1", "C1"], "S": ["B1", "C1", "B2"],
+             "T": ["A1", "B1", "B2"]}
+        )
+        h2 = Hypergraph(
+            {"R": ["A1", "B1", "C1", "B2"], "S": ["B1", "C1", "B2"],
+             "T": ["A1", "B1"]}
+        )
+        h3 = Hypergraph(
+            {"R": ["A1", "B1", "C1", "B2"], "S": ["B1", "C1"],
+             "T": ["A1", "B1", "B2"]}
+        )
+        return [fractional_hypertree_width(h) for h in (h1, h2, h3)]
+
+    w1, w2, w3 = benchmark(widths)
+    print_table(
+        "Example 6.5: Figure 4a reduced hypergraph widths",
+        ["case", "fhtw"],
+        [("H1", w1), ("H2", w2), ("H3", w3)],
+    )
+    assert abs(w1 - 1.5) < 1e-6
+    assert abs(w2 - 1.0) < 1e-6
+    assert abs(w3 - 1.0) < 1e-6

@@ -1,0 +1,83 @@
+"""Lemma 4.10: transformed relation sizes.
+
+For a variable occurring in k atoms, the atom at permutation position
+``i`` grows by ``O(log^i N)`` (CP variant, i < k) or ``O(log^{i-1} N)``
+(leaf variant, i = k).  Measured on the two-atom query
+``R([A]) ∧ S([A])`` where the variants isolate cleanly, and on the
+triangle where two variables compound multiplicatively.
+"""
+
+from conftest import polylog_ratio, print_table
+
+from repro.queries import catalog, parse_query
+from repro.reduction import forward_reduce
+from repro.workloads import random_database
+
+NS = [64, 128, 256, 512]
+
+
+def test_variant_growth_two_atoms(benchmark):
+    q = parse_query("Qp := R([A]) ∧ S([A])")
+
+    def measure():
+        rows = []
+        for n in NS:
+            db = random_database(
+                q, n, seed=n, domain=30.0 * n, mean_length=10.0 * n ** 0.5
+            )
+            result = forward_reduce(q, db)
+            sizes = {
+                name: len(result.database[name])
+                for name in result.database.relation_names
+            }
+            cp1 = max(
+                v for k, v in sizes.items() if k.endswith("~A1")
+            )
+            leaf2 = max(
+                v for k, v in sizes.items() if k.endswith("~A2")
+            )
+            rows.append((n, cp1, leaf2))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    display = [
+        (
+            n,
+            cp1,
+            f"{cp1 / (n * polylog_ratio(n, 1)):.2f}",
+            leaf2,
+            f"{leaf2 / (n * polylog_ratio(n, 1)):.2f}",
+        )
+        for n, cp1, leaf2 in rows
+    ]
+    print_table(
+        "Lemma 4.10 on R([A]) ∧ S([A]): CP (i=1) ~ N log N, "
+        "leaf (i=2) ~ N log N",
+        ["N", "|CP i=1|", "/(N logN)", "|leaf i=2|", "/(N logN)"],
+        display,
+    )
+    # normalised columns bounded above and below
+    for idx in (1, 2):
+        normalised = [
+            row[idx] / (row[0] * polylog_ratio(row[0], 1)) for row in rows
+        ]
+        assert max(normalised) < 6 * min(normalised)
+
+
+def test_triangle_variant_sizes(benchmark):
+    q = catalog.triangle_ij()
+    n = 128
+    db = random_database(q, n, seed=0, domain=20.0 * n, mean_length=8.0)
+    result = benchmark(lambda: forward_reduce(q, db))
+    rows = []
+    for name in sorted(result.database.relation_names):
+        rel = result.database[name]
+        rows.append((name, len(rel), f"{len(rel) / n:.1f}"))
+    print_table(
+        "triangle variant sizes at N=128 (each <= N log^2 N)",
+        ["variant", "size", "size/N"],
+        rows,
+    )
+    bound = n * polylog_ratio(3 * n, 2) * 12
+    for _, size, _ in rows:
+        assert size <= bound

@@ -1,0 +1,89 @@
+"""Appendix F.2.2: the Loomis-Whitney-4 class analysis.
+
+Paper: 1296 EJ queries -> 81 after singleton dropping -> 6 isomorphism
+classes with (fhtw, subw) = (2, 3/2), (5/3, 5/3), and four classes at
+(3/2, 3/2); ij-width 5/3.  Class 1 is the Figure 10 cycle structure
+whose subw 3/2 needs the heavy/light argument — our exact MILP solver
+finds it mechanically.
+"""
+
+from fractions import Fraction
+
+import pytest
+from conftest import print_table
+
+from repro.core import nice_fraction
+from repro.queries import catalog
+from repro.widths import ij_width_report
+
+
+@pytest.mark.slow
+def test_lw4_class_table(benchmark):
+    q = catalog.loomis_whitney4_ij()
+    report = benchmark.pedantic(
+        lambda: ij_width_report(q.hypergraph(), q.interval_variable_names()),
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    for i, c in enumerate(report.classes, start=1):
+        sizes = sorted(len(e) for e in c.representative.edges.values())
+        rows.append(
+            (
+                i,
+                c.count,
+                str(sizes),
+                str(nice_fraction(c.fhtw)),
+                str(nice_fraction(c.subw)),
+            )
+        )
+    print_table(
+        "Appendix F.2.2: LW4 isomorphism classes",
+        ["class", "count", "edge sizes", "fhtw", "subw"],
+        rows,
+    )
+    print(f"|tau| = {report.num_ej_hypergraphs}, reduced = "
+          f"{report.num_reduced}, ijw = {nice_fraction(report.ijw)}")
+
+    assert report.num_ej_hypergraphs == 1296
+    assert report.num_reduced == 81
+    assert len(report.classes) == 6
+    assert nice_fraction(report.ijw) == Fraction(5, 3)
+    pairs = sorted(
+        (nice_fraction(c.fhtw), nice_fraction(c.subw))
+        for c in report.classes
+    )
+    assert pairs == [
+        (Fraction(3, 2), Fraction(3, 2)),
+        (Fraction(3, 2), Fraction(3, 2)),
+        (Fraction(3, 2), Fraction(3, 2)),
+        (Fraction(3, 2), Fraction(3, 2)),
+        (Fraction(5, 3), Fraction(5, 3)),
+        (Fraction(2, 1), Fraction(3, 2)),   # Figure 10's class 1
+    ]
+
+
+@pytest.mark.slow
+def test_figure10_class1_subw_gap(benchmark):
+    """Figure 10: class 1 is the 8-cycle-like structure where subw (3/2)
+    beats fhtw (2) — the separation the paper's algorithm exploits."""
+    from repro.hypergraph import Hypergraph
+    from repro.widths import fractional_hypertree_width, submodular_width
+
+    h = Hypergraph(
+        {
+            "R": ["A1", "B1", "C1", "B2", "C2"],
+            "S": ["B1", "C1", "D1", "C2", "D2"],
+            "T": ["C1", "D1", "A1", "D2", "A2"],
+            "U": ["D1", "A1", "B1", "A2", "B2"],
+        }
+    )
+    subw = benchmark(lambda: submodular_width(h))
+    fhtw = fractional_hypertree_width(h)
+    print_table(
+        "Figure 10 class-1 hypergraph",
+        ["fhtw", "subw"],
+        [(nice_fraction(fhtw), nice_fraction(subw))],
+    )
+    assert nice_fraction(fhtw) == Fraction(2)
+    assert nice_fraction(subw) == Fraction(3, 2)

@@ -1,0 +1,100 @@
+"""Substrate micro-benchmarks: plane sweep, generic join, Yannakakis.
+
+Not a paper artifact per se, but the constants behind every headline
+number; regressions here would distort all shape benchmarks.
+"""
+
+import random
+
+from repro.engine import (
+    Database,
+    JoinAtom,
+    Relation,
+    evaluate_ej,
+    generic_join_count,
+)
+from repro.core import sweep_join_count
+from repro.intervals import Interval
+from repro.queries import parse_query
+from repro.workloads import temporal_sessions
+
+
+def test_sweep_join_10k(benchmark):
+    left = temporal_sessions(5000, seed=0)
+    right = temporal_sessions(5000, seed=1)
+    count = benchmark(lambda: sweep_join_count(left, right))
+    assert count > 0
+
+
+def test_generic_join_triangle(benchmark):
+    rng = random.Random(0)
+    m = 40
+    def pairs():
+        return {(rng.randrange(m), rng.randrange(m)) for _ in range(400)}
+    atoms = [
+        JoinAtom(Relation("R", ("A", "B"), pairs())),
+        JoinAtom(Relation("S", ("B", "C"), pairs())),
+        JoinAtom(Relation("T", ("A", "C"), pairs())),
+    ]
+    benchmark(lambda: generic_join_count(atoms))
+
+
+def test_yannakakis_path(benchmark):
+    rng = random.Random(1)
+    q = parse_query("R(A,B) ∧ S(B,C) ∧ T(C,D)")
+    db = Database(
+        [
+            Relation(
+                name,
+                schema,
+                {
+                    (rng.randrange(200), rng.randrange(200))
+                    for _ in range(2000)
+                },
+            )
+            for name, schema in [
+                ("R", ("A", "B")),
+                ("S", ("B", "C")),
+                ("T", ("C", "D")),
+            ]
+        ]
+    )
+    benchmark(lambda: evaluate_ej(q, db, "yannakakis"))
+
+
+def test_segment_tree_stab(benchmark):
+    from repro.intervals import SegmentTree
+
+    sessions = temporal_sessions(3000, seed=2)
+    tree = SegmentTree([x for x, _ in sessions])
+    for x, ident in sessions:
+        tree.insert(x, ident)
+    probes = [x.left for x, _ in sessions[:500]]
+    benchmark(lambda: [tree.stab(p) for p in probes])
+
+
+def test_forward_scan_join_10k(benchmark):
+    from repro.core.classical_joins import forward_scan_join
+
+    left = temporal_sessions(5000, seed=3)
+    right = temporal_sessions(5000, seed=4)
+    count = benchmark(lambda: sum(1 for _ in forward_scan_join(left, right)))
+    assert count > 0
+
+
+def test_partition_join_10k(benchmark):
+    from repro.core.classical_joins import partition_join
+
+    left = temporal_sessions(5000, seed=3)
+    right = temporal_sessions(5000, seed=4)
+    count = benchmark(lambda: sum(1 for _ in partition_join(left, right)))
+    assert count > 0
+
+
+def test_interval_tree_index_join_10k(benchmark):
+    from repro.intervals.interval_tree import index_join
+
+    left = temporal_sessions(2000, seed=3)
+    right = temporal_sessions(2000, seed=4)
+    count = benchmark(lambda: sum(1 for _ in index_join(left, right)))
+    assert count > 0

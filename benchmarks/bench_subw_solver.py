@@ -1,0 +1,76 @@
+"""Width-solver validation bench: known closed-form families.
+
+The exact subw MILP is the load-bearing component behind every ij-width
+in Tables 1-2; this bench validates it against the known cycle formula
+``subw(C_k) = 2 - 1/ceil(k/2)`` and the Loomis-Whitney family
+``rho*(LW_k) = k/(k-1)``, and times the solver.
+"""
+
+from conftest import print_table
+
+from repro.queries import catalog
+from repro.widths import (
+    fractional_edge_cover_number,
+    fractional_hypertree_width,
+    submodular_width,
+)
+
+
+def test_cycle_family(benchmark):
+    def widths():
+        rows = []
+        for k in [3, 4, 5, 6]:
+            h = catalog.cycle_ej(k).hypergraph()
+            rows.append(
+                (
+                    f"C{k}",
+                    fractional_hypertree_width(h),
+                    submodular_width(h),
+                    2 - 1 / -(-k // 2),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(widths, rounds=1, iterations=1)
+    print_table(
+        "EJ cycles: subw vs the closed form 2 - 1/ceil(k/2)",
+        ["cycle", "fhtw", "subw (MILP)", "closed form"],
+        [(n, f"{f:.4f}", f"{s:.4f}", f"{c:.4f}") for n, f, s, c in rows],
+    )
+    for _, _, subw, closed in rows:
+        assert abs(subw - closed) < 1e-5
+
+
+def test_loomis_whitney_family(benchmark):
+    def covers():
+        rows = []
+        for k in [3, 4, 5]:
+            h = catalog.loomis_whitney_ej(k).hypergraph()
+            rows.append((f"LW{k}", fractional_edge_cover_number(h.edges)))
+        return rows
+
+    rows = benchmark.pedantic(covers, rounds=1, iterations=1)
+    print_table(
+        "Loomis-Whitney rho* = k/(k-1)",
+        ["query", "rho*"],
+        [(n, f"{v:.4f}") for n, v in rows],
+    )
+    for (name, value), k in zip(rows, [3, 4, 5]):
+        assert abs(value - k / (k - 1)) < 1e-6
+
+
+def test_subw_speed_8_vertices(benchmark):
+    """Solver latency on the paper's largest case (8 vertices, LW4
+    class 1)."""
+    from repro.hypergraph import Hypergraph
+
+    h = Hypergraph(
+        {
+            "R": ["A1", "B1", "C1", "B2", "C2"],
+            "S": ["B1", "C1", "D1", "C2", "D2"],
+            "T": ["C1", "D1", "A1", "D2", "A2"],
+            "U": ["D1", "A1", "B1", "A2", "B2"],
+        }
+    )
+    value = benchmark(lambda: submodular_width(h))
+    assert abs(value - 1.5) < 1e-5

@@ -1,0 +1,63 @@
+"""Table 1 / Table 2: our exponents (ij-width) vs FAQ-AI exponents.
+
+Paper rows:
+
+    IJ query   FAQ-AI              our approach
+    triangle   O(N^2 log^3 N)      O(N^1.5 log^3 N)
+    LW4        O(N^2 log^k N)      O(N^{5/3} log^8 N)
+    4-clique   O(N^3 log^k N)      O(N^2 log^8 N)
+
+Reproduced mechanically: ij-width from the full reduction + exact subw
+per isomorphism class; the FAQ-AI exponent from the relaxed-width
+partition argument of Appendix F.
+"""
+
+from fractions import Fraction
+
+from conftest import print_table
+
+from repro.core import analyze_query, nice_fraction
+from repro.queries import catalog
+
+EXPECTED = {
+    "triangle": (Fraction(3, 2), 2),
+    "lw4": (Fraction(5, 3), 2),
+    "4clique": (Fraction(2), 3),
+}
+
+
+def _table1_rows():
+    rows = []
+    for name in ["triangle", "lw4", "4clique"]:
+        q = catalog.PAPER_IJ_QUERIES[name]()
+        analysis = analyze_query(q)
+        rows.append(
+            (
+                name,
+                f"N^{analysis.faqai_exponent}",
+                f"N^{analysis.ijw}",
+                analysis.width_report.num_ej_hypergraphs,
+                len(analysis.width_report.classes),
+            )
+        )
+    return rows
+
+
+def test_table1_widths(benchmark):
+    rows = benchmark.pedantic(_table1_rows, rounds=1, iterations=1)
+    print_table(
+        "Table 1: FAQ-AI vs our approach (exponents, mechanical)",
+        ["query", "FAQ-AI", "ours (ijw)", "|tau(H)|", "classes"],
+        rows,
+    )
+    for (name, faqai, ours, _, _), (ijw, fexp) in zip(
+        rows, EXPECTED.values()
+    ):
+        assert ours == f"N^{ijw}", name
+        assert faqai == f"N^{fexp}", name
+
+
+def test_triangle_analysis_speed(benchmark):
+    """How long the full mechanical Table-1 row for the triangle takes."""
+    result = benchmark(lambda: analyze_query(catalog.triangle_ij()))
+    assert nice_fraction(result.width_report.ijw) == Fraction(3, 2)

@@ -1,0 +1,80 @@
+"""Section 1.1 runtime shape: IJ triangle, ours vs the baselines.
+
+The paper's claim: the reduction computes the triangle in
+``Õ(N^{3/2})`` while binary join plans and FAQ-AI-shaped evaluation are
+``Õ(N^2)`` (Appendix F.1).  On the adversarial instance family (all
+B-intervals cross-intersect, answer false) the binary plan materialises
+exactly ``N^2`` pairs; we fit log-log slopes and check the *shape*:
+ours grows strictly slower than both quadratic baselines.
+"""
+
+import pytest
+from conftest import fit_loglog_slope, print_table, time_scaling
+
+from repro.core import BinaryJoinPlan, evaluate_ij, faqai_triangle_evaluate
+from repro.queries import catalog
+from repro.workloads import quadratic_intermediate_triangle
+
+NS = [24, 48, 96, 192]
+
+
+def _measure():
+    q = catalog.triangle_ij()
+    ours = time_scaling(
+        NS, quadratic_intermediate_triangle, lambda db: evaluate_ij(q, db),
+        repeats=3,
+    )
+    plan = BinaryJoinPlan(q, ["R", "S", "T"])
+    binary = time_scaling(
+        NS,
+        quadratic_intermediate_triangle,
+        lambda db: plan.run(db, early_exit=False),
+        repeats=3,
+    )
+    faqai = time_scaling(
+        NS, quadratic_intermediate_triangle, faqai_triangle_evaluate,
+        repeats=3,
+    )
+    return ours, binary, faqai
+
+
+@pytest.mark.slow
+def test_triangle_runtime_shape(benchmark):
+    ours, binary, faqai = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    slope_ours = fit_loglog_slope(NS, ours)
+    slope_binary = fit_loglog_slope(NS, binary)
+    slope_faqai = fit_loglog_slope(NS, faqai)
+    rows = [
+        ("ours (reduction)", *(f"{t * 1e3:.1f}ms" for t in ours),
+         f"{slope_ours:.2f}"),
+        ("binary join plan", *(f"{t * 1e3:.1f}ms" for t in binary),
+         f"{slope_binary:.2f}"),
+        ("FAQ-AI shaped", *(f"{t * 1e3:.1f}ms" for t in faqai),
+         f"{slope_faqai:.2f}"),
+    ]
+    print_table(
+        "IJ triangle on adversarial instances (answer = false)",
+        ["method", *(f"N={n}" for n in NS), "slope"],
+        rows,
+    )
+    print(
+        "paper shape: ours Õ(N^1.5) vs baselines Õ(N^2) — expect "
+        "slope(ours) < slope(binary) and slope(ours) < slope(faqai)"
+    )
+    # shape assertions (generous: polylog factors + timer noise at small N)
+    assert slope_binary > 1.6, slope_binary
+    assert slope_faqai > 1.3, slope_faqai
+    assert slope_ours < slope_binary - 0.4, (slope_ours, slope_binary)
+    assert slope_ours < slope_faqai - 0.2, (slope_ours, slope_faqai)
+    # crossover: our constants are larger (pure-Python reduction), but
+    # the relative gap must shrink as N doubles — extrapolate where the
+    # curves cross
+    gap_first = ours[0] / binary[0]
+    gap_last = ours[-1] / binary[-1]
+    assert gap_last < gap_first, (gap_first, gap_last)
+    growth = (slope_binary - slope_ours)
+    crossover = NS[-1] * (gap_last) ** (1.0 / growth)
+    print(
+        f"relative gap ours/binary shrank {gap_first:.1f}x -> "
+        f"{gap_last:.1f}x; extrapolated crossover at N ~ {crossover:.0f}"
+    )

@@ -1,0 +1,62 @@
+"""Shared benchmark helpers: log-log slope fitting and table printing.
+
+Conventions: every benchmark prints the paper artifact it regenerates
+(table rows / figure series) and times one representative computation
+through the ``benchmark`` fixture.  Absolute numbers are pure-Python
+scale; the *shape* (who wins, exponent ordering, crossovers) is what is
+compared against the paper — see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+
+def fit_loglog_slope(ns: Sequence[int], times: Sequence[float]) -> float:
+    """Least-squares slope of log(time) against log(n)."""
+    xs = np.log([float(n) for n in ns])
+    ys = np.log([max(t, 1e-9) for t in times])
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(slope)
+
+
+def time_scaling(
+    ns: Sequence[int],
+    make_input: Callable[[int], object],
+    run: Callable[[object], object],
+    repeats: int = 1,
+) -> list[float]:
+    """Median wall time of ``run`` on ``make_input(n)`` per size."""
+    out: list[float] = []
+    for n in ns:
+        payload = make_input(n)
+        samples = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run(payload)
+            samples.append(time.perf_counter() - start)
+        samples.sort()
+        out.append(samples[len(samples) // 2])
+    return out
+
+
+def print_table(title: str, header: Sequence[str], rows: Sequence[Sequence]) -> None:
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(header))
+    ]
+    print(f"\n== {title} ==")
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))
+
+
+def polylog_ratio(n: int, log_power: int) -> float:
+    """``log2(n)^log_power`` — the Lemma 4.10 blowup reference curve."""
+    return math.log2(max(n, 2)) ** log_power

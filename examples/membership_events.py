@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Membership joins: point events inside interval windows (Section 7).
+
+A log of instantaneous *events* (timestamps) is joined against
+maintenance *windows* and on-call *shifts* (intervals): find events that
+occurred during a maintenance window while a shift was active, where
+all three must share the moment of the event.
+
+Membership joins — variables ranging over both points and intervals —
+reduce to intersection joins by reading points as point intervals; the
+optimised encoding falls out for free (a point's canonical partition is
+a single leaf), so the event-side relations stay small.
+"""
+
+from repro import parse_query
+from repro.core import count_membership, evaluate_membership
+from repro.core.membership import coerce_membership_database
+from repro.engine import Database, Relation
+from repro.intervals import Interval
+from repro.reduction import forward_reduce
+
+import random
+
+
+def build_log(n_events: int, n_windows: int, seed: int) -> Database:
+    rng = random.Random(seed)
+    horizon = 1000.0
+    events = {(round(rng.uniform(0, horizon), 3),) for _ in range(n_events)}
+
+    def windows(mean):
+        out = set()
+        for _ in range(n_windows):
+            start = rng.uniform(0, horizon)
+            out.add((Interval(start, start + rng.expovariate(1 / mean)),))
+        return out
+
+    return Database(
+        [
+            Relation("Events", ("T",), events),
+            Relation("Maintenance", ("T",), windows(25.0)),
+            Relation("Shifts", ("T",), windows(60.0)),
+        ]
+    )
+
+
+def main() -> None:
+    query = parse_query(
+        "Qm := Events([T]) ∧ Maintenance([T]) ∧ Shifts([T])"
+    )
+    db = build_log(n_events=150, n_windows=40, seed=11)
+    print(f"log: {len(db['Events'])} events, "
+          f"{len(db['Maintenance'])} maintenance windows, "
+          f"{len(db['Shifts'])} shifts")
+
+    exists = evaluate_membership(query, db)
+    print(f"some event during maintenance with an active shift: {exists}")
+    triples = count_membership(query, db)
+    print(f"(event, window, shift) combinations: {triples}")
+
+    # show the membership optimisation: a point's canonical partition is
+    # one leaf, so event-side variants drop a full log factor
+    # (O(N log^{i-1}) instead of O(N log^i) at position i)
+    coerced = coerce_membership_database(query, db)
+    reduction = forward_reduce(query, coerced)
+    event_variants = {
+        name: len(reduction.database[name])
+        for name in reduction.database.relation_names
+        if name.startswith("Events~")
+    }
+    print("event-side variant sizes (one CP node per point, "
+          "saving a log factor per position):")
+    for name, size in sorted(event_variants.items()):
+        print(f"    {name}: {size} rows (from {len(db['Events'])} events)")
+
+
+if __name__ == "__main__":
+    main()

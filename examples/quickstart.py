@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: analyse and evaluate an intersection-join query.
+
+Walks through the paper's running example, the triangle query
+``Q△ = R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])`` (Section 1.1):
+
+1. structural analysis — ι-acyclicity, the 8 reduced EJ queries,
+   ij-width 3/2, the FAQ-AI comparison;
+2. evaluation via the forward reduction (Theorem 4.15);
+3. exact counting and witness enumeration (Appendix G).
+"""
+
+from repro import analyze_query, count_ij, evaluate_ij, parse_query
+from repro.core import naive_count, witnesses_ij
+from repro.reduction import forward_reduce
+from repro.workloads import random_database
+
+
+def main() -> None:
+    query = parse_query(
+        "Q_triangle := R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])"
+    )
+
+    print("=" * 64)
+    print("1. Structural analysis")
+    print("=" * 64)
+    analysis = analyze_query(query)
+    print(analysis.summary())
+    print()
+
+    print("=" * 64)
+    print("2. The forward reduction on a concrete database")
+    print("=" * 64)
+    db = random_database(query, n=60, seed=42, domain=300, mean_length=25)
+    reduction = forward_reduce(query, db)
+    print(f"input size |D| = {db.size} tuples")
+    print(
+        f"transformed size |D~| = {reduction.database.size} tuples "
+        f"(blowup x{reduction.blowup(db):.1f}, polylog per Lemma 4.10)"
+    )
+    print(f"EJ disjuncts: {len(reduction.ej_queries)}")
+    print("first disjunct:", reduction.ej_queries[0])
+    print()
+
+    print("=" * 64)
+    print("3. Evaluation, counting, witnesses")
+    print("=" * 64)
+    answer = evaluate_ij(query, db)
+    print(f"Q(D) = {answer}")
+    total = count_ij(query, db)
+    print(f"satisfying tuple combinations: {total}")
+    assert total == naive_count(query, db), "oracle cross-check failed"
+    print("first witnesses (atom -> tuple):")
+    for witness in witnesses_ij(query, db, limit=3):
+        for label in sorted(witness):
+            print(f"    {label}: {witness[label]}")
+        print("    --")
+
+
+if __name__ == "__main__":
+    main()

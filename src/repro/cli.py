@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``analyze "R([A],[B]) ∧ S([B],[C])"``
+    Structural classification: acyclicity flags, Berge-cycle witness,
+    τ class structure with exact widths, ij-width, predicted runtime.
+
+``evaluate "<query>" --n 100 --seed 0 [--count] [--workload temporal]``
+    Generate a synthetic database and run the IJ engine (optionally
+    counting witnesses), cross-checking small instances against the
+    naive oracle.
+
+``reduce "<query>" --n 50 [--factored]``
+    Show the forward reduction: number of disjuncts, shared variants,
+    and the measured polylog blowup.
+
+``catalog``
+    One-line analyses of the paper's named queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .core import analyze_query, count_ij, evaluate_ij, naive_evaluate
+from .queries import catalog as query_catalog
+from .queries import parse_query
+from .reduction import forward_reduce, forward_reduce_factored
+from .workloads import point_database, random_database, temporal_database
+
+WORKLOADS = {
+    "random": lambda q, n, seed: random_database(q, n, seed=seed),
+    "temporal": temporal_database,
+    "points": point_database,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Boolean conjunctive queries with intersection joins "
+            "(PODS 2022 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="classify a query")
+    p_analyze.add_argument("query", help="query text, e.g. 'R([A],[B]) ∧ S([B],[C])'")
+    p_analyze.add_argument(
+        "--no-widths", action="store_true", help="skip the width computation"
+    )
+
+    p_eval = sub.add_parser("evaluate", help="evaluate on a synthetic database")
+    p_eval.add_argument("query")
+    p_eval.add_argument("--n", type=int, default=50, help="tuples per relation")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="random"
+    )
+    p_eval.add_argument(
+        "--count", action="store_true", help="also count witnesses"
+    )
+    p_eval.add_argument(
+        "--check", action="store_true",
+        help="cross-check against the naive oracle (small n only)",
+    )
+
+    p_reduce = sub.add_parser("reduce", help="inspect the forward reduction")
+    p_reduce.add_argument("query")
+    p_reduce.add_argument("--n", type=int, default=50)
+    p_reduce.add_argument("--seed", type=int, default=0)
+    p_reduce.add_argument(
+        "--factored", action="store_true",
+        help="use the Id-decomposition encoding (Section 1.1)",
+    )
+
+    sub.add_parser("catalog", help="tour the paper's named queries")
+    return parser
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    analysis = analyze_query(query, compute_widths=not args.no_widths)
+    print(analysis.summary())
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    db = WORKLOADS[args.workload](query, args.n, args.seed)
+    start = time.perf_counter()
+    answer = evaluate_ij(query, db)
+    elapsed = time.perf_counter() - start
+    print(f"|D| = {db.size} tuples ({args.workload} workload)")
+    print(f"Q(D) = {answer}   [{elapsed * 1e3:.1f} ms]")
+    if args.check:
+        expected = naive_evaluate(query, db)
+        status = "OK" if expected == answer else "MISMATCH"
+        print(f"naive oracle: {expected}   [{status}]")
+        if expected != answer:  # pragma: no cover - defensive
+            return 1
+    if args.count:
+        start = time.perf_counter()
+        total = count_ij(query, db)
+        elapsed = time.perf_counter() - start
+        print(f"#witnesses = {total}   [{elapsed * 1e3:.1f} ms]")
+    return 0
+
+
+def cmd_reduce(args: argparse.Namespace) -> int:
+    query = parse_query(args.query)
+    db = random_database(query, args.n, seed=args.seed)
+    reducer = forward_reduce_factored if args.factored else forward_reduce
+    start = time.perf_counter()
+    result = reducer(query, db)
+    elapsed = time.perf_counter() - start
+    encoding = "factored (Id)" if args.factored else "default"
+    print(f"encoding: {encoding}")
+    print(f"EJ disjuncts: {len(result.ej_queries)}")
+    print(f"relations in D~: {len(result.database.relation_names)}")
+    print(
+        f"|D| = {db.size}, |D~| = {result.database.size} "
+        f"(blowup x{result.blowup(db):.1f})   [{elapsed * 1e3:.1f} ms]"
+    )
+    print("disjunct 1:", result.ej_queries[0])
+    return 0
+
+
+def cmd_catalog(_: argparse.Namespace) -> int:
+    for name, factory in query_catalog.PAPER_IJ_QUERIES.items():
+        query = factory()
+        analysis = analyze_query(query, compute_widths=False)
+        flag = "iota" if analysis.iota_acyclic else "NOT iota"
+        print(f"{name:10s} {flag:9s} {query}")
+    return 0
+
+
+COMMANDS = {
+    "analyze": cmd_analyze,
+    "evaluate": cmd_evaluate,
+    "reduce": cmd_reduce,
+    "catalog": cmd_catalog,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

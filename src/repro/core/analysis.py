@@ -1,0 +1,128 @@
+"""One-stop structural analysis of IJ/EIJ queries.
+
+Bundles everything the paper derives per query: acyclicity flags
+(Berge/ι/γ/α), Berge-cycle witnesses, the τ class structure with
+per-class widths, the ij-width with its predicted runtime exponent
+(Theorem 4.15), the linear-time verdict of the dichotomy (Theorem 6.6),
+and the FAQ-AI relaxed-width comparison (Tables 1-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+from ..hypergraph.acyclicity import (
+    find_berge_cycle,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_gamma_acyclic,
+    is_iota_acyclic,
+)
+from ..queries.query import Query
+from ..widths.ijw import IjWidthReport, ij_width_report
+from .faqai import relaxed_width_lower_bound
+
+
+@dataclass
+class QueryAnalysis:
+    """The paper's per-query facts, computed mechanically."""
+
+    query: Query
+    iota_acyclic: bool
+    berge_acyclic: bool
+    gamma_acyclic: bool
+    alpha_acyclic: bool
+    berge_cycle_witness: list | None
+    width_report: IjWidthReport | None
+    faqai_exponent: int | None
+
+    @property
+    def ijw(self) -> Fraction | None:
+        if self.width_report is None:
+            return None
+        return nice_fraction(self.width_report.ijw)
+
+    @property
+    def linear_time(self) -> bool:
+        """Theorem 6.6: linear time iff ι-acyclic."""
+        return self.iota_acyclic
+
+    @property
+    def predicted_runtime(self) -> str:
+        if self.iota_acyclic:
+            return "O(N polylog N)"
+        if self.ijw is not None:
+            return f"O(N^{self.ijw} polylog N)"
+        return "unknown"
+
+    def summary(self) -> str:
+        lines = [repr(self.query)]
+        lines.append(
+            "acyclicity: "
+            f"berge={self.berge_acyclic} iota={self.iota_acyclic} "
+            f"gamma={self.gamma_acyclic} alpha={self.alpha_acyclic}"
+        )
+        if self.berge_cycle_witness:
+            cycle = " - ".join(
+                f"{e}-[{v}]" for e, v in self.berge_cycle_witness
+            )
+            lines.append(f"berge cycle (length >= 3): {cycle}")
+        if self.width_report is not None:
+            lines.append(
+                f"tau(H): {self.width_report.num_ej_hypergraphs} EJ "
+                f"hypergraphs, {self.width_report.num_reduced} after "
+                f"reduction, {len(self.width_report.classes)} classes"
+            )
+            for i, c in enumerate(self.width_report.classes, start=1):
+                lines.append(
+                    f"  class {i}: count={c.count} "
+                    f"fhtw={nice_fraction(c.fhtw)} "
+                    f"subw={nice_fraction(c.subw)}"
+                )
+            lines.append(f"ij-width: {self.ijw}")
+        lines.append(f"predicted runtime: {self.predicted_runtime}")
+        if self.faqai_exponent is not None:
+            lines.append(
+                f"FAQ-AI relaxed width (exponent): {self.faqai_exponent}"
+            )
+        return "\n".join(lines)
+
+
+def nice_fraction(x: float, max_denominator: int = 24) -> Fraction:
+    """Snap an LP/MILP float to the nearest small fraction (the widths
+    in the paper are rationals like 3/2, 5/3, 4/3)."""
+    return Fraction(x).limit_denominator(max_denominator)
+
+
+def analyze_query(
+    query: Query,
+    compute_widths: bool = True,
+    compute_subw: bool = True,
+    compute_faqai: bool = True,
+) -> QueryAnalysis:
+    """Run the full structural analysis.
+
+    Width computation enumerates τ(H) (``∏ k_X!`` hypergraphs) and is
+    exponential in query size — instant for the paper's queries, and
+    skippable via ``compute_widths=False``.
+    """
+    h = query.hypergraph()
+    width_report = None
+    if compute_widths:
+        width_report = ij_width_report(
+            h, query.interval_variable_names(), compute_subw=compute_subw
+        )
+    faqai = None
+    if compute_faqai and query.is_ij:
+        faqai = relaxed_width_lower_bound(query)
+    return QueryAnalysis(
+        query=query,
+        iota_acyclic=is_iota_acyclic(h),
+        berge_acyclic=is_berge_acyclic(h),
+        gamma_acyclic=is_gamma_acyclic(h),
+        alpha_acyclic=is_alpha_acyclic(h),
+        berge_cycle_witness=find_berge_cycle(h, min_length=3),
+        width_report=width_report,
+        faqai_exponent=faqai,
+    )

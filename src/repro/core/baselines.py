@@ -1,0 +1,214 @@
+"""Baseline evaluators for EIJ queries.
+
+* :func:`naive_evaluate` — exhaustive backtracking with running-
+  intersection pruning; the semantics oracle every other evaluator is
+  validated against.
+* :class:`BinaryJoinPlan` — the classical "one intersection join at a
+  time" strategy (Related Work): left-deep plans over plane-sweep binary
+  joins.  Worst-case quadratic intermediates even for empty outputs —
+  the behaviour the paper's approach escapes.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterator, Sequence
+
+from ..intervals.interval import Interval
+from ..engine.relation import Database
+from ..queries.query import Query
+from .sweep import sweep_join
+
+Value = Hashable
+
+
+def _check_values(query: Query, db: Database) -> None:
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        for t in relation.tuples:
+            for v, value in zip(atom.variables, t):
+                if v.is_interval and not isinstance(value, Interval):
+                    raise TypeError(
+                        f"{atom.relation}.{v.name}: interval variable bound "
+                        f"to non-interval value {value!r}"
+                    )
+            break  # only spot-check the first tuple per relation
+
+
+def naive_witnesses(
+    query: Query, db: Database
+) -> Iterator[dict[str, tuple]]:
+    """Enumerate satisfying tuple combinations, as maps atom label ->
+    tuple.  Backtracks over atoms keeping, per interval variable, the
+    running intersection, and per point variable, the bound value."""
+    _check_values(query, db)
+    atoms = list(query.atoms)
+
+    def recurse(
+        index: int,
+        intervals: dict[str, Interval],
+        points: dict[str, Value],
+        chosen: dict[str, tuple],
+    ) -> Iterator[dict[str, tuple]]:
+        if index == len(atoms):
+            yield dict(chosen)
+            return
+        atom = atoms[index]
+        relation = db[atom.relation]
+        for t in relation.tuples:
+            new_intervals = dict(intervals)
+            new_points = dict(points)
+            ok = True
+            for v, value in zip(atom.variables, t):
+                if v.is_interval:
+                    assert isinstance(value, Interval)
+                    current = new_intervals.get(v.name)
+                    merged = (
+                        value if current is None
+                        else current.intersection(value)
+                    )
+                    if merged is None:
+                        ok = False
+                        break
+                    new_intervals[v.name] = merged
+                else:
+                    bound = new_points.get(v.name)
+                    if bound is None:
+                        new_points[v.name] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if not ok:
+                continue
+            chosen[atom.label] = t
+            yield from recurse(index + 1, new_intervals, new_points, chosen)
+            del chosen[atom.label]
+
+    yield from recurse(0, {}, {}, {})
+
+
+def naive_evaluate(query: Query, db: Database) -> bool:
+    """Boolean semantics oracle (Definition 3.3) for any EIJ query."""
+    for _ in naive_witnesses(query, db):
+        return True
+    return False
+
+
+def naive_count(query: Query, db: Database) -> int:
+    """Number of satisfying tuple combinations."""
+    return sum(1 for _ in naive_witnesses(query, db))
+
+
+class BinaryJoinPlan:
+    """Left-deep binary intersection-join plan.
+
+    Joins atoms one at a time: each step sweep-joins the accumulated
+    partial matches with the next relation on one shared interval
+    variable and filters the remaining shared variables.  Intermediate
+    result sizes can be ``Θ(N^2)`` even when the query is false — the
+    suboptimality of join-at-a-time processing (Section 2).
+    """
+
+    def __init__(self, query: Query, order: Sequence[str] | None = None):
+        self.query = query
+        labels = [a.label for a in query.atoms]
+        self.order = list(order) if order is not None else labels
+        if sorted(self.order) != sorted(labels):
+            raise ValueError("order must permute the query's atom labels")
+
+    def evaluate(self, db: Database) -> bool:
+        return self.run(db) is not None
+
+    def intermediate_sizes(self, db: Database) -> list[int]:
+        """Sizes of the intermediate results after each join step."""
+        sizes: list[int] = []
+        self.run(db, sizes_out=sizes, early_exit=False)
+        return sizes
+
+    def run(
+        self,
+        db: Database,
+        sizes_out: list[int] | None = None,
+        early_exit: bool = True,
+    ) -> dict[str, Interval] | None:
+        """Execute the plan; returns one witness variable assignment
+        (running intersections per variable) or ``None``."""
+        _check_values(self.query, db)
+        atoms = {a.label: a for a in self.query.atoms}
+        first = atoms[self.order[0]]
+        partial: list[dict[str, Interval | Value]] = []
+        for t in db[first.relation].tuples:
+            state = _state_from_tuple(first, t)
+            if state is not None:
+                partial.append(state)
+        if sizes_out is not None:
+            sizes_out.append(len(partial))
+        for label in self.order[1:]:
+            atom = atoms[label]
+            relation = db[atom.relation]
+            bound_vars = set(partial[0]) if partial else set()
+            shared = [
+                v for v in atom.variables if v.name in bound_vars
+            ]
+            sweep_var = next(
+                (v.name for v in shared if v.is_interval), None
+            )
+            new_partial: list[dict] = []
+            if sweep_var is None:
+                for state in partial:
+                    for t in relation.tuples:
+                        merged = _merge(state, atom, t)
+                        if merged is not None:
+                            new_partial.append(merged)
+            else:
+                left = [
+                    (state[sweep_var], state) for state in partial
+                ]
+                idx = atom.variable_names.index(sweep_var)
+                right = [(t[idx], t) for t in relation.tuples]
+                for state, t in sweep_join(left, right):
+                    merged = _merge(state, atom, t)
+                    if merged is not None:
+                        new_partial.append(merged)
+            partial = new_partial
+            if sizes_out is not None:
+                sizes_out.append(len(partial))
+            if early_exit and not partial:
+                return None
+        return partial[0] if partial else None
+
+
+def _state_from_tuple(atom, t) -> dict | None:
+    state: dict = {}
+    for v, value in zip(atom.variables, t):
+        state[v.name] = value
+    return state
+
+
+def _merge(state: dict, atom, t) -> dict | None:
+    merged = dict(state)
+    for v, value in zip(atom.variables, t):
+        if v.name in merged:
+            current = merged[v.name]
+            if v.is_interval:
+                combined = current.intersection(value)
+                if combined is None:
+                    return None
+                merged[v.name] = combined
+            elif current != value:
+                return None
+        else:
+            merged[v.name] = value
+    return merged
+
+
+def binary_join_evaluate(query: Query, db: Database) -> bool:
+    """Evaluate with the default left-deep plan."""
+    return BinaryJoinPlan(query).evaluate(db)
+
+
+def hard_instance_blowup(sizes: Sequence[int], n: int) -> float:
+    """Ratio of the largest intermediate to the input size — a quadratic
+    blowup indicator used by the baseline benchmarks."""
+    if not sizes or n == 0:
+        return 0.0
+    return max(sizes) / n

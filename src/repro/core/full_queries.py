@@ -1,0 +1,107 @@
+"""Non-Boolean IJ queries (Conclusion: "the reduction is robust: it
+also works for non-Boolean queries").
+
+A *full* IJ query returns the satisfying tuple combinations themselves.
+With set semantics these are exactly the witnesses of Appendix G's
+disjoint rewriting, so selection/projection reduce to witness
+enumeration plus relational post-processing:
+
+* :func:`select_ij` — materialise chosen columns of the witnesses as a
+  relation (``(atom, variable)`` pairs select which interval lands in
+  the output);
+* :func:`aggregate_ij` — the COUNT(*)-style aggregate (delegates to
+  ``count_ij``), plus MIN/MAX over a selected interval endpoint, the
+  aggregates FAQ-AI motivates for temporal analytics.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Sequence
+
+from ..engine.relation import Database, Relation
+from ..queries.query import Query
+from .ij_engine import count_ij, witnesses_ij
+
+Aggregate = Literal["count", "min_left", "max_right"]
+
+
+def select_ij(
+    query: Query,
+    db: Database,
+    projection: Sequence[tuple[str, str]],
+    name: str = "result",
+    limit: int | None = None,
+) -> Relation:
+    """Project the satisfying tuple combinations onto selected columns.
+
+    ``projection`` lists ``(atom_label, variable_name)`` pairs; each
+    output column carries the value the named atom contributes for the
+    variable (distinct atoms may contribute *different* intervals for
+    the same interval variable — that is the point of intersection
+    joins).  Set semantics: duplicates collapse.
+    """
+    positions: list[tuple[str, int]] = []
+    schema: list[str] = []
+    for atom_label, var_name in projection:
+        atom = query.atom(atom_label)
+        positions.append((atom_label, atom.variable_names.index(var_name)))
+        schema.append(f"{atom_label}.{var_name}")
+    rows = set()
+    for witness in witnesses_ij(query, db):
+        rows.add(
+            tuple(witness[label][idx] for label, idx in positions)
+        )
+        if limit is not None and len(rows) >= limit:
+            break
+    return Relation(name, schema, rows)
+
+
+def aggregate_ij(
+    query: Query,
+    db: Database,
+    aggregate: Aggregate = "count",
+    over: tuple[str, str] | None = None,
+) -> float | int | None:
+    """Aggregates over the witness set.
+
+    ``count``: the number of satisfying tuple combinations (exact,
+    Appendix G).  ``min_left`` / ``max_right``: extreme endpoint of the
+    interval selected by ``over = (atom_label, variable)`` across all
+    witnesses; ``None`` when the query is false.
+    """
+    if aggregate == "count":
+        return count_ij(query, db)
+    if over is None:
+        raise ValueError(f"aggregate {aggregate} needs an 'over' column")
+    atom = query.atom(over[0])
+    idx = atom.variable_names.index(over[1])
+    best: float | None = None
+    for witness in witnesses_ij(query, db):
+        interval = witness[over[0]][idx]
+        value = interval.left if aggregate == "min_left" else interval.right
+        if best is None:
+            best = value
+        elif aggregate == "min_left":
+            best = min(best, value)
+        else:
+            best = max(best, value)
+    return best
+
+
+def top_k_ij(
+    query: Query,
+    db: Database,
+    over: tuple[str, str],
+    k: int = 1,
+    longest: bool = True,
+) -> list[tuple]:
+    """The k witnesses whose selected interval is longest (or shortest)
+    — a simple ranking extension on top of the witness stream."""
+    atom = query.atom(over[0])
+    idx = atom.variable_names.index(over[1])
+    scored = []
+    for witness in witnesses_ij(query, db):
+        interval = witness[over[0]][idx]
+        scored.append((interval.length, tuple(sorted(witness.items()))))
+    scored.sort(key=lambda pair: (-pair[0], repr(pair[1])) if longest else (pair[0], repr(pair[1])))
+    return [w for _, w in scored[:k]]

@@ -1,0 +1,70 @@
+"""Membership joins (Section 7, future-work join type).
+
+A *membership join* lets one join variable range over both points and
+intervals: tuples match when every point value lies in every interval
+value.  Since a point is the degenerate interval ``[p, p]`` and a set
+of intervals-and-points has non-empty intersection exactly when the
+points coincide and lie in all the intervals, membership joins reduce
+to intersection joins after coercing point columns to point intervals.
+
+The paper notes the reduction "can be optimised to accommodate
+membership joins"; the optimisation falls out of the encoding for free:
+the canonical partition of a point interval is the single leaf
+``[p, p]``, so point-side relations keep size ``O(N log N)`` instead of
+``O(N log^i N)`` (no CP fan-out).
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+
+from ..engine.relation import Database, Relation
+from ..intervals.interval import Interval
+from ..queries.query import Query
+
+
+def coerce_membership_database(query: Query, db: Database) -> Database:
+    """Coerce raw numbers in interval-variable columns to point
+    intervals, enabling membership joins through the IJ machinery.
+
+    Columns bound to point variables are left untouched; interval
+    columns may mix :class:`Interval` values and plain numbers.
+    """
+    out = Database()
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        interval_positions = [
+            idx for idx, v in enumerate(atom.variables) if v.is_interval
+        ]
+        rows = set()
+        for t in relation.tuples:
+            row = list(t)
+            for idx in interval_positions:
+                value = row[idx]
+                if isinstance(value, Interval):
+                    continue
+                if isinstance(value, Number):
+                    row[idx] = Interval.point(float(value))
+                else:
+                    raise TypeError(
+                        f"{relation.name}.{atom.variables[idx].name}: "
+                        f"cannot coerce {value!r} to an interval"
+                    )
+            rows.add(tuple(row))
+        out.add(Relation(relation.name, relation.schema, rows))
+    return out
+
+
+def evaluate_membership(query: Query, db: Database) -> bool:
+    """Boolean evaluation of a membership/intersection join query whose
+    interval columns may mix points and intervals."""
+    from .ij_engine import evaluate_ij
+
+    return evaluate_ij(query, coerce_membership_database(query, db))
+
+
+def count_membership(query: Query, db: Database) -> int:
+    """Exact witness count for a membership join query."""
+    from .ij_engine import count_ij
+
+    return count_ij(query, coerce_membership_database(query, db))

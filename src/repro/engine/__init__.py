@@ -1,0 +1,66 @@
+"""The equality-join (EJ) evaluation engine.
+
+Relations and databases, a worst-case optimal generic join, Yannakakis'
+algorithm for acyclic queries, and hypertree-decomposition evaluation —
+the substrate the forward reduction targets.
+"""
+
+from .relation import Database, Relation, relation_from_mapping
+from .generic_join import (
+    JoinAtom,
+    default_variable_order,
+    generic_join,
+    generic_join_boolean,
+    generic_join_count,
+    generic_join_relation,
+)
+from .yannakakis import yannakakis_boolean, yannakakis_count, yannakakis_full
+from .decomposition import (
+    count_with_decomposition,
+    evaluate_boolean_with_decomposition,
+    evaluate_full_with_decomposition,
+    materialise_bags,
+)
+from .io import (
+    load_database_json,
+    load_relation_csv,
+    save_database_json,
+    save_relation_csv,
+    validate_database,
+)
+from .ej import (
+    count_ej,
+    evaluate_ej,
+    evaluate_ej_disjunction,
+    evaluate_ej_full,
+    join_atoms_for,
+)
+
+__all__ = [
+    "Database",
+    "Relation",
+    "relation_from_mapping",
+    "JoinAtom",
+    "default_variable_order",
+    "generic_join",
+    "generic_join_boolean",
+    "generic_join_count",
+    "generic_join_relation",
+    "yannakakis_boolean",
+    "yannakakis_count",
+    "yannakakis_full",
+    "count_with_decomposition",
+    "evaluate_boolean_with_decomposition",
+    "evaluate_full_with_decomposition",
+    "materialise_bags",
+    "load_database_json",
+    "load_relation_csv",
+    "save_database_json",
+    "save_relation_csv",
+    "validate_database",
+    "count_ej",
+    "evaluate_ej",
+    "evaluate_ej_disjunction",
+    "evaluate_ej_full",
+    "join_atoms_for",
+]

@@ -1,0 +1,182 @@
+"""Database serialisation: CSV and JSON interval tables.
+
+Interval columns are written as ``lo..hi`` strings in CSV and as
+``[lo, hi]`` pairs in JSON; point columns pass through.  The loaders
+validate against a query's schema so downstream errors surface at load
+time with readable messages.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from ..intervals.interval import Interval
+from ..queries.query import Query
+from .relation import Database, Relation
+
+INTERVAL_SEPARATOR = ".."
+
+
+def format_value(value) -> str:
+    if isinstance(value, Interval):
+        return f"{value.left}{INTERVAL_SEPARATOR}{value.right}"
+    return str(value)
+
+
+def parse_value(text: str, is_interval: bool):
+    if not is_interval:
+        try:
+            return int(text)
+        except ValueError:
+            try:
+                return float(text)
+            except ValueError:
+                return text
+    if INTERVAL_SEPARATOR in text:
+        lo_text, hi_text = text.split(INTERVAL_SEPARATOR, 1)
+        return Interval(float(lo_text), float(hi_text))
+    # a bare number is a point interval (membership-join convention)
+    return Interval.point(float(text))
+
+
+def save_relation_csv(relation: Relation, path: str | Path) -> None:
+    """Write one relation as a CSV file with a header row."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema)
+        for t in sorted(relation.tuples, key=repr):
+            writer.writerow([format_value(v) for v in t])
+
+
+def load_relation_csv(
+    path: str | Path,
+    name: str,
+    interval_columns: Iterable[str] = (),
+) -> Relation:
+    """Read a relation from CSV; named columns parse as intervals."""
+    interval_set = set(interval_columns)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        rows = []
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_no}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            rows.append(
+                tuple(
+                    parse_value(text, column in interval_set)
+                    for column, text in zip(header, row)
+                )
+            )
+    return Relation(name, header, rows)
+
+
+def save_database_json(db: Database, path: str | Path) -> None:
+    """Write a whole database as one JSON document."""
+    payload = {}
+    for relation in db:
+        payload[relation.name] = {
+            "schema": list(relation.schema),
+            "tuples": [
+                [
+                    [v.left, v.right] if isinstance(v, Interval) else v
+                    for v in t
+                ]
+                for t in sorted(relation.tuples, key=repr)
+            ],
+        }
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_database_json(
+    path: str | Path, query: Query | None = None
+) -> Database:
+    """Read a database from JSON; two-element lists in columns bound to
+    interval variables (per ``query``) become intervals.
+
+    Without a query, every two-element list of numbers is treated as an
+    interval.
+    """
+    payload = json.loads(Path(path).read_text())
+    interval_columns: dict[str, set[str]] = {}
+    if query is not None:
+        for atom in query.atoms:
+            cols = interval_columns.setdefault(atom.relation, set())
+            for v in atom.variables:
+                if v.is_interval:
+                    cols.add(v.name)
+    db = Database()
+    for name, spec in payload.items():
+        schema = spec["schema"]
+        wanted = interval_columns.get(name)
+        rows = []
+        for raw in spec["tuples"]:
+            row = []
+            for column, value in zip(schema, raw):
+                is_pair = (
+                    isinstance(value, list)
+                    and len(value) == 2
+                    and all(isinstance(x, (int, float)) for x in value)
+                )
+                treat_as_interval = (
+                    is_pair if wanted is None else column in wanted
+                )
+                if treat_as_interval:
+                    if not is_pair:
+                        raise ValueError(
+                            f"{name}.{column}: expected [lo, hi], got "
+                            f"{value!r}"
+                        )
+                    row.append(Interval(float(value[0]), float(value[1])))
+                else:
+                    row.append(
+                        tuple(value) if isinstance(value, list) else value
+                    )
+            rows.append(tuple(row))
+        db.add(Relation(name, schema, rows))
+    return db
+
+
+def validate_database(query: Query, db: Database) -> list[str]:
+    """Schema/type validation of a database against a query.
+
+    Returns a list of human-readable problems (empty = valid): missing
+    relations, arity mismatches, non-interval values under interval
+    variables, and interval values under point variables.
+    """
+    problems: list[str] = []
+    for atom in query.atoms:
+        if atom.relation not in db:
+            problems.append(f"missing relation {atom.relation!r}")
+            continue
+        relation = db[atom.relation]
+        if relation.arity != len(atom.variables):
+            problems.append(
+                f"{atom.relation}: arity {relation.arity} but atom "
+                f"{atom.label} has {len(atom.variables)} variables"
+            )
+            continue
+        for t in relation.tuples:
+            for v, value in zip(atom.variables, t):
+                if v.is_interval and not isinstance(value, Interval):
+                    problems.append(
+                        f"{atom.relation}.{v.name}: non-interval value "
+                        f"{value!r} under interval variable"
+                    )
+                    break
+                if not v.is_interval and isinstance(value, Interval):
+                    problems.append(
+                        f"{atom.relation}.{v.name}: interval value "
+                        f"{value!r} under point variable"
+                    )
+                    break
+            else:
+                continue
+            break
+    return problems

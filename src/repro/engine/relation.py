@@ -1,0 +1,169 @@
+"""Relations and databases.
+
+A :class:`Relation` is a named set of tuples over a schema of variable
+names.  Values are arbitrary hashables — numbers or bitstrings for EJ
+relations, :class:`~repro.intervals.Interval` objects for IJ relations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
+
+Value = Hashable
+Tuple_ = tuple
+
+
+class Relation:
+    """An in-memory relation with set semantics."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Sequence[str],
+        tuples: Iterable[Sequence[Value]] = (),
+    ):
+        self.name = name
+        self.schema: tuple[str, ...] = tuple(schema)
+        if len(set(self.schema)) != len(self.schema):
+            raise ValueError(f"duplicate attribute in schema {self.schema}")
+        width = len(self.schema)
+        data: set[tuple] = set()
+        for t in tuples:
+            tt = tuple(t)
+            if len(tt) != width:
+                raise ValueError(
+                    f"tuple {tt} does not match schema {self.schema}"
+                )
+            data.add(tt)
+        self.tuples: set[tuple] = data
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(self.tuples)
+
+    def __contains__(self, t: Sequence[Value]) -> bool:
+        return tuple(t) in self.tuples
+
+    @property
+    def arity(self) -> int:
+        return len(self.schema)
+
+    def position(self, attribute: str) -> int:
+        return self.schema.index(attribute)
+
+    def column(self, attribute: str) -> list[Value]:
+        i = self.position(attribute)
+        return [t[i] for t in self.tuples]
+
+    # ------------------------------------------------------------------
+    # relational algebra
+    # ------------------------------------------------------------------
+
+    def project(self, attributes: Sequence[str], name: str | None = None) -> "Relation":
+        idx = [self.position(a) for a in attributes]
+        return Relation(
+            name or f"pi_{self.name}",
+            attributes,
+            {tuple(t[i] for i in idx) for t in self.tuples},
+        )
+
+    def select(
+        self, predicate: Callable[[Mapping[str, Value]], bool],
+        name: str | None = None,
+    ) -> "Relation":
+        kept = [
+            t for t in self.tuples
+            if predicate(dict(zip(self.schema, t)))
+        ]
+        return Relation(name or f"sigma_{self.name}", self.schema, kept)
+
+    def rename(self, mapping: Mapping[str, str], name: str | None = None) -> "Relation":
+        new_schema = [mapping.get(a, a) for a in self.schema]
+        return Relation(name or self.name, new_schema, self.tuples)
+
+    def join(self, other: "Relation", name: str | None = None) -> "Relation":
+        """Natural hash join on the shared attributes."""
+        shared = [a for a in self.schema if a in other.schema]
+        other_only = [a for a in other.schema if a not in self.schema]
+        out_schema = list(self.schema) + other_only
+        my_idx = [self.position(a) for a in shared]
+        their_idx = [other.position(a) for a in shared]
+        rest_idx = [other.position(a) for a in other_only]
+        index: dict[tuple, list[tuple]] = {}
+        for t in other.tuples:
+            index.setdefault(tuple(t[i] for i in their_idx), []).append(t)
+        out: set[tuple] = set()
+        for t in self.tuples:
+            key = tuple(t[i] for i in my_idx)
+            for u in index.get(key, ()):
+                out.add(t + tuple(u[i] for i in rest_idx))
+        return Relation(name or f"{self.name}_join_{other.name}", out_schema, out)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Tuples of ``self`` that join with some tuple of ``other``."""
+        shared = [a for a in self.schema if a in other.schema]
+        if not shared:
+            return self if len(other) else Relation(self.name, self.schema)
+        my_idx = [self.position(a) for a in shared]
+        their_idx = [other.position(a) for a in shared]
+        keys = {tuple(t[i] for i in their_idx) for t in other.tuples}
+        kept = [
+            t for t in self.tuples if tuple(t[i] for i in my_idx) in keys
+        ]
+        return Relation(self.name, self.schema, kept)
+
+    def distinct_values(self, attribute: str) -> set[Value]:
+        i = self.position(attribute)
+        return {t[i] for t in self.tuples}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({', '.join(self.schema)})[{len(self)}]"
+
+
+class Database:
+    """A named collection of relations."""
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        for r in relations:
+            self.add(r)
+
+    def add(self, relation: Relation) -> None:
+        if relation.name in self._relations:
+            raise ValueError(f"duplicate relation name {relation.name}")
+        self._relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        return self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self):
+        return iter(self._relations.values())
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    @property
+    def size(self) -> int:
+        """Total number of tuples (the ``|D|`` of the complexity bounds)."""
+        return sum(len(r) for r in self._relations.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(repr(r) for r in self._relations.values())
+        return f"Database({inner})"
+
+
+def relation_from_mapping(
+    name: str,
+    schema: Sequence[str],
+    rows: Iterable[Mapping[str, Any]],
+) -> Relation:
+    """Build a relation from dict-like rows (missing keys are an error)."""
+    return Relation(name, schema, [[row[a] for a in schema] for row in rows])

@@ -1,0 +1,279 @@
+"""Hypergraph acyclicity notions (Section 6 and Appendix A.1).
+
+Implemented notions, from most to least restrictive (Figure 5):
+
+* **Berge-acyclic** — no Berge cycle at all (Definition A.3);
+* **ι-acyclic** — no Berge cycle of length ≥ 3 (Theorem 6.3), the new
+  notion of the paper characterising linear-time IJ queries;
+* **γ-acyclic** — cycle-free and without the 3-vertex pattern of
+  Definition A.10;
+* **α-acyclic** — GYO-reducible / conformal and cycle-free
+  (Definitions A.4–A.9), characterising linear-time EJ queries.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Sequence
+
+import networkx as nx
+
+from .hypergraph import Hypergraph, minimisation
+
+Vertex = Hashable
+
+
+# ----------------------------------------------------------------------
+# GYO reduction and alpha-acyclicity
+# ----------------------------------------------------------------------
+
+def gyo_reduce(h: Hypergraph) -> dict[str, frozenset[Vertex]]:
+    """Run the GYO reduction to a fixpoint and return the surviving edges.
+
+    Rules (Appendix A.1.2): (1) remove a vertex occurring in exactly one
+    edge; (2) remove an edge contained in another (distinct) edge.  The
+    hypergraph is α-acyclic iff every surviving edge is empty.
+    """
+    edges = {label: set(e) for label, e in h.edges.items()}
+    changed = True
+    while changed:
+        changed = False
+        degree: dict[Vertex, int] = {}
+        for e in edges.values():
+            for v in e:
+                degree[v] = degree.get(v, 0) + 1
+        for e in edges.values():
+            lonely = {v for v in e if degree[v] == 1}
+            if lonely:
+                e -= lonely
+                changed = True
+        labels = list(edges)
+        removed: set[str] = set()
+        for a in labels:
+            if a in removed:
+                continue
+            for b in labels:
+                if a == b or b in removed:
+                    continue
+                if edges[a] <= edges[b]:
+                    removed.add(a)
+                    changed = True
+                    break
+        for a in removed:
+            del edges[a]
+    return {label: frozenset(e) for label, e in edges.items()}
+
+
+def is_alpha_acyclic(h: Hypergraph) -> bool:
+    """α-acyclicity via GYO reduction."""
+    remaining = gyo_reduce(h)
+    return all(not e for e in remaining.values())
+
+
+def is_conformal(h: Hypergraph, max_vertices: int = 16) -> bool:
+    """Conformality check straight from Definition A.7 (exponential in
+    ``|V|``; intended for query-sized hypergraphs)."""
+    _guard(h, max_vertices)
+    vertices = list(h.vertices)
+    for size in range(3, len(vertices) + 1):
+        for subset in combinations(vertices, size):
+            s = frozenset(subset)
+            pattern = {s - {x} for x in s}
+            if set(minimisation(h.induced_edge_sets(s))) == pattern:
+                return False
+    return True
+
+
+def is_cycle_free(h: Hypergraph, max_vertices: int = 16) -> bool:
+    """Cycle-freeness straight from Definition A.8: no vertex subset whose
+    minimised induced edges form exactly a Hamiltonian cycle on it."""
+    _guard(h, max_vertices)
+    vertices = list(h.vertices)
+    for size in range(3, len(vertices) + 1):
+        for subset in combinations(vertices, size):
+            s = frozenset(subset)
+            minimised = minimisation(h.induced_edge_sets(s))
+            if _is_cycle_edge_set(minimised, s):
+                return False
+    return True
+
+
+def is_alpha_acyclic_definition(h: Hypergraph, max_vertices: int = 16) -> bool:
+    """α-acyclicity via Definition A.9 (conformal + cycle-free); used to
+    cross-validate :func:`is_alpha_acyclic`."""
+    return is_conformal(h, max_vertices) and is_cycle_free(h, max_vertices)
+
+
+def is_beta_acyclic(h: Hypergraph, max_edges: int = 12) -> bool:
+    """β-acyclicity: every subset of the hyperedges is α-acyclic.
+
+    Sits strictly between γ- and α-acyclicity (Appendix A.1.3); the
+    paper's new ι notion is a strict subset of γ, hence of β as well.
+    Exponential in the number of edges — fine for query hypergraphs.
+    """
+    labels = list(h.edges)
+    if len(labels) > max_edges:
+        raise ValueError(
+            f"beta-acyclicity check limited to {max_edges} edges; "
+            f"hypergraph has {len(labels)}"
+        )
+    for mask in range(1, 1 << len(labels)):
+        subset = {
+            label: h.edge(label)
+            for i, label in enumerate(labels)
+            if mask & (1 << i)
+        }
+        if not is_alpha_acyclic(Hypergraph(subset)):
+            return False
+    return True
+
+
+def is_gamma_acyclic(h: Hypergraph, max_vertices: int = 16) -> bool:
+    """γ-acyclicity per Definition A.10: cycle-free and without three
+    distinct vertices ``x, y, z`` with ``{{x,y}, {x,z}, {x,y,z}}``
+    contained in the induced edge set of ``{x, y, z}``."""
+    if not is_cycle_free(h, max_vertices):
+        return False
+    vertices = list(h.vertices)
+    for trio in combinations(vertices, 3):
+        s = frozenset(trio)
+        induced = set(h.induced_edge_sets(s))
+        if s not in induced:
+            continue
+        for x in trio:
+            others = s - {x}
+            y, z = tuple(others)
+            if frozenset({x, y}) in induced and frozenset({x, z}) in induced:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Berge cycles and iota-acyclicity
+# ----------------------------------------------------------------------
+
+def find_berge_cycle(
+    h: Hypergraph, min_length: int = 3
+) -> list[tuple[str, Vertex]] | None:
+    """Search for a Berge cycle of length ≥ ``min_length``.
+
+    A Berge cycle (Definition 6.2) is a sequence
+    ``(e_1, v_1, e_2, v_2, ..., e_n, v_n, e_{n+1} = e_1)`` with distinct
+    vertices, distinct hyperedges, ``n ≥ 2`` and ``v_i ∈ e_i ∩ e_{i+1}``.
+    Returns the witness as a list ``[(e_1, v_1), ..., (e_n, v_n)]`` or
+    ``None``.  Backtracking search — exponential in general, instant on
+    query-sized hypergraphs.
+    """
+    edges = h.edges
+    labels = list(edges)
+
+    def extend(
+        path_edges: list[str], path_vertices: list[Vertex]
+    ) -> list[tuple[str, Vertex]] | None:
+        current = path_edges[-1]
+        first = path_edges[0]
+        # Try to close the cycle.
+        if len(path_vertices) >= min_length - 1:
+            closing = edges[current] & edges[first]
+            for v in sorted(closing, key=str):
+                if v not in path_vertices:
+                    cycle_vertices = path_vertices + [v]
+                    return list(zip(path_edges, cycle_vertices))
+        # Try to extend.
+        for v in sorted(edges[current], key=str):
+            if v in path_vertices:
+                continue
+            for label in labels:
+                if label in path_edges:
+                    continue
+                if v in edges[label]:
+                    result = extend(path_edges + [label], path_vertices + [v])
+                    if result is not None:
+                        return result
+        return None
+
+    for start in labels:
+        result = extend([start], [])
+        if result is not None:
+            return result
+    return None
+
+
+def is_berge_acyclic(h: Hypergraph) -> bool:
+    """Berge-acyclicity: no Berge cycle of any length (≥ 2), equivalently
+    an acyclic incidence graph (Definition A.3)."""
+    incidence = h.incidence_graph()
+    return nx.is_forest(incidence) if incidence.number_of_nodes() else True
+
+
+def is_iota_acyclic(h: Hypergraph) -> bool:
+    """ι-acyclicity via the syntactic characterisation of Theorem 6.3:
+    no Berge cycle of length strictly greater than two."""
+    return find_berge_cycle(h, min_length=3) is None
+
+
+# ----------------------------------------------------------------------
+# Join trees (for Yannakakis' algorithm)
+# ----------------------------------------------------------------------
+
+def join_tree(h: Hypergraph) -> nx.Graph | None:
+    """A join tree over the edge labels (Definition A.4), or ``None`` if
+    the hypergraph is not α-acyclic.
+
+    Uses the classical maximum-weight spanning tree construction with
+    weights ``|e ∩ f|``, which yields a join tree exactly when ``H`` is
+    α-acyclic; the running-intersection property is verified explicitly.
+    """
+    labels = list(h.edges)
+    if not labels:
+        return nx.Graph()
+    weighted = nx.Graph()
+    weighted.add_nodes_from(labels)
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            weighted.add_edge(a, b, weight=len(h.edge(a) & h.edge(b)))
+    tree = nx.maximum_spanning_tree(weighted)
+    if _has_running_intersection(h, tree):
+        return tree
+    return None
+
+
+def _has_running_intersection(h: Hypergraph, tree: nx.Graph) -> bool:
+    for v in h.vertices:
+        containing = [label for label in h.edges if v in h.edge(label)]
+        if len(containing) <= 1:
+            continue
+        sub = tree.subgraph(containing)
+        if sub.number_of_nodes() != len(containing) or not nx.is_connected(sub):
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def _is_cycle_edge_set(
+    family: Sequence[frozenset[Vertex]], s: frozenset[Vertex]
+) -> bool:
+    """True iff the family is exactly the edge set of one cycle visiting
+    every vertex of ``s`` (with ``|s| ≥ 3``)."""
+    if len(s) < 3 or len(family) != len(s):
+        return False
+    if any(len(e) != 2 for e in family):
+        return False
+    g = nx.Graph()
+    g.add_nodes_from(s)
+    for e in family:
+        g.add_edge(*tuple(e))
+    if g.number_of_edges() != len(s):
+        return False
+    return nx.is_connected(g) and all(d == 2 for _, d in g.degree)
+
+
+def _guard(h: Hypergraph, max_vertices: int) -> None:
+    if h.num_vertices > max_vertices:
+        raise ValueError(
+            f"definition-based check limited to {max_vertices} vertices; "
+            f"hypergraph has {h.num_vertices}"
+        )

@@ -1,0 +1,80 @@
+"""Hypergraph isomorphism via incidence graphs.
+
+Two hypergraphs are isomorphic when a vertex bijection maps the edge
+multiset of one onto the other (edge labels are ignored).  This is used
+to group the EJ queries produced by the forward reduction into the
+isomorphism classes analysed in Appendices E.4, F.2 and F.3.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+from networkx.algorithms.isomorphism import GraphMatcher, categorical_node_match
+
+from .hypergraph import Hypergraph
+
+
+def _incidence_for_isomorphism(h: Hypergraph) -> nx.Graph:
+    g = nx.Graph()
+    for v in h.vertices:
+        g.add_node(("v", v), part="vertex")
+    for label, e in h.edges.items():
+        g.add_node(("e", label), part="edge")
+        for v in e:
+            g.add_edge(("e", label), ("v", v))
+    return g
+
+
+def structure_hash(h: Hypergraph) -> str:
+    """A hash invariant under hypergraph isomorphism (Weisfeiler-Lehman
+    over the incidence graph with part labels)."""
+    return nx.weisfeiler_lehman_graph_hash(
+        _incidence_for_isomorphism(h), node_attr="part", iterations=4
+    )
+
+
+def are_isomorphic(a: Hypergraph, b: Hypergraph) -> bool:
+    """Exact isomorphism test (VF2 on incidence graphs, respecting the
+    vertex/edge bipartition)."""
+    if a.num_vertices != b.num_vertices or a.num_edges != b.num_edges:
+        return False
+    if sorted(len(e) for e in a.edges.values()) != sorted(
+        len(e) for e in b.edges.values()
+    ):
+        return False
+    matcher = GraphMatcher(
+        _incidence_for_isomorphism(a),
+        _incidence_for_isomorphism(b),
+        node_match=categorical_node_match("part", None),
+    )
+    return matcher.is_isomorphic()
+
+
+def isomorphism_classes(
+    hypergraphs: Sequence[Hypergraph],
+) -> list[list[int]]:
+    """Partition the input list into isomorphism classes.
+
+    Returns lists of indices into the input; WL hashes bucket the
+    candidates, VF2 confirms within buckets.
+    """
+    buckets: dict[str, list[int]] = {}
+    for i, h in enumerate(hypergraphs):
+        buckets.setdefault(structure_hash(h), []).append(i)
+    classes: list[list[int]] = []
+    for indices in buckets.values():
+        reps: list[list[int]] = []
+        for i in indices:
+            placed = False
+            for group in reps:
+                if are_isomorphic(hypergraphs[group[0]], hypergraphs[i]):
+                    group.append(i)
+                    placed = True
+                    break
+            if not placed:
+                reps.append([i])
+        classes.extend(reps)
+    classes.sort(key=lambda group: group[0])
+    return classes

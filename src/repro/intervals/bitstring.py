@@ -1,0 +1,96 @@
+"""Bitstring utilities for segment-tree node identifiers.
+
+Segment-tree nodes are identified by ``{0,1}``-strings (Section 3).  The
+forward reduction splits a node's bitstring into ``i`` ordered, possibly
+empty parts (the set ``𝔉(u, i)`` of Claim C.1); the backward reduction
+maps bitstrings to dyadic intervals via the function ``F`` of Example 5.1
+and to the explicit perfect-tree segments of Appendix D (Figure 7).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import combinations_with_replacement
+from typing import Iterator
+
+from .interval import Interval
+
+
+def is_prefix(u: str, v: str) -> bool:
+    """True iff ``u`` is a prefix of ``v`` — equivalently, the node ``u``
+    is an ancestor of node ``v`` (Property 3.2(1))."""
+    return v.startswith(u)
+
+
+def splits(u: str, parts: int) -> Iterator[tuple[str, ...]]:
+    """All tuples ``(x_1, ..., x_parts)`` with ``x_1 ∘ ... ∘ x_parts = u``.
+
+    Parts may be empty (the reduction relies on empty parts when two
+    intervals share a segment-tree node).  For a string of length ``L``
+    there are ``C(L + parts - 1, parts - 1)`` splits, which is
+    ``O(log^(parts-1) |I|)`` for segment-tree bitstrings (Claim C.1).
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    length = len(u)
+    for cuts in combinations_with_replacement(range(length + 1), parts - 1):
+        bounds = (0, *cuts, length)
+        yield tuple(u[bounds[i]:bounds[i + 1]] for i in range(parts))
+
+
+def count_splits(length: int, parts: int) -> int:
+    """``|𝔉(u, parts)|`` for ``|u| = length``: the number of ordered
+    splits into possibly-empty parts."""
+    from math import comb
+
+    return comb(length + parts - 1, parts - 1)
+
+
+def dyadic_fraction(b: str) -> tuple[Fraction, Fraction]:
+    """The dyadic interval ``F(b) = [x, y)`` of Example 5.1 as exact
+    fractions: ``F('') = [0, 1)``, ``F(b + '0')`` and ``F(b + '1')`` are
+    the first and second halves of ``F(b)``."""
+    lo = Fraction(0)
+    width = Fraction(1)
+    for ch in b:
+        width /= 2
+        if ch == "1":
+            lo += width
+        elif ch != "0":
+            raise ValueError(f"not a bitstring: {b!r}")
+    return lo, lo + width
+
+
+def dyadic_interval(b: str, max_length: int) -> Interval:
+    """``F(b)`` scaled to the integer grid of denominator ``2^max_length``
+    and closed on the right: ``[x * 2^L, y * 2^L - 1]``.
+
+    For bitstrings of length at most ``max_length``, two scaled dyadic
+    intervals intersect iff one bitstring is a prefix of the other, which
+    is exactly the property the backward reduction needs.
+    """
+    if len(b) > max_length:
+        raise ValueError(f"bitstring {b!r} longer than max_length={max_length}")
+    lo, hi = dyadic_fraction(b)
+    scale = 1 << max_length
+    left = int(lo * scale)
+    right = int(hi * scale) - 1
+    return Interval(left, right)
+
+
+def perfect_tree_segment(u: str, total_depth: int) -> Interval:
+    """``seg(u)`` in the modified perfect segment tree of Appendix D.
+
+    Following the proof of Theorem 5.2 (Figure 7): ``seg(u) = [x, y]``
+    where ``brep(x) = '1' ∘ u ∘ '0'^ℓ`` and ``brep(y) = '1' ∘ u ∘ '1'^ℓ``
+    with ``ℓ = total_depth - |u|``.  Two such segments intersect iff one
+    bitstring is a prefix of the other.
+    """
+    pad = total_depth - len(u)
+    if pad < 0:
+        raise ValueError(
+            f"bitstring {u!r} longer than tree depth {total_depth}"
+        )
+    lo = int("1" + u + "0" * pad, 2)
+    hi = int("1" + u + "1" * pad, 2)
+    return Interval(lo, hi)

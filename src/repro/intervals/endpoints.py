@@ -1,0 +1,89 @@
+"""Endpoint preprocessing utilities (Appendix G.1, Example 4.12).
+
+Two transforms used by the reductions:
+
+* rank-space normalisation — the intersection problem only depends on the
+  relative order of endpoints, so endpoints can be replaced by their
+  ranks (Example 4.12 assumes endpoints ``{0, 1, ..., k}``);
+* the distinct-left-endpoint shift — Appendix G.1 perturbs the intervals
+  of relation ``R_i`` by ``[x.l + i*eps, x.r + n*eps]`` so that intervals
+  from different relations have pairwise distinct left endpoints while
+  every intersection is preserved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .interval import Interval, minimum_endpoint_gap
+
+
+def collect_endpoints(intervals: Iterable[Interval]) -> list[float]:
+    """All endpoint values (with duplicates) of the given intervals."""
+    out: list[float] = []
+    for x in intervals:
+        out.append(x.left)
+        out.append(x.right)
+    return out
+
+
+def rank_space(intervals: Sequence[Interval]) -> list[Interval]:
+    """Replace endpoints by their ranks among the distinct endpoints.
+
+    The result uses integer endpoints in ``{0, ..., m-1}`` and preserves
+    all intersections (the predicate depends only on endpoint order).
+    """
+    distinct = sorted(set(collect_endpoints(intervals)))
+    rank = {p: i for i, p in enumerate(distinct)}
+    return [Interval(rank[x.left], rank[x.right]) for x in intervals]
+
+
+def distinct_left_epsilon(
+    relations: Sequence[Sequence[Interval]],
+) -> float:
+    """An ``eps > 0`` with ``n * eps`` below the minimum endpoint gap.
+
+    ``n`` is the number of relations; this is the epsilon required by the
+    Appendix G.1 shift.  Returns ``1.0`` when all endpoints coincide (any
+    positive epsilon works then).
+    """
+    endpoints: list[float] = []
+    for rel in relations:
+        endpoints.extend(collect_endpoints(rel))
+    gap = minimum_endpoint_gap(endpoints)
+    n = max(len(relations), 1)
+    if gap == float("inf"):
+        return 1.0
+    return gap / (2 * (n + 1))
+
+
+def shift_for_distinct_left(
+    x: Interval, relation_index: int, n_relations: int, eps: float
+) -> Interval:
+    """The Appendix G.1 perturbation for an interval of relation ``i``:
+    ``[x.l + (i+1)*eps, x.r + n*eps]`` (1-based index in the paper).
+
+    After the shift, intervals from different relations have distinct
+    left endpoints and all cross-relation intersections are unchanged.
+    """
+    i = relation_index + 1
+    if not 1 <= i <= n_relations:
+        raise ValueError("relation_index out of range")
+    return Interval(x.left + i * eps, x.right + n_relations * eps)
+
+
+def make_left_endpoints_distinct(
+    relations: Sequence[Sequence[Interval]],
+) -> list[list[Interval]]:
+    """Apply the Appendix G.1 shift to every relation's interval column.
+
+    The input is one interval column per relation; the output columns
+    have pairwise distinct left endpoints across relations and preserve
+    every intersection among intervals from *different* relations.
+    """
+    n = len(relations)
+    eps = distinct_left_epsilon(relations)
+    return [
+        [shift_for_distinct_left(x, i, n, eps) for x in rel]
+        for i, rel in enumerate(relations)
+    ]

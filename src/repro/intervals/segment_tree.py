@@ -1,0 +1,266 @@
+"""Segment trees over interval endpoints (Section 3 and Appendix B).
+
+The segment tree for a set of intervals ``I`` is a *complete* binary tree
+whose leaves are the elementary segments induced by the sorted distinct
+endpoints ``p_1 < ... < p_m``::
+
+    (-inf, p_1), [p_1, p_1], (p_1, p_2), [p_2, p_2], ..., (p_m, +inf)
+
+Every node is identified by a bitstring: the root is the empty string,
+the left child of ``b`` is ``b + '0'`` and the right child ``b + '1'``.
+Key properties (Property 3.2):
+
+1. ``u`` is an ancestor of ``v`` iff ``seg(u) ⊇ seg(v)`` iff the
+   bitstring of ``u`` is a prefix of the bitstring of ``v``.
+2. The canonical partition ``CP_I(x)`` of an interval ``x`` is an
+   antichain (no node is an ancestor of another).
+3. ``|CP_I(x)| = O(log |I|)`` and it is computable in ``O(log |I|)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .interval import Interval
+
+NEG_INF = -math.inf
+POS_INF = math.inf
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A segment of the real line with open/closed endpoint flags."""
+
+    lo: float
+    hi: float
+    lo_open: bool
+    hi_open: bool
+
+    def contains_point(self, p: float) -> bool:
+        if p < self.lo or (p == self.lo and self.lo_open):
+            return False
+        if p > self.hi or (p == self.hi and self.hi_open):
+            return False
+        return True
+
+    def within_interval(self, x: Interval) -> bool:
+        """True iff this segment is a subset of the closed interval ``x``."""
+        return self.lo >= x.left and self.hi <= x.right
+
+    def intersects_interval(self, x: Interval) -> bool:
+        """True iff this segment and the closed interval ``x`` overlap."""
+        if self.hi < x.left or (self.hi == x.left and self.hi_open):
+            return False
+        if self.lo > x.right or (self.lo == x.right and self.lo_open):
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lo = "(" if self.lo_open else "["
+        hi = ")" if self.hi_open else "]"
+        return f"{lo}{self.lo}, {self.hi}{hi}"
+
+
+@dataclass
+class SegmentTreeNode:
+    """One node of a segment tree, identified by its bitstring."""
+
+    bitstring: str
+    seg: Segment
+    left: "SegmentTreeNode | None" = None
+    right: "SegmentTreeNode | None" = None
+    canonical: list[Any] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def depth(self) -> int:
+        return len(self.bitstring)
+
+
+def elementary_segments(endpoints: Sequence[float]) -> list[Segment]:
+    """The elementary segments induced by sorted distinct endpoints.
+
+    For ``m`` distinct endpoints this returns ``2m + 1`` pairwise-disjoint
+    segments that partition the real line (Section 3).  With no endpoints
+    the single segment ``(-inf, +inf)`` is returned.
+    """
+    points = sorted(set(endpoints))
+    if not points:
+        return [Segment(NEG_INF, POS_INF, True, True)]
+    segments = [Segment(NEG_INF, points[0], True, True)]
+    for i, p in enumerate(points):
+        segments.append(Segment(p, p, False, False))
+        nxt = points[i + 1] if i + 1 < len(points) else POS_INF
+        segments.append(Segment(p, nxt, True, True))
+    return segments
+
+
+class SegmentTree:
+    """Segment tree for a set of intervals (Section 3, Appendix B.1).
+
+    The tree shape is the *complete* binary tree of the paper: every
+    level except possibly the last is full, and the last level's leaves
+    are packed to the left.  This reproduces Figure 3 exactly.
+    """
+
+    def __init__(self, intervals: Iterable[Interval]):
+        self._intervals = list(intervals)
+        endpoints: list[float] = []
+        for x in self._intervals:
+            endpoints.append(x.left)
+            endpoints.append(x.right)
+        self._leaf_segments = elementary_segments(endpoints)
+        self.root = _build_complete(self._leaf_segments, "")
+        self._nodes: dict[str, SegmentTreeNode] = {}
+        _collect(self.root, self._nodes)
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+
+    @property
+    def intervals(self) -> list[Interval]:
+        return list(self._intervals)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes in the tree."""
+        return len(self._nodes)
+
+    @property
+    def height(self) -> int:
+        return max(len(b) for b in self._nodes)
+
+    def node(self, bitstring: str) -> SegmentTreeNode:
+        """Node lookup by bitstring id (raises ``KeyError`` if absent)."""
+        return self._nodes[bitstring]
+
+    def __contains__(self, bitstring: str) -> bool:
+        return bitstring in self._nodes
+
+    def bitstrings(self) -> list[str]:
+        return list(self._nodes)
+
+    def seg(self, bitstring: str) -> Segment:
+        return self._nodes[bitstring].seg
+
+    def leaves(self) -> list[SegmentTreeNode]:
+        return [n for n in self._nodes.values() if n.is_leaf]
+
+    # ------------------------------------------------------------------
+    # canonical partitions and point location
+    # ------------------------------------------------------------------
+
+    def canonical_partition(self, x: Interval) -> list[str]:
+        """``CP_I(x)``: bitstrings of the maximal nodes whose segments
+        are contained in ``x`` (Definition 3.1).
+
+        The segments of the returned nodes are pairwise disjoint and, when
+        the endpoints of ``x`` occur in the tree, their union is exactly
+        ``x``.  The recursion visits at most four nodes per level, so the
+        result has size ``O(log |I|)``.
+        """
+        result: list[str] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.seg.within_interval(x):
+                result.append(node.bitstring)
+            elif not node.is_leaf:
+                if node.right is not None and node.right.seg.intersects_interval(x):
+                    stack.append(node.right)
+                if node.left is not None and node.left.seg.intersects_interval(x):
+                    stack.append(node.left)
+        result.sort()
+        return result
+
+    def leaf_of_point(self, p: float) -> str:
+        """Bitstring of the unique leaf whose segment contains ``p``."""
+        node = self.root
+        while not node.is_leaf:
+            assert node.left is not None and node.right is not None
+            node = node.left if node.left.seg.contains_point(p) else node.right
+        return node.bitstring
+
+    def leaf_of_interval(self, x: Interval) -> str:
+        """``leaf(x)``: the leaf containing the left endpoint of ``x``."""
+        return self.leaf_of_point(x.left)
+
+    # ------------------------------------------------------------------
+    # classical insert / stab (Algorithms 2 and 3)
+    # ------------------------------------------------------------------
+
+    def insert(self, x: Interval, payload: Any = None) -> None:
+        """Insert ``x`` into the canonical subsets of its ``CP`` nodes
+        (Algorithm 2)."""
+        if payload is None:
+            payload = x
+        for bitstring in self.canonical_partition(x):
+            self._nodes[bitstring].canonical.append(payload)
+
+    def stab(self, p: float) -> list[Any]:
+        """All payloads whose interval contains the point ``p``
+        (Algorithm 3): the canonical subsets along the root-to-leaf path."""
+        result: list[Any] = []
+        node = self.root
+        while True:
+            result.extend(node.canonical)
+            if node.is_leaf:
+                return result
+            assert node.left is not None and node.right is not None
+            node = node.left if node.left.seg.contains_point(p) else node.right
+
+
+def is_ancestor(u: str, v: str) -> bool:
+    """True iff node ``u`` is an ancestor of ``v`` (inclusive), i.e. the
+    bitstring of ``u`` is a prefix of that of ``v`` (Property 3.2(1))."""
+    return v.startswith(u)
+
+
+def is_strict_ancestor(u: str, v: str) -> bool:
+    """True iff ``u`` is a strict ancestor of ``v`` (Appendix G)."""
+    return u != v and v.startswith(u)
+
+
+def ancestors(v: str) -> list[str]:
+    """``anc(v)``: all ancestors of ``v`` including ``v`` itself, i.e. all
+    prefixes of its bitstring, from the root down."""
+    return [v[:i] for i in range(len(v) + 1)]
+
+
+def _build_complete(segments: list[Segment], bitstring: str) -> SegmentTreeNode:
+    """Recursively build the complete binary tree over leaf segments.
+
+    With ``n`` leaves and height ``d = ceil(log2 n)``, the bottom level
+    holds ``2 * (n - 2^(d-1))`` leaves packed to the left; the split point
+    follows from giving the left subtree the first ``2^(d-2)`` slots of
+    level ``d - 1``.
+    """
+    n = len(segments)
+    if n == 1:
+        return SegmentTreeNode(bitstring, segments[0])
+    if n == 2:
+        n_left = 1
+    else:
+        depth = math.ceil(math.log2(n))
+        slots = 1 << (depth - 1)
+        extra = n - slots
+        left_slots = slots // 2
+        n_left = left_slots + min(max(extra, 0), left_slots)
+    left = _build_complete(segments[:n_left], bitstring + "0")
+    right = _build_complete(segments[n_left:], bitstring + "1")
+    seg = Segment(left.seg.lo, right.seg.hi, left.seg.lo_open, right.seg.hi_open)
+    return SegmentTreeNode(bitstring, seg, left, right)
+
+
+def _collect(node: SegmentTreeNode, out: dict[str, SegmentTreeNode]) -> None:
+    out[node.bitstring] = node
+    if node.left is not None:
+        _collect(node.left, out)
+    if node.right is not None:
+        _collect(node.right, out)

@@ -1,0 +1,16 @@
+"""Query model: variables, atoms, conjunctive queries, parser, catalog."""
+
+from .query import Atom, Query, Variable, ivar, make_query, pvar
+from .parser import parse_query
+from . import catalog
+
+__all__ = [
+    "Atom",
+    "Query",
+    "Variable",
+    "ivar",
+    "make_query",
+    "pvar",
+    "parse_query",
+    "catalog",
+]

@@ -1,0 +1,171 @@
+"""The named queries analysed in the paper.
+
+Cyclic IJ queries of Tables 1-2 and Appendix F (triangle, Loomis-Whitney
+with 4 variables, 4-clique), the six Figure 9 examples of Appendix E.4,
+the Example 4.6/4.8 query, and EJ comparison queries (triangle, k-cycle,
+Loomis-Whitney, clique).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from .parser import parse_query
+from .query import Query, ivar, make_query, pvar
+
+
+def triangle_ij() -> Query:
+    """``Q△ = R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])`` (Section 1.1).
+    ij-width 3/2."""
+    return parse_query("Q_triangle := R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])")
+
+
+def loomis_whitney4_ij() -> Query:
+    """The Loomis-Whitney IJ query with 4 variables (Appendix F.2, (21)).
+    ij-width 5/3."""
+    return parse_query(
+        "Q_LW4 := R([A],[B],[C]) ∧ S([B],[C],[D]) ∧ T([C],[D],[A]) "
+        "∧ U([D],[A],[B])"
+    )
+
+
+def clique4_ij() -> Query:
+    """The 4-clique IJ query (Appendix F.3, (36)).  ij-width 2."""
+    return parse_query(
+        "Q_4clique := R([A],[B]) ∧ S([A],[C]) ∧ T([A],[D]) ∧ U([B],[C]) "
+        "∧ V([B],[D]) ∧ W([C],[D])"
+    )
+
+
+def clique_ij(k: int) -> Query:
+    """The k-clique IJ query: one binary atom per pair of variables."""
+    names = [chr(ord("A") + i) for i in range(k)]
+    atoms = []
+    for idx, (x, y) in enumerate(combinations(names, 2)):
+        atoms.append((f"R{idx}", [ivar(x), ivar(y)]))
+    return make_query(atoms, name=f"Q_{k}clique")
+
+
+def example_4_6_ij() -> Query:
+    """``Q = R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A])``
+    (Examples 4.6/4.8 and Figure 9d).  ι-acyclic."""
+    return parse_query("Q_ex46 := R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A])")
+
+
+def figure9a_ij() -> Query:
+    """``Q1 = R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B],[C])``
+    (Appendix E.4.1).  Not ι-acyclic; ijw 3/2."""
+    return parse_query(
+        "Q1 := R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B],[C])"
+    )
+
+
+def figure9b_ij() -> Query:
+    """``Q2 = R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B])``
+    (Appendix E.4.2 / Example 6.5).  Not ι-acyclic; ijw 3/2."""
+    return parse_query("Q2 := R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A],[B])")
+
+
+def figure9c_ij() -> Query:
+    """``Q3 = R([A],[B],[C]) ∧ S([B],[C]) ∧ T([A],[B])``
+    (Appendix E.4.3 / Figure 4a).  Not ι-acyclic; ijw 3/2."""
+    return parse_query("Q3 := R([A],[B],[C]) ∧ S([B],[C]) ∧ T([A],[B])")
+
+
+def figure9d_ij() -> Query:
+    """``Q4 = R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A])``
+    (Appendix E.4.4).  ι-acyclic; linear time."""
+    return parse_query("Q4 := R([A],[B],[C]) ∧ S([A],[B],[C]) ∧ T([A])")
+
+
+def figure9e_ij() -> Query:
+    """``Q5 = R([A],[B]) ∧ S([A],[C]) ∧ T([C],[D]) ∧ U([C],[E])``
+    (Appendix E.4.5 / Figure 4b).  Berge-acyclic; linear time."""
+    return parse_query(
+        "Q5 := R([A],[B]) ∧ S([A],[C]) ∧ T([C],[D]) ∧ U([C],[E])"
+    )
+
+
+def figure9f_ij() -> Query:
+    """``Q6 = R([A],[B],[C]) ∧ S([A],[B])`` (Appendix E.4.6).
+    ι-acyclic; linear time."""
+    return parse_query("Q6 := R([A],[B],[C]) ∧ S([A],[B])")
+
+
+def path_ij(k: int) -> Query:
+    """A length-k IJ path ``R1([X0],[X1]) ∧ ... ∧ Rk([Xk-1],[Xk])``:
+    Berge-acyclic, hence ι-acyclic and linear-time."""
+    atoms = []
+    for i in range(k):
+        atoms.append((f"R{i + 1}", [ivar(f"X{i}"), ivar(f"X{i + 1}")]))
+    return make_query(atoms, name=f"Q_path{k}")
+
+
+def star_ij(k: int) -> Query:
+    """A k-ary IJ star: atoms ``Ri([X],[Yi])`` sharing one centre
+    variable.  Has Berge cycles of length 2 only for k ≥ 2 — ι-acyclic?
+    No: distinct leaves make all cycles pass through [X] twice, so no
+    Berge cycle exists at all; the star is Berge-acyclic."""
+    atoms = []
+    for i in range(k):
+        atoms.append((f"R{i + 1}", [ivar("X"), ivar(f"Y{i + 1}")]))
+    return make_query(atoms, name=f"Q_star{k}")
+
+
+def triangle_ej() -> Query:
+    """The EJ triangle ``R(A,B) ∧ S(B,C) ∧ T(A,C)``; submodular width
+    3/2; not computable in linear time under 3SUM [30]."""
+    return parse_query("EJ_triangle := R(A,B) ∧ S(B,C) ∧ T(A,C)")
+
+
+def cycle_ej(k: int) -> Query:
+    """The k-cycle EJ query of Theorem 6.6's hardness proof."""
+    atoms = []
+    for i in range(k):
+        atoms.append(
+            (f"S{i + 1}", [pvar(f"X{(i - 1) % k + 1}"), pvar(f"X{i + 1}")])
+        )
+    return make_query(atoms, name=f"EJ_{k}cycle")
+
+
+def loomis_whitney_ej(k: int) -> Query:
+    """The EJ Loomis-Whitney query with k variables: all (k-1)-subsets."""
+    names = [chr(ord("A") + i) for i in range(k)]
+    atoms = []
+    for idx, omit in enumerate(names):
+        atoms.append(
+            (f"R{idx}", [pvar(x) for x in names if x != omit])
+        )
+    return make_query(atoms, name=f"EJ_LW{k}")
+
+
+PAPER_IJ_QUERIES = {
+    "triangle": triangle_ij,
+    "lw4": loomis_whitney4_ij,
+    "4clique": clique4_ij,
+    "fig9a": figure9a_ij,
+    "fig9b": figure9b_ij,
+    "fig9c": figure9c_ij,
+    "fig9d": figure9d_ij,
+    "fig9e": figure9e_ij,
+    "fig9f": figure9f_ij,
+}
+
+
+def cycle_ij(k: int) -> Query:
+    """The k-cycle IJ query ``R1([X1],[X2]) ∧ ... ∧ Rk([Xk],[X1])``.
+
+    Not ι-acyclic for any k >= 3 (the cycle itself is a Berge cycle of
+    length k), hence at least EJ-triangle-hard by Theorem 6.6.
+    """
+    if k < 3:
+        raise ValueError("cycles need k >= 3")
+    atoms = []
+    for i in range(k):
+        atoms.append(
+            (
+                f"R{i + 1}",
+                [ivar(f"X{i + 1}"), ivar(f"X{(i + 1) % k + 1}")],
+            )
+        )
+    return make_query(atoms, name=f"Q_{k}cycle_ij")

@@ -1,0 +1,76 @@
+"""Appendix G: disjointness machinery for exact counting.
+
+Two pieces:
+
+* :func:`shift_distinct_left` — the G.1 perturbation making intervals
+  from different atoms have pairwise distinct left endpoints while
+  preserving every intersection (hence the query answer);
+* the ordered-tuple-set (OT) rewriting of Lemma G.2 is realised inside
+  :mod:`repro.reduction.forward` via ``disjoint=True``: the part ``X_j``
+  of the atom at permutation position ``j`` (``1 < j < k``) must be
+  non-empty whenever the previous atom's label is larger, so each
+  satisfying tuple combination is witnessed by exactly one disjunct.
+"""
+
+from __future__ import annotations
+
+from ..engine.relation import Database, Relation
+from ..intervals.endpoints import distinct_left_epsilon
+from ..intervals.interval import Interval
+from ..queries.query import Query
+
+
+def shift_distinct_left(query: Query, db: Database) -> Database:
+    """Return a database where interval columns of the ``i``-th atom are
+    shifted by ``[l + i*eps, r + n*eps]`` (Appendix G.1).
+
+    Requires a self-join-free query (each atom owns its relation, as the
+    shift differs per atom).  The transformed database has the same
+    Boolean answer and the same set of satisfying tuple combinations.
+    """
+    if not query.is_self_join_free:
+        raise ValueError(
+            "the distinct-left-endpoint shift needs a self-join-free query"
+        )
+    columns: list[list[Interval]] = []
+    for atom in query.atoms:
+        relation = db[atom.relation]
+        intervals: list[Interval] = []
+        for idx, v in enumerate(atom.variables):
+            if v.is_interval:
+                intervals.extend(t[idx] for t in relation.tuples)
+        columns.append(intervals)
+    eps = distinct_left_epsilon(columns)
+    n = len(query.atoms)
+    shifted = Database()
+    for i, atom in enumerate(query.atoms, start=1):
+        relation = db[atom.relation]
+        interval_positions = [
+            idx for idx, v in enumerate(atom.variables) if v.is_interval
+        ]
+        rows = set()
+        for t in relation.tuples:
+            row = list(t)
+            for idx in interval_positions:
+                x = row[idx]
+                row[idx] = Interval(x.left + i * eps, x.right + n * eps)
+            rows.add(tuple(row))
+        shifted.add(Relation(relation.name, relation.schema, rows))
+    return shifted
+
+
+def verify_distinct_left(query: Query, db: Database) -> bool:
+    """Check the G.1 postcondition: left endpoints of interval values
+    are pairwise distinct across different atoms."""
+    seen: dict[float, int] = {}
+    for i, atom in enumerate(query.atoms):
+        relation = db[atom.relation]
+        for idx, v in enumerate(atom.variables):
+            if not v.is_interval:
+                continue
+            for t in relation.tuples:
+                left = t[idx].left
+                owner = seen.setdefault(left, i)
+                if owner != i:
+                    return False
+    return True

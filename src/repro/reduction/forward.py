@@ -1,0 +1,300 @@
+"""The forward reduction: IJ queries to disjunctions of EJ queries
+(Section 4, Algorithm 1).
+
+For each interval variable ``[X]`` occurring in ``k`` atoms, a segment
+tree over all ``[X]``-intervals rewrites the k-way intersection
+predicate into prefix constraints over node bitstrings (Lemma 4.4).  For
+every permutation ``σ`` of the ``k`` atoms, the atom at position ``i``
+receives fresh point variables ``X1..Xi`` whose concatenation is
+
+* a canonical-partition node of its interval when ``i < k``
+  (Definition 4.9, CP variant), or
+* the leaf of its interval's left endpoint when ``i = k``
+  (leaf variant).
+
+Transformed relations are *shared*: the relation variant of an atom
+depends only on its position per variable, so ``∏_X k_X`` variants per
+atom serve all ``∏_X k_X!`` EJ disjuncts (the Section 1.1 observation
+that relation schemas identify the transformed relations).
+
+With ``disjoint=True`` the Appendix G refinement is applied: after the
+distinct-left-endpoint shift, every satisfying tuple combination is
+witnessed by *exactly one* disjunct and one assignment, enabling exact
+counting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import permutations, product
+from typing import Iterator, Sequence
+
+from ..engine.relation import Database, Relation
+from ..intervals.bitstring import splits
+from ..intervals.interval import Interval
+from ..intervals.segment_tree import SegmentTree
+from ..queries.query import Atom, Query, Variable, pvar
+from ..hypergraph.transform import part_vertex
+
+# variable name -> atom label -> 1-based permutation position
+PositionMap = dict[str, dict[str, int]]
+
+
+@dataclass(frozen=True)
+class _VariantSpec:
+    """What one transformed relation looks like: per interval variable,
+    the number of parts and whether the last part must be non-empty
+    (Appendix G ordering constraint)."""
+
+    atom_label: str
+    parts: tuple[tuple[str, int], ...]            # (variable, i) sorted
+    nonempty_last: tuple[str, ...] = ()            # variables with the constraint
+    provenance: bool = False
+
+    def name(self) -> str:
+        pieces = [f"{x}{i}" for x, i in self.parts]
+        suffix = "".join(pieces)
+        extras = ""
+        if self.nonempty_last:
+            extras += "x" + "".join(self.nonempty_last)
+        if self.provenance:
+            extras += "p"
+        return f"{self.atom_label}~{suffix}{extras or ''}"
+
+
+@dataclass
+class EncodedQuery:
+    """One EJ disjunct with the position map that generated it."""
+
+    query: Query
+    positions: PositionMap
+
+
+@dataclass
+class ForwardReductionResult:
+    """Output of the full forward reduction (Theorem 4.13)."""
+
+    original: Query
+    encoded_queries: list[EncodedQuery]
+    database: Database
+    segment_trees: dict[str, SegmentTree] = field(default_factory=dict)
+
+    @property
+    def ej_queries(self) -> list[Query]:
+        return [e.query for e in self.encoded_queries]
+
+    def blowup(self, original_db: Database) -> float:
+        """``|D̃| / |D|`` — the measured polylog blowup (Lemma 4.10)."""
+        if original_db.size == 0:
+            return 0.0
+        return self.database.size / original_db.size
+
+
+class ForwardReducer:
+    """Shared-variant forward reduction for one (query, database) pair."""
+
+    def __init__(
+        self,
+        query: Query,
+        db: Database,
+        disjoint: bool = False,
+        provenance: bool = False,
+    ):
+        self.query = query
+        self.db = db
+        self.disjoint = disjoint
+        self.provenance = provenance
+        self.interval_vars = [v.name for v in query.interval_variables]
+        self.k: dict[str, int] = {
+            x: len(query.atoms_containing(x)) for x in self.interval_vars
+        }
+        self.trees: dict[str, SegmentTree] = {}
+        for x in self.interval_vars:
+            intervals: list[Interval] = []
+            for atom in query.atoms_containing(x):
+                idx = atom.variable_names.index(x)
+                for t in db[atom.relation].tuples:
+                    intervals.append(t[idx])
+            self.trees[x] = SegmentTree(intervals)
+        self._variants: dict[_VariantSpec, Relation] = {}
+
+    # ------------------------------------------------------------------
+    # query-level transformation
+    # ------------------------------------------------------------------
+
+    def position_maps(self) -> Iterator[PositionMap]:
+        """All combinations of per-variable atom permutations."""
+        per_variable: list[list[tuple[str, dict[str, int]]]] = []
+        for x in self.interval_vars:
+            labels = [a.label for a in self.query.atoms_containing(x)]
+            options = [
+                (x, {label: i + 1 for i, label in enumerate(sigma)})
+                for sigma in permutations(labels)
+            ]
+            per_variable.append(options)
+        for combo in product(*per_variable):
+            yield {x: positions for x, positions in combo}
+
+    def encoded_atom(
+        self, atom: Atom, positions: PositionMap
+    ) -> tuple[tuple[Variable, ...], _VariantSpec]:
+        """The EJ schema of ``atom`` under ``positions`` plus the variant
+        spec identifying its transformed relation."""
+        new_vars: list[Variable] = []
+        parts: list[tuple[str, int]] = []
+        nonempty: list[str] = []
+        for v in atom.variables:
+            if not v.is_interval:
+                new_vars.append(v)
+                continue
+            i = positions[v.name][atom.label]
+            parts.append((v.name, i))
+            for j in range(1, i + 1):
+                new_vars.append(pvar(part_vertex(v.name, j)))
+            if self.disjoint and self._requires_nonempty(atom, v.name, positions):
+                nonempty.append(v.name)
+        spec = _VariantSpec(
+            atom.label,
+            tuple(sorted(parts)),
+            tuple(sorted(nonempty)),
+            self.provenance,
+        )
+        if self.provenance and parts:
+            new_vars.append(pvar(f"__id_{atom.label}"))
+        return tuple(new_vars), spec
+
+    def _requires_nonempty(
+        self, atom: Atom, x: str, positions: PositionMap
+    ) -> bool:
+        """Appendix G (Definition G.1): at position ``j`` with
+        ``1 < j < k``, the part ``X_j`` must be non-empty when the label
+        at position ``j-1`` exceeds this atom's label."""
+        pos = positions[x]
+        j = pos[atom.label]
+        k = self.k[x]
+        if j <= 1 or j >= k:
+            return False
+        previous = next(
+            label for label, position in pos.items() if position == j - 1
+        )
+        return previous > atom.label
+
+    def encode_query(self, positions: PositionMap, index: int) -> EncodedQuery:
+        atoms: list[Atom] = []
+        for atom in self.query.atoms:
+            new_vars, spec = self.encoded_atom(atom, positions)
+            atoms.append(Atom(atom.label, spec.name(), new_vars))
+        query = Query(
+            tuple(atoms), name=f"{self.query.name}~{index}"
+        )
+        return EncodedQuery(query, positions)
+
+    # ------------------------------------------------------------------
+    # database-level transformation (Definition 4.9)
+    # ------------------------------------------------------------------
+
+    def variant_relation(self, atom: Atom, spec: _VariantSpec) -> Relation:
+        if spec in self._variants:
+            return self._variants[spec]
+        relation = self.db[atom.relation]
+        parts = dict(spec.parts)
+        nonempty = set(spec.nonempty_last)
+        schema: list[str] = []
+        for v in atom.variables:
+            if v.is_interval:
+                for j in range(1, parts[v.name] + 1):
+                    schema.append(part_vertex(v.name, j))
+            else:
+                schema.append(v.name)
+        if spec.provenance and parts:
+            schema.append(f"__id_{atom.label}")
+        tuples: set[tuple] = set()
+        for tuple_id, t in enumerate(sorted(relation.tuples, key=repr)):
+            encodings: list[list[tuple[str, ...]]] = []
+            fixed: list = []
+            order: list[tuple[str, int]] = []  # (kind, payload)
+            for v, value in zip(atom.variables, t):
+                if v.is_interval:
+                    i = parts[v.name]
+                    options = self._encodings(
+                        v.name, value, i, v.name in nonempty
+                    )
+                    encodings.append(options)
+                    order.append(("interval", len(encodings) - 1))
+                else:
+                    fixed.append(value)
+                    order.append(("point", len(fixed) - 1))
+            for choice in product(*encodings):
+                row: list = []
+                for kind, idx in order:
+                    if kind == "interval":
+                        row.extend(choice[idx])
+                    else:
+                        row.append(fixed[idx])
+                if spec.provenance and parts:
+                    row.append(tuple_id)
+                tuples.add(tuple(row))
+        result = Relation(spec.name(), schema, tuples)
+        self._variants[spec] = result
+        return result
+
+    def _encodings(
+        self, x: str, value: Interval, i: int, nonempty_last: bool
+    ) -> list[tuple[str, ...]]:
+        """All ``(X1..Xi)`` bitstring tuples for one interval value:
+        CP-variant splits for ``i < k``, leaf-variant splits for
+        ``i = k`` (Definition 4.9)."""
+        tree = self.trees[x]
+        k = self.k[x]
+        if i < k:
+            nodes = tree.canonical_partition(value)
+        else:
+            nodes = [tree.leaf_of_interval(value)]
+        out: list[tuple[str, ...]] = []
+        for node in nodes:
+            for split in splits(node, i):
+                if nonempty_last and i > 1 and split[-1] == "":
+                    continue
+                out.append(split)
+        return out
+
+    # ------------------------------------------------------------------
+    # full reduction
+    # ------------------------------------------------------------------
+
+    def reduce(self) -> ForwardReductionResult:
+        """Run Algorithm 1: all EJ disjuncts plus the shared database."""
+        encoded: list[EncodedQuery] = []
+        database = Database()
+        seen: set[str] = set()
+        for index, positions in enumerate(self.position_maps()):
+            eq = self.encode_query(positions, index)
+            encoded.append(eq)
+            for atom, original in zip(eq.query.atoms, self.query.atoms):
+                if atom.relation in seen:
+                    continue
+                seen.add(atom.relation)
+                _, spec = self.encoded_atom(original, positions)
+                if spec.parts:
+                    database.add(self.variant_relation(original, spec))
+                else:
+                    database.add(
+                        Relation(
+                            atom.relation,
+                            original.variable_names,
+                            self.db[original.relation].tuples,
+                        )
+                    )
+        return ForwardReductionResult(
+            self.query, encoded, database, dict(self.trees)
+        )
+
+
+def forward_reduce(
+    query: Query,
+    db: Database,
+    disjoint: bool = False,
+    provenance: bool = False,
+) -> ForwardReductionResult:
+    """Full forward reduction of an IJ/EIJ query and database."""
+    return ForwardReducer(query, db, disjoint, provenance).reduce()

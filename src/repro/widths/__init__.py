@@ -1,0 +1,55 @@
+"""Width measures: fractional edge cover, fhtw, subw, and the ij-width."""
+
+from .edge_cover import (
+    EdgeCoverCache,
+    fractional_edge_cover,
+    fractional_edge_cover_number,
+)
+from .tree_decomposition import (
+    TreeDecomposition,
+    all_elimination_bagsets,
+    candidate_bagsets,
+    elimination_bags,
+    non_dominated_bagsets,
+    td_from_elimination_order,
+)
+from .fhtw import fhtw_with_decomposition, fractional_hypertree_width
+from .subw import (
+    modular_width_lower_bound,
+    polymatroid_constraints,
+    submodular_width,
+    submodular_width_checked,
+)
+from .certificates import (
+    FhtwCertificate,
+    SubwLowerCertificate,
+    fhtw_certificate,
+    subw_lower_certificate,
+)
+from .ijw import IjWidthReport, WidthClass, ij_width, ij_width_report
+
+__all__ = [
+    "EdgeCoverCache",
+    "fractional_edge_cover",
+    "fractional_edge_cover_number",
+    "TreeDecomposition",
+    "all_elimination_bagsets",
+    "candidate_bagsets",
+    "elimination_bags",
+    "non_dominated_bagsets",
+    "td_from_elimination_order",
+    "fhtw_with_decomposition",
+    "fractional_hypertree_width",
+    "modular_width_lower_bound",
+    "polymatroid_constraints",
+    "submodular_width",
+    "submodular_width_checked",
+    "FhtwCertificate",
+    "SubwLowerCertificate",
+    "fhtw_certificate",
+    "subw_lower_certificate",
+    "ij_width",
+    "ij_width_report",
+    "IjWidthReport",
+    "WidthClass",
+]

@@ -1,0 +1,81 @@
+"""Fractional edge covers (Definition A.11).
+
+``rho*(S)`` is the optimum of the covering LP: minimise the total weight
+put on hyperedges so every vertex of ``S`` receives weight at least one.
+It tightly bounds worst-case join output sizes (AGM bound) and is the
+bag-cost function of the fractional hypertree width.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+import numpy as np
+from scipy.optimize import linprog
+
+Vertex = Hashable
+
+
+def fractional_edge_cover(
+    edges: Mapping[str, frozenset[Vertex]],
+    subset: Iterable[Vertex],
+) -> tuple[float, dict[str, float]]:
+    """Solve the fractional edge cover LP for ``subset``.
+
+    Returns ``(rho*, weights)`` where ``weights`` maps edge labels to an
+    optimal fractional cover.  Raises ``ValueError`` when some vertex of
+    the subset is not covered by any edge (the LP is infeasible).
+    """
+    target = [v for v in subset]
+    labels = list(edges)
+    if not target:
+        return 0.0, {label: 0.0 for label in labels}
+    a_ub = np.zeros((len(target), len(labels)))
+    for i, v in enumerate(target):
+        for j, label in enumerate(labels):
+            if v in edges[label]:
+                a_ub[i, j] = -1.0
+    if not a_ub.any(axis=1).all():
+        missing = [v for i, v in enumerate(target) if not a_ub[i].any()]
+        raise ValueError(f"vertices not covered by any edge: {missing}")
+    result = linprog(
+        c=np.ones(len(labels)),
+        A_ub=a_ub,
+        b_ub=-np.ones(len(target)),
+        bounds=[(0, None)] * len(labels),
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - defensive
+        raise RuntimeError(f"edge cover LP failed: {result.message}")
+    weights = {label: float(x) for label, x in zip(labels, result.x)}
+    return float(result.fun), weights
+
+
+def fractional_edge_cover_number(
+    edges: Mapping[str, frozenset[Vertex]],
+    subset: Iterable[Vertex] | None = None,
+) -> float:
+    """``rho*(subset)`` (all vertices when ``subset`` is ``None``)."""
+    if subset is None:
+        subset = set().union(*edges.values()) if edges else set()
+    value, _ = fractional_edge_cover(edges, subset)
+    return value
+
+
+class EdgeCoverCache:
+    """Memoised ``rho*`` evaluations for one fixed edge set.
+
+    The width computations evaluate ``rho*`` on many candidate bags that
+    repeat across elimination orders; caching by bag makes the subset DP
+    cheap.
+    """
+
+    def __init__(self, edges: Mapping[str, frozenset[Vertex]]):
+        self._edges = {label: frozenset(e) for label, e in edges.items()}
+        self._cache: dict[frozenset[Vertex], float] = {}
+
+    def rho(self, bag: Iterable[Vertex]) -> float:
+        key = frozenset(bag)
+        if key not in self._cache:
+            self._cache[key] = fractional_edge_cover_number(self._edges, key)
+        return self._cache[key]

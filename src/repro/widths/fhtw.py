@@ -1,0 +1,115 @@
+"""Fractional hypertree width (Definition A.15), computed exactly.
+
+Uses the classic subset dynamic program over elimination orders
+(Bodlaender-style): for the set ``S`` of not-yet-eliminated vertices,
+eliminating ``v`` creates the bag ``{v} ∪ Q(S, v)``, where ``Q(S, v)``
+is the set of vertices of ``S`` reachable from ``v`` through already
+eliminated vertices.  The bag cost is the fractional edge cover number
+``rho*``; memoisation makes the DP ``O(2^n · poly)``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from ..hypergraph.hypergraph import Hypergraph
+from .edge_cover import EdgeCoverCache
+from .tree_decomposition import TreeDecomposition, td_from_elimination_order
+
+Vertex = Hashable
+
+
+class _FhtwSolver:
+    def __init__(self, h: Hypergraph):
+        self.h = h
+        self.vertices: list[Vertex] = list(h.vertices)
+        self.index = {v: i for i, v in enumerate(self.vertices)}
+        self.n = len(self.vertices)
+        primal = h.primal_graph()
+        self.adjacency = [
+            sum(1 << self.index[u] for u in primal.neighbors(v))
+            for v in self.vertices
+        ]
+        self.rho_cache = EdgeCoverCache(h.edges)
+        self.memo: dict[int, float] = {}
+        self.choice: dict[int, int] = {}
+
+    def bag_mask(self, remaining: int, v: int) -> int:
+        """``{v} ∪ Q(S, v)``: vertices of ``remaining`` adjacent to ``v``
+        directly or through eliminated (non-remaining) vertices."""
+        eliminated = ((1 << self.n) - 1) & ~remaining
+        seen = 1 << v
+        frontier = self.adjacency[v]
+        bag = 1 << v
+        while frontier:
+            w = (frontier & -frontier).bit_length() - 1
+            frontier &= frontier - 1
+            bit = 1 << w
+            if seen & bit:
+                continue
+            seen |= bit
+            if remaining & bit:
+                bag |= bit
+            elif eliminated & bit:
+                frontier |= self.adjacency[w] & ~seen
+        return bag
+
+    def rho_of_mask(self, mask: int) -> float:
+        members = [
+            self.vertices[i] for i in range(self.n) if mask & (1 << i)
+        ]
+        return self.rho_cache.rho(members)
+
+    def solve(self, remaining: int) -> float:
+        if remaining == 0:
+            return 0.0
+        if remaining in self.memo:
+            return self.memo[remaining]
+        best = float("inf")
+        best_v = -1
+        for v in range(self.n):
+            if not remaining & (1 << v):
+                continue
+            bag = self.bag_mask(remaining, v)
+            cost = self.rho_of_mask(bag)
+            if cost >= best:
+                continue
+            value = max(cost, self.solve(remaining & ~(1 << v)))
+            if value < best:
+                best = value
+                best_v = v
+        self.memo[remaining] = best
+        self.choice[remaining] = best_v
+        return best
+
+    def optimal_order(self) -> list[Vertex]:
+        order: list[Vertex] = []
+        remaining = (1 << self.n) - 1
+        self.solve(remaining)
+        while remaining:
+            v = self.choice[remaining]
+            order.append(self.vertices[v])
+            remaining &= ~(1 << v)
+            if remaining:
+                self.solve(remaining)
+        return order
+
+
+def fractional_hypertree_width(h: Hypergraph) -> float:
+    """Exact ``fhtw(H)`` via the elimination-order subset DP."""
+    if h.num_vertices == 0:
+        return 0.0
+    solver = _FhtwSolver(h)
+    return solver.solve((1 << solver.n) - 1)
+
+
+def fhtw_with_decomposition(
+    h: Hypergraph,
+) -> tuple[float, TreeDecomposition, Sequence[Vertex]]:
+    """``fhtw(H)`` together with an optimal tree decomposition and the
+    elimination order that produced it."""
+    solver = _FhtwSolver(h)
+    width = solver.solve((1 << solver.n) - 1)
+    order = solver.optimal_order()
+    td = td_from_elimination_order(h, order)
+    return width, td, order

@@ -1,0 +1,34 @@
+"""Synthetic and adversarial workload generators."""
+
+from .generators import (
+    point_database,
+    random_database,
+    random_integer_interval,
+    random_interval,
+    spatial_join_database,
+    spatial_rectangles,
+    temporal_database,
+    temporal_sessions,
+)
+from .query_generator import query_corpus, random_ij_query
+from .hard_instances import (
+    ej_triangle_hard_instance,
+    embed_ej_into_ij,
+    quadratic_intermediate_triangle,
+)
+
+__all__ = [
+    "point_database",
+    "random_database",
+    "random_integer_interval",
+    "random_interval",
+    "spatial_join_database",
+    "spatial_rectangles",
+    "temporal_database",
+    "temporal_sessions",
+    "query_corpus",
+    "random_ij_query",
+    "ej_triangle_hard_instance",
+    "embed_ej_into_ij",
+    "quadratic_intermediate_triangle",
+]

@@ -1,0 +1,113 @@
+"""Adversarial instances.
+
+* :func:`quadratic_intermediate_triangle` — an empty-answer triangle
+  instance where every *binary* join plan materialises ``Θ(n²)``
+  intermediate pairs, while the reduction answers false quickly: the
+  Section 2 criticism of join-at-a-time processing made executable.
+* :func:`ej_triangle_hard_instance` — dense EJ triangle instances used
+  by the ι-dichotomy benchmark (Theorem 6.6 reduces the EJ triangle to
+  any non-ι-acyclic IJ query).
+* :func:`embed_ej_into_ij` — the Theorem 6.6 embedding itself: a binary
+  EJ instance becomes an IJ instance using point intervals and
+  ``(-inf, +inf)`` stand-ins.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..engine.relation import Database, Relation
+from ..intervals.interval import Interval
+from ..queries.query import Query
+
+
+def quadratic_intermediate_triangle(n: int) -> Database:
+    """Triangle IJ instance with empty answer but ``n²`` R⋈S pairs.
+
+    Every interval of ``R.B`` intersects every interval of ``S.B`` (all
+    contain the point 0), so the binary join R⋈S has ``n²`` results;
+    ``T``'s A- and C-intervals are placed so no triangle closes.
+    """
+    big = Interval(-1.0, 1.0)
+    r = {(Interval(2 + i, 2 + i + 0.5), big) for i in range(n)}
+    s = {(big, Interval(2 + j, 2 + j + 0.5)) for j in range(n)}
+    # T's A-intervals sit left of every R.A interval; no intersection.
+    t = {
+        (Interval(-10 - i, -10 - i + 0.5), Interval(2 + i, 2 + i + 0.5))
+        for i in range(n)
+    }
+    return Database(
+        [
+            Relation("R", ("A", "B"), r),
+            Relation("S", ("B", "C"), s),
+            Relation("T", ("A", "C"), t),
+        ]
+    )
+
+
+def ej_triangle_hard_instance(
+    n: int, seed: int = 0, domain_factor: float = 1.5
+) -> dict[str, set[tuple[int, int]]]:
+    """Random dense EJ triangle instance over a domain of size
+    ``domain_factor * sqrt(n)`` per variable — near the output threshold
+    where triangle detection is hardest."""
+    rng = random.Random(seed)
+    m = max(2, int(domain_factor * (n ** 0.5)))
+    def pairs() -> set[tuple[int, int]]:
+        out: set[tuple[int, int]] = set()
+        while len(out) < n:
+            out.add((rng.randrange(m), rng.randrange(m)))
+        return out
+    return {"R": pairs(), "S": pairs(), "T": pairs()}
+
+
+def embed_ej_into_ij(
+    ij_query: Query,
+    cycle_atoms: list[str],
+    cycle_vertices: list[str],
+    ej_relations: list[set[tuple[int, int]]],
+    span: float = 1e9,
+) -> Database:
+    """The Theorem 6.6 hardness embedding.
+
+    ``cycle_atoms``/``cycle_vertices`` describe a Berge cycle
+    ``(e_1, v_1, ..., e_k, v_k, e_1)`` of the IJ hypergraph; the ``i``-th
+    EJ relation ``S_i(X_{i-1}, X_i)`` is written into atom ``e_i`` with
+    point intervals ``[a,a]``/``[b,b]`` on ``v_{i-1}``/``v_i`` and the
+    huge interval ``(-span, span)`` elsewhere.  All remaining atoms get
+    a single all-huge tuple.  Then ``Q(D)`` iff the k-cycle EJ query is
+    true on the EJ relations.
+    """
+    k = len(cycle_atoms)
+    if len(cycle_vertices) != k or len(ej_relations) != k:
+        raise ValueError("cycle description lengths must agree")
+    huge = Interval(-span, span)
+    db = Database()
+    atom_by_label = {a.label: a for a in ij_query.atoms}
+    for i, label in enumerate(cycle_atoms):
+        atom = atom_by_label[label]
+        prev_vertex = cycle_vertices[i - 1]
+        this_vertex = cycle_vertices[i]
+        rows = set()
+        for a, b in ej_relations[i]:
+            row = []
+            for v in atom.variables:
+                if v.name == prev_vertex:
+                    row.append(Interval.point(float(a)))
+                elif v.name == this_vertex:
+                    row.append(Interval.point(float(b)))
+                else:
+                    row.append(huge)
+            rows.add(tuple(row))
+        db.add(Relation(atom.relation, atom.variable_names, rows))
+    for atom in ij_query.atoms:
+        if atom.label in cycle_atoms:
+            continue
+        db.add(
+            Relation(
+                atom.relation,
+                atom.variable_names,
+                {tuple(huge for _ in atom.variables)},
+            )
+        )
+    return db

@@ -1,0 +1,73 @@
+"""Random IJ/EIJ query generation — the fuzzing side of the test suite.
+
+Generates structurally diverse small queries (paths, stars, cycles,
+random hypergraphs, mixed point/interval schemas) so the engines can be
+differential-tested far beyond the paper's named queries.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..queries.query import Query, Variable, ivar, make_query, pvar
+
+
+def random_ij_query(
+    rng: random.Random,
+    max_atoms: int = 4,
+    max_variables: int = 4,
+    max_arity: int = 3,
+    point_probability: float = 0.0,
+    name: str = "Qrand",
+) -> Query:
+    """A random connected conjunctive query.
+
+    Variable kinds are chosen once per variable (interval by default,
+    point with the given probability) to keep queries well-formed.
+    Every atom after the first shares at least one variable with an
+    earlier atom, keeping the hypergraph connected.
+    """
+    n_vars = rng.randint(1, max_variables)
+    variables: list[Variable] = []
+    for i in range(n_vars):
+        vname = chr(ord("A") + i)
+        if rng.random() < point_probability:
+            variables.append(pvar(vname))
+        else:
+            variables.append(ivar(vname))
+    n_atoms = rng.randint(1, max_atoms)
+    atoms: list[tuple[str, list[Variable]]] = []
+    used: list[Variable] = []
+    for i in range(n_atoms):
+        arity = rng.randint(1, min(max_arity, n_vars))
+        if used:
+            anchor = rng.choice(used)
+            pool = [v for v in variables if v != anchor]
+            chosen = [anchor] + rng.sample(
+                pool, min(arity - 1, len(pool))
+            )
+        else:
+            chosen = rng.sample(variables, arity)
+        rng.shuffle(chosen)
+        for v in chosen:
+            if v not in used:
+                used.append(v)
+        atoms.append((f"R{i}", chosen))
+    return make_query(atoms, name=name)
+
+
+def query_corpus(
+    seed: int,
+    count: int,
+    point_probability: float = 0.2,
+) -> list[Query]:
+    """A reproducible corpus of random queries for differential tests."""
+    rng = random.Random(seed)
+    return [
+        random_ij_query(
+            rng,
+            point_probability=point_probability,
+            name=f"Qfuzz{i}",
+        )
+        for i in range(count)
+    ]

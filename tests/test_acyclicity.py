@@ -1,0 +1,264 @@
+"""Acyclicity lattice tests: GYO/α, γ, Berge, ι and Theorem 6.3.
+
+Covers the paper's worked examples (Example 6.5, Figures 4 and 9) and
+cross-validates the syntactic ι characterisation against Definition 6.1
+on random hypergraphs.
+"""
+
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    find_berge_cycle,
+    gyo_reduce,
+    is_alpha_acyclic,
+    is_alpha_acyclic_definition,
+    is_berge_acyclic,
+    is_conformal,
+    is_cycle_free,
+    is_gamma_acyclic,
+    is_iota_acyclic,
+    is_iota_acyclic_definition,
+    join_tree,
+)
+from repro.queries import catalog
+
+
+def H(**edges):
+    return Hypergraph({k: list(v) for k, v in edges.items()})
+
+
+class TestGYO:
+    def test_acyclic_path(self):
+        h = H(R="AB", S="BC", T="CD")
+        assert is_alpha_acyclic(h)
+        assert all(not e for e in gyo_reduce(h).values())
+
+    def test_triangle_cyclic(self):
+        h = H(R="AB", S="BC", T="AC")
+        assert not is_alpha_acyclic(h)
+        remaining = gyo_reduce(h)
+        assert any(e for e in remaining.values())
+
+    def test_contained_edges(self):
+        h = H(R="ABC", S="AB", T="C")
+        assert is_alpha_acyclic(h)
+
+    def test_equal_edges(self):
+        h = H(R="AB", S="AB")
+        assert is_alpha_acyclic(h)
+
+    def test_single_edge(self):
+        assert is_alpha_acyclic(H(R="ABCD"))
+
+    def test_empty(self):
+        assert is_alpha_acyclic(Hypergraph({}))
+
+    def test_alpha_cyclic_but_not_via_triangle(self):
+        # 4-cycle
+        h = H(R="AB", S="BC", T="CD", U="DA")
+        assert not is_alpha_acyclic(h)
+
+
+class TestAlphaDefinitionAgreesWithGYO:
+    def test_on_catalog(self):
+        graphs = [
+            catalog.triangle_ij().hypergraph(),
+            catalog.loomis_whitney4_ij().hypergraph(),
+            catalog.clique4_ij().hypergraph(),
+            catalog.figure9c_ij().hypergraph(),
+            catalog.figure9e_ij().hypergraph(),
+            catalog.cycle_ej(5).hypergraph(),
+        ]
+        for h in graphs:
+            assert is_alpha_acyclic(h) == is_alpha_acyclic_definition(h)
+
+    def test_on_random(self):
+        rng = random.Random(0)
+        vertices = list("ABCDE")
+        for _ in range(60):
+            edges = {}
+            for i in range(rng.randint(1, 4)):
+                size = rng.randint(1, 4)
+                edges[f"e{i}"] = rng.sample(vertices, size)
+            h = Hypergraph(edges)
+            assert is_alpha_acyclic(h) == is_alpha_acyclic_definition(h), edges
+
+
+class TestBergeCycles:
+    def test_length_two_cycle(self):
+        # two edges sharing two vertices
+        h = H(R="AB", S="AB")
+        cycle = find_berge_cycle(h, min_length=2)
+        assert cycle is not None and len(cycle) == 2
+        assert find_berge_cycle(h, min_length=3) is None
+
+    def test_triangle_has_length_three(self):
+        h = H(R="AB", S="BC", T="AC")
+        cycle = find_berge_cycle(h, min_length=3)
+        assert cycle is not None and len(cycle) == 3
+        edges = [e for e, _ in cycle]
+        vertices = [v for _, v in cycle]
+        assert len(set(edges)) == 3 and len(set(vertices)) == 3
+
+    def test_star_is_berge_acyclic(self):
+        h = catalog.star_ij(4).hypergraph()
+        assert is_berge_acyclic(h)
+
+    def test_witness_is_valid_cycle(self):
+        h = catalog.clique4_ij().hypergraph()
+        cycle = find_berge_cycle(h, min_length=3)
+        assert cycle is not None
+        edges = [e for e, _ in cycle]
+        for i, (label, v) in enumerate(cycle):
+            nxt = edges[(i + 1) % len(edges)]
+            assert v in h.edge(label) and v in h.edge(nxt)
+
+
+class TestExample65:
+    """Example 6.5 verbatim."""
+
+    def test_not_iota(self):
+        q = catalog.figure9b_ij()  # R,S over ABC; T over AB
+        h = q.hypergraph()
+        assert not is_iota_acyclic(h)
+        cycle = find_berge_cycle(h, min_length=3)
+        assert cycle is not None and len(cycle) == 3
+
+    def test_becomes_iota_without_t(self):
+        h = H(R="ABC", S="ABC")
+        assert is_iota_acyclic(h)
+
+    def test_variant_with_unary_t_is_iota(self):
+        q = catalog.figure9d_ij()  # T([A]) only
+        assert is_iota_acyclic(q.hypergraph())
+
+
+class TestFigure4and9:
+    def test_classifications(self):
+        expectations = {
+            "fig9a": False,
+            "fig9b": False,
+            "fig9c": False,
+            "fig9d": True,
+            "fig9e": True,
+            "fig9f": True,
+        }
+        for name, expected in expectations.items():
+            h = catalog.PAPER_IJ_QUERIES[name]().hypergraph()
+            assert is_iota_acyclic(h) == expected, name
+
+    def test_figure4a_cycle_witness(self):
+        h = catalog.figure9c_ij().hypergraph()
+        cycle = find_berge_cycle(h, min_length=3)
+        assert cycle is not None and len(cycle) == 3
+
+    def test_figure4b_berge_acyclic(self):
+        assert is_berge_acyclic(catalog.figure9e_ij().hypergraph())
+
+
+class TestVennStrictness:
+    """Figure 5 / Corollary 6.4: Berge ⊂ ι ⊂ γ ⊂ α, all strict."""
+
+    def test_iota_implies_gamma_implies_alpha_on_samples(self):
+        rng = random.Random(1)
+        vertices = list("ABCDE")
+        for _ in range(80):
+            edges = {}
+            for i in range(rng.randint(1, 4)):
+                edges[f"e{i}"] = rng.sample(vertices, rng.randint(1, 4))
+            h = Hypergraph(edges)
+            if is_berge_acyclic(h):
+                assert is_iota_acyclic(h), edges
+            if is_iota_acyclic(h):
+                assert is_gamma_acyclic(h), edges
+            if is_gamma_acyclic(h):
+                assert is_alpha_acyclic(h), edges
+
+    def test_iota_not_berge_witness(self):
+        # Berge cycle of length exactly 2: iota but not Berge-acyclic
+        h = H(R="AB", S="AB")
+        assert is_iota_acyclic(h) and not is_berge_acyclic(h)
+
+    def test_gamma_not_iota_witness(self):
+        """Corollary 6.4's witness: three copies of {x,y,z}."""
+        h = H(R="XYZ", S="XYZ", T="XYZ")
+        assert is_gamma_acyclic(h)
+        assert not is_iota_acyclic(h)
+
+    def test_alpha_not_gamma_witness(self):
+        # Figure 9c is alpha- but not gamma-acyclic (Figure 8a)
+        h = catalog.figure9c_ij().hypergraph()
+        assert is_alpha_acyclic(h)
+        assert not is_gamma_acyclic(h)
+
+    def test_conformal_and_cycle_free_components(self):
+        # The 3 binary triangle edges are exactly the non-conformality
+        # pattern {S\{x} | x in S}, and also a Hamiltonian 3-cycle.
+        tri = H(R="AB", S="BC", T="AC")
+        assert not is_conformal(tri)
+        assert not is_cycle_free(tri)
+        # Filling in the 3-clique restores conformality but the 4-cycle
+        # below stays non-cycle-free while being conformal.
+        assert is_conformal(H(R="ABC"))
+        four_cycle = H(R="AB", S="BC", T="CD", U="DA")
+        assert is_conformal(four_cycle)
+        assert not is_cycle_free(four_cycle)
+
+
+class TestTheorem63:
+    """ι-acyclicity: syntactic (no Berge cycle ≥ 3) ⟺ Definition 6.1
+    (all of τ(H) α-acyclic)."""
+
+    def test_on_catalog(self):
+        for name, factory in catalog.PAPER_IJ_QUERIES.items():
+            q = factory()
+            h = q.hypergraph()
+            assert is_iota_acyclic(h) == is_iota_acyclic_definition(
+                h, q.interval_variable_names()
+            ), name
+
+    def test_on_random_hypergraphs(self):
+        rng = random.Random(2)
+        vertices = list("ABCD")
+        checked = 0
+        for _ in range(40):
+            edges = {}
+            for i in range(rng.randint(1, 3)):
+                edges[f"e{i}"] = rng.sample(vertices, rng.randint(1, 3))
+            h = Hypergraph(edges)
+            # keep tau small: skip if some vertex is in 3+ big edges
+            if sum(len(e) for e in h.edges.values()) > 8:
+                continue
+            checked += 1
+            assert is_iota_acyclic(h) == is_iota_acyclic_definition(h), edges
+        assert checked >= 10
+
+
+class TestJoinTree:
+    def test_acyclic_has_valid_join_tree(self):
+        h = H(R="AB", S="BC", T="CD", U="BE")
+        tree = join_tree(h)
+        assert tree is not None
+        assert tree.number_of_nodes() == 4
+        assert tree.number_of_edges() == 3
+
+    def test_cyclic_has_none(self):
+        assert join_tree(H(R="AB", S="BC", T="AC")) is None
+
+    def test_running_intersection(self):
+        h = H(R="ABC", S="BCD", T="CDE", U="AB")
+        tree = join_tree(h)
+        assert tree is not None
+        # vertex C appears in R,S,T: they must induce a connected subtree
+        import networkx as nx
+
+        sub = tree.subgraph(["R", "S", "T"])
+        assert nx.is_connected(sub)
+
+    def test_guard_on_large(self):
+        big = Hypergraph({"e": [f"v{i}" for i in range(20)]})
+        with pytest.raises(ValueError):
+            is_conformal(big)

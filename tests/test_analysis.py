@@ -1,0 +1,93 @@
+"""Query analysis tests (Tables 1-2 assembled mechanically)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import analyze_query, nice_fraction
+from repro.queries import catalog
+
+
+class TestNiceFraction:
+    def test_snapping(self):
+        assert nice_fraction(1.5) == Fraction(3, 2)
+        assert nice_fraction(1.6666666666) == Fraction(5, 3)
+        assert nice_fraction(1.3333333333) == Fraction(4, 3)
+        assert nice_fraction(2.0000000004) == Fraction(2)
+
+
+class TestTriangleAnalysis:
+    def setup_method(self):
+        self.analysis = analyze_query(catalog.triangle_ij())
+
+    def test_flags(self):
+        a = self.analysis
+        assert not a.iota_acyclic
+        assert not a.berge_acyclic
+        assert not a.alpha_acyclic  # 3 binary edges form a primal cycle
+        assert not a.linear_time
+
+    def test_ijw(self):
+        assert self.analysis.ijw == Fraction(3, 2)
+        assert "N^3/2" in self.analysis.predicted_runtime
+
+    def test_faqai_exponent(self):
+        assert self.analysis.faqai_exponent == 2
+
+    def test_berge_witness(self):
+        witness = self.analysis.berge_cycle_witness
+        assert witness is not None and len(witness) == 3
+
+    def test_summary_text(self):
+        text = self.analysis.summary()
+        assert "ij-width: 3/2" in text
+        assert "berge cycle" in text
+        assert "FAQ-AI" in text
+
+
+class TestLinearTimeQueries:
+    @pytest.mark.parametrize("name", ["fig9d", "fig9e", "fig9f"])
+    def test_linear(self, name):
+        q = catalog.PAPER_IJ_QUERIES[name]()
+        a = analyze_query(q)
+        assert a.iota_acyclic and a.linear_time
+        assert a.ijw == 1
+        assert a.predicted_runtime == "O(N polylog N)"
+
+    def test_width_skipping(self):
+        a = analyze_query(catalog.figure9e_ij(), compute_widths=False)
+        assert a.width_report is None
+        assert a.ijw is None
+        assert a.predicted_runtime == "O(N polylog N)"
+
+
+class TestCyclicQueries:
+    @pytest.mark.parametrize("name", ["fig9b", "fig9c"])
+    def test_superlinear(self, name):
+        q = catalog.PAPER_IJ_QUERIES[name]()
+        a = analyze_query(q)
+        assert not a.iota_acyclic
+        assert a.ijw == Fraction(3, 2)
+
+    def test_fig9a_subw_classes(self):
+        a = analyze_query(catalog.figure9a_ij())
+        assert a.ijw == Fraction(3, 2)
+        assert len(a.width_report.classes) == 3
+
+
+@pytest.mark.slow
+class TestTable1:
+    """Table 1 assembled end to end: ij-widths vs FAQ-AI exponents."""
+
+    def test_rows(self):
+        rows = {
+            "triangle": (Fraction(3, 2), 2),
+            "lw4": (Fraction(5, 3), 2),
+            "4clique": (Fraction(2), 3),
+        }
+        for name, (expected_ijw, expected_faqai) in rows.items():
+            q = catalog.PAPER_IJ_QUERIES[name]()
+            a = analyze_query(q)
+            assert a.ijw == expected_ijw, name
+            assert a.faqai_exponent == expected_faqai, name
+            assert a.ijw < a.faqai_exponent, name  # our approach wins

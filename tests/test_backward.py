@@ -1,0 +1,230 @@
+"""Backward reduction tests (Section 5, Appendix D, Claim D.3)."""
+
+import random
+
+import pytest
+
+from repro.core.baselines import naive_evaluate
+from repro.engine import Database, Relation
+from repro.intervals import perfect_tree_segment
+from repro.queries import catalog, parse_query
+from repro.reduction import (
+    backward_database,
+    backward_reduce,
+    bitstring_encode_database,
+)
+
+
+class TestBitstringEncoding:
+    def test_fixed_width(self):
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(1, 2), (3, 4)]),
+                Relation("S", ("B",), [(2,), (9,)]),
+            ]
+        )
+        encoded = bitstring_encode_database(db)
+        widths = {
+            len(x) for rel in encoded for t in rel.tuples for x in t
+        }
+        assert len(widths) == 1
+
+    def test_preserves_equalities(self):
+        db = Database(
+            [
+                Relation("R", ("A",), [(7,), (8,)]),
+                Relation("S", ("A",), [(7,), (9,)]),
+            ]
+        )
+        encoded = bitstring_encode_database(db)
+        r_vals = {t[0] for t in encoded["R"].tuples}
+        s_vals = {t[0] for t in encoded["S"].tuples}
+        assert len(r_vals & s_vals) == 1
+
+    def test_width_too_small(self):
+        db = Database([Relation("R", ("A",), [(i,) for i in range(5)])])
+        with pytest.raises(ValueError):
+            bitstring_encode_database(db, width=2)
+
+
+class TestFigure7:
+    def test_segments_match_figure(self):
+        """Figure 7 (n=2, b=2): root [16,31], '0' -> [16,23],
+        '00' -> [16,19], '0010' -> [18,18], '11' -> [28,31]."""
+        cases = {
+            "": (16, 31),
+            "0": (16, 23),
+            "00": (16, 19),
+            "0010": (18, 18),
+            "11": (28, 31),
+            "101": (26, 27),
+        }
+        for bits, (lo, hi) in cases.items():
+            seg = perfect_tree_segment(bits, 4)
+            assert (seg.left, seg.right) == (lo, hi), bits
+
+
+class TestClaimD3:
+    """Q(D) ⟺ Q̃(D̃) for arbitrary EJ databases (randomised)."""
+
+    def _triangle_positions(self):
+        # the disjunct Q̃3 of Example 5.1
+        return {
+            "A": {"R": 2, "T": 1},
+            "B": {"R": 1, "S": 2},
+            "C": {"S": 2, "T": 1},
+        }
+
+    def test_triangle_q3_roundtrip(self):
+        rng = random.Random(0)
+        q = catalog.triangle_ij()
+        positions = self._triangle_positions()
+        for trial in range(25):
+            n, dom = rng.randint(1, 6), rng.randint(1, 4)
+            d_r = {
+                tuple(rng.randrange(dom) for _ in range(3)) for _ in range(n)
+            }
+            d_s = {
+                tuple(rng.randrange(dom) for _ in range(4)) for _ in range(n)
+            }
+            d_t = {
+                tuple(rng.randrange(dom) for _ in range(2)) for _ in range(n)
+            }
+            ej_db = Database(
+                [
+                    Relation("R", ("A1", "A2", "B1"), d_r),
+                    Relation("S", ("B1", "B2", "C1", "C2"), d_s),
+                    Relation("T", ("A1", "C1"), d_t),
+                ]
+            )
+            expected = any(
+                b1 == b1s and a1 == a1t and c1 == c1t
+                for (a1, a2, b1) in d_r
+                for (b1s, b2, c1, c2) in d_s
+                for (a1t, c1t) in d_t
+            )
+            ij_db = backward_reduce(q, positions, ej_db)
+            assert naive_evaluate(q, ij_db) == expected, trial
+            assert ij_db.size == ej_db.size  # |D| = O(|D̃|), here equal
+
+    def test_all_eight_triangle_disjuncts(self):
+        """The backward reduction works for every disjunct in τ(H)."""
+        rng = random.Random(1)
+        q = catalog.triangle_ij()
+        from repro.hypergraph import tau_with_positions
+
+        combos = tau_with_positions(
+            q.hypergraph(), q.interval_variable_names()
+        )
+        assert len(combos) == 8
+        for _, posmap in combos:
+            n = 4
+            schemas = {}
+            for atom in q.atoms:
+                cols = []
+                for v in atom.variables:
+                    parts = posmap[v.name][atom.label]
+                    cols.extend(f"{v.name}{j}" for j in range(1, parts + 1))
+                schemas[atom.label] = tuple(cols)
+            ej_db = Database(
+                [
+                    Relation(
+                        label,
+                        cols,
+                        {
+                            tuple(rng.randrange(3) for _ in cols)
+                            for _ in range(n)
+                        },
+                    )
+                    for label, cols in schemas.items()
+                ]
+            )
+            # brute-force the EJ query directly
+            rels = {label: list(ej_db[label].tuples) for label in schemas}
+            expected = False
+            for tr in rels["R"]:
+                for ts in rels["S"]:
+                    for tt in rels["T"]:
+                        rows = {"R": tr, "S": ts, "T": tt}
+                        bindings: dict[str, int] = {}
+                        ok = True
+                        for label, cols in schemas.items():
+                            for col, val in zip(cols, rows[label]):
+                                if bindings.setdefault(col, val) != val:
+                                    ok = False
+                                    break
+                            if not ok:
+                                break
+                        expected = expected or ok
+            ij_db = backward_reduce(q, posmap, ej_db)
+            assert naive_evaluate(q, ij_db) == expected
+
+    def test_fig9f_roundtrip(self):
+        rng = random.Random(2)
+        q = catalog.figure9f_ij()
+        positions = {
+            "A": {"R": 1, "S": 2},
+            "B": {"R": 2, "S": 1},
+            "C": {"R": 1},
+        }
+        for trial in range(15):
+            n = rng.randint(1, 6)
+            d_r = {
+                tuple(rng.randrange(3) for _ in range(4)) for _ in range(n)
+            }  # A1, B1, B2, C1
+            d_s = {
+                tuple(rng.randrange(3) for _ in range(3)) for _ in range(n)
+            }  # A1, A2, B1
+            ej_db = Database(
+                [
+                    Relation("R", ("A1", "B1", "B2", "C1"), d_r),
+                    Relation("S", ("A1", "A2", "B1"), d_s),
+                ]
+            )
+            expected = any(
+                a1 == a1s and b1 == b1s
+                for (a1, b1, b2, c1) in d_r
+                for (a1s, a2, b1s) in d_s
+            )
+            ij_db = backward_reduce(q, positions, ej_db)
+            assert naive_evaluate(q, ij_db) == expected, trial
+
+
+class TestValidation:
+    def test_self_join_rejected(self):
+        q = parse_query("R([A]) ∧ R([A])")
+        db = Database([Relation("R", ("A1",), [("0",)])])
+        with pytest.raises(ValueError):
+            backward_database(q, {"A": {"R": 1, "R#2": 2}}, db)
+
+    def test_arity_mismatch_rejected(self):
+        q = catalog.figure9f_ij()
+        positions = {
+            "A": {"R": 1, "S": 2},
+            "B": {"R": 2, "S": 1},
+            "C": {"R": 1},
+        }
+        db = Database(
+            [
+                Relation("R", ("A1", "B1"), [("0", "1")]),
+                Relation("S", ("A1", "A2", "B1"), [("0", "1", "0")]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            backward_database(q, positions, db)
+
+    def test_mixed_widths_rejected(self):
+        q = catalog.figure9f_ij()
+        positions = {
+            "A": {"R": 1, "S": 2},
+            "B": {"R": 2, "S": 1},
+            "C": {"R": 1},
+        }
+        db = Database(
+            [
+                Relation("R", ("A1", "B1", "B2", "C1"), [("0", "1", "10", "1")]),
+                Relation("S", ("A1", "A2", "B1"), [("0", "1", "0")]),
+            ]
+        )
+        with pytest.raises(ValueError):
+            backward_database(q, positions, db)

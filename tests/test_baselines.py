@@ -1,0 +1,170 @@
+"""Baseline evaluator tests: naive oracle internals, binary join plans,
+plane sweep, and the adversarial instances."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    BinaryJoinPlan,
+    binary_join_evaluate,
+    naive_count,
+    naive_evaluate,
+    sweep_join,
+    sweep_join_count,
+)
+from repro.core.baselines import hard_instance_blowup
+from repro.engine import Database, Relation
+from repro.intervals import Interval
+from repro.queries import catalog, parse_query
+from repro.workloads import quadratic_intermediate_triangle
+
+
+def rand_interval(rng, dom=10, maxlen=4):
+    lo = rng.randint(0, dom)
+    return Interval(lo, lo + rng.randint(0, maxlen))
+
+
+def rand_db(rng, query, n):
+    db = Database()
+    for atom in query.atoms:
+        rows = {
+            tuple(rand_interval(rng) for _ in atom.variables)
+            for _ in range(n)
+        }
+        db.add(Relation(atom.relation, atom.variable_names, rows))
+    return db
+
+
+class TestSweepJoin:
+    def test_brute_force_small(self):
+        left = [(Interval(0, 2), "a"), (Interval(5, 6), "b")]
+        right = [(Interval(1, 5), "x"), (Interval(7, 9), "y")]
+        got = set(sweep_join(left, right))
+        assert got == {("a", "x"), ("b", "x")}
+
+    def test_touching_endpoints_match(self):
+        left = [(Interval(0, 2), 1)]
+        right = [(Interval(2, 4), 2)]
+        assert list(sweep_join(left, right)) == [(1, 2)]
+
+    def test_empty_sides(self):
+        assert list(sweep_join([], [(Interval(0, 1), 1)])) == []
+        assert sweep_join_count([(Interval(0, 1), 1)], []) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 6)), max_size=15
+        ),
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 6)), max_size=15
+        ),
+    )
+    def test_property_matches_brute_force(self, raw_left, raw_right):
+        left = [
+            (Interval(lo, lo + ln), i) for i, (lo, ln) in enumerate(raw_left)
+        ]
+        right = [
+            (Interval(lo, lo + ln), j)
+            for j, (lo, ln) in enumerate(raw_right)
+        ]
+        expected = {
+            (i, j)
+            for xi, i in left
+            for xj, j in right
+            if xi.intersects(xj)
+        }
+        assert set(sweep_join(left, right)) == expected
+
+
+class TestNaiveOracle:
+    def test_type_check(self):
+        q = parse_query("R([A])")
+        db = Database([Relation("R", ("A",), [(3,)])])
+        with pytest.raises(TypeError):
+            naive_evaluate(q, db)
+
+    def test_point_variables(self):
+        q = parse_query("R([A], K) ∧ S([A], K)")
+        db = Database(
+            [
+                Relation("R", ("A", "K"), [(Interval(0, 2), 7)]),
+                Relation("S", ("A", "K"), [(Interval(1, 3), 7)]),
+            ]
+        )
+        assert naive_evaluate(q, db)
+        db2 = Database(
+            [
+                Relation("R", ("A", "K"), [(Interval(0, 2), 7)]),
+                Relation("S", ("A", "K"), [(Interval(1, 3), 8)]),
+            ]
+        )
+        assert not naive_evaluate(q, db2)
+
+    def test_count_simple(self):
+        q = parse_query("R([A]) ∧ S([A])")
+        db = Database(
+            [
+                Relation(
+                    "R", ("A",), [(Interval(0, 10),), (Interval(20, 30),)]
+                ),
+                Relation(
+                    "S", ("A",), [(Interval(5, 25),), (Interval(40, 50),)]
+                ),
+            ]
+        )
+        # [0,10]x[5,25] and [20,30]x[5,25] intersect
+        assert naive_count(q, db) == 2
+
+
+class TestBinaryJoinPlan:
+    def test_matches_naive(self):
+        rng = random.Random(0)
+        for factory in [catalog.triangle_ij, catalog.figure9f_ij]:
+            q = factory()
+            for trial in range(12):
+                db = rand_db(rng, q, rng.randint(1, 7))
+                assert binary_join_evaluate(q, db) == naive_evaluate(q, db)
+
+    def test_custom_order(self):
+        rng = random.Random(1)
+        q = catalog.triangle_ij()
+        db = rand_db(rng, q, 6)
+        for order in [["R", "S", "T"], ["T", "S", "R"], ["S", "T", "R"]]:
+            assert BinaryJoinPlan(q, order).evaluate(db) == naive_evaluate(
+                q, db
+            )
+
+    def test_invalid_order(self):
+        q = catalog.triangle_ij()
+        with pytest.raises(ValueError):
+            BinaryJoinPlan(q, ["R", "S"])
+
+    def test_intermediate_sizes_recorded(self):
+        q = catalog.triangle_ij()
+        db = quadratic_intermediate_triangle(8)
+        plan = BinaryJoinPlan(q, ["R", "S", "T"])
+        sizes = plan.intermediate_sizes(db)
+        assert len(sizes) == 3
+        assert sizes[0] == 8
+        assert sizes[1] == 64  # the quadratic blowup
+        assert sizes[2] == 0   # the final answer is empty
+
+
+class TestQuadraticInstance:
+    def test_answer_is_false(self):
+        db = quadratic_intermediate_triangle(6)
+        q = catalog.triangle_ij()
+        assert not naive_evaluate(q, db)
+        from repro.core import evaluate_ij
+
+        assert not evaluate_ij(q, db)
+
+    def test_blowup_is_quadratic(self):
+        q = catalog.triangle_ij()
+        for n in [4, 8, 16]:
+            db = quadratic_intermediate_triangle(n)
+            sizes = BinaryJoinPlan(q, ["R", "S", "T"]).intermediate_sizes(db)
+            assert hard_instance_blowup(sizes, n) == n  # n^2 / n

@@ -1,0 +1,100 @@
+"""Differential tests for the classical binary join algorithms."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import sweep_join
+from repro.core.classical_joins import forward_scan_join, partition_join
+from repro.intervals import Interval
+from repro.intervals.interval_tree import index_join
+
+
+def random_items(rng, n, domain=50, max_len=10):
+    out = []
+    for i in range(n):
+        lo = rng.randint(0, domain)
+        out.append((Interval(lo, lo + rng.randint(0, max_len)), i))
+    return out
+
+
+ALGORITHMS = {
+    "sweep": sweep_join,
+    "forward_scan": forward_scan_join,
+    "partition": partition_join,
+    "index": index_join,
+}
+
+
+class TestAllAlgorithmsAgree:
+    def test_random_instances(self):
+        rng = random.Random(0)
+        for trial in range(20):
+            left = random_items(rng, rng.randint(0, 25))
+            right = random_items(rng, rng.randint(0, 25))
+            expected = {
+                (i, j)
+                for x, i in left
+                for y, j in right
+                if x.intersects(y)
+            }
+            for name, algorithm in ALGORITHMS.items():
+                got = list(algorithm(left, right))
+                assert len(got) == len(set(got)), (name, trial, "dups")
+                assert set(got) == expected, (name, trial)
+
+    def test_identical_intervals(self):
+        left = [(Interval(0, 5), f"l{i}") for i in range(4)]
+        right = [(Interval(0, 5), f"r{i}") for i in range(4)]
+        for name, algorithm in ALGORITHMS.items():
+            assert len(list(algorithm(left, right))) == 16, name
+
+    def test_touching_endpoints(self):
+        left = [(Interval(0, 2), "a")]
+        right = [(Interval(2, 4), "b")]
+        for name, algorithm in ALGORITHMS.items():
+            assert list(algorithm(left, right)) == [("a", "b")], name
+
+    def test_point_heavy(self):
+        rng = random.Random(1)
+        left = [(Interval.point(rng.randint(0, 10)), i) for i in range(20)]
+        right = [(Interval.point(rng.randint(0, 10)), j) for j in range(20)]
+        expected = {
+            (i, j)
+            for x, i in left
+            for y, j in right
+            if x.intersects(y)
+        }
+        for name, algorithm in ALGORITHMS.items():
+            assert set(algorithm(left, right)) == expected, name
+
+
+class TestPartitionJoinSpecifics:
+    def test_cell_count_override(self):
+        rng = random.Random(2)
+        left = random_items(rng, 15)
+        right = random_items(rng, 15)
+        expected = set(sweep_join(left, right))
+        for cells in [1, 2, 7, 50]:
+            got = list(partition_join(left, right, cells=cells))
+            assert len(got) == len(set(got)), cells
+            assert set(got) == expected, cells
+
+    def test_empty_sides(self):
+        assert list(partition_join([], [(Interval(0, 1), 1)])) == []
+        assert list(forward_scan_join([], [])) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 30), st.integers(0, 8)), max_size=12),
+    st.lists(st.tuples(st.integers(0, 30), st.integers(0, 8)), max_size=12),
+)
+def test_property_all_agree(raw_left, raw_right):
+    left = [(Interval(lo, lo + ln), i) for i, (lo, ln) in enumerate(raw_left)]
+    right = [(Interval(lo, lo + ln), j) for j, (lo, ln) in enumerate(raw_right)]
+    reference = set(sweep_join(left, right))
+    assert set(forward_scan_join(left, right)) == reference
+    partition_result = list(partition_join(left, right))
+    assert set(partition_result) == reference
+    assert len(partition_result) == len(set(partition_result))

@@ -1,0 +1,80 @@
+"""CLI tests (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analyze_args(self):
+        args = build_parser().parse_args(["analyze", "R([A])", "--no-widths"])
+        assert args.command == "analyze"
+        assert args.no_widths
+
+
+class TestCommands:
+    def test_analyze(self, capsys):
+        code = main(["analyze", "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ij-width: 3/2" in out
+        assert "berge cycle" in out
+
+    def test_analyze_no_widths(self, capsys):
+        code = main(["analyze", "R([A],[B]) ∧ S([A],[B])", "--no-widths"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "O(N polylog N)" in out
+
+    def test_evaluate_with_check_and_count(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])",
+                "--n", "6", "--seed", "3", "--check", "--count",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Q(D) =" in out
+        assert "[OK]" in out
+        assert "#witnesses" in out
+
+    def test_evaluate_workloads(self, capsys):
+        for workload in ["random", "temporal", "points"]:
+            code = main(
+                [
+                    "evaluate", "R([A]) ∧ S([A])",
+                    "--n", "10", "--workload", workload,
+                ]
+            )
+            assert code == 0
+        assert "Q(D)" in capsys.readouterr().out
+
+    def test_reduce_default_and_factored(self, capsys):
+        code = main(
+            ["reduce", "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])", "--n", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "EJ disjuncts: 8" in out
+        code = main(
+            [
+                "reduce", "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])",
+                "--n", "10", "--factored",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "factored (Id)" in out
+
+    def test_catalog(self, capsys):
+        code = main(["catalog"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "triangle" in out
+        assert "NOT iota" in out and "iota" in out

@@ -1,0 +1,142 @@
+"""Parametric query-family tests: classification and width properties
+across k — the dichotomy at scale, plus structural width theorems
+verified empirically."""
+
+import math
+import random
+
+import pytest
+
+from repro.hypergraph import (
+    Hypergraph,
+    is_alpha_acyclic,
+    is_berge_acyclic,
+    is_iota_acyclic,
+    tau,
+)
+from repro.queries import catalog
+from repro.queries.catalog import cycle_ij
+from repro.widths import (
+    fractional_hypertree_width,
+    ij_width,
+    submodular_width,
+)
+
+
+class TestFamilyClassification:
+    @pytest.mark.parametrize("k", [3, 4, 5, 6])
+    def test_cycles_not_iota(self, k):
+        q = cycle_ij(k)
+        assert not is_iota_acyclic(q.hypergraph())
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_cliques_not_iota(self, k):
+        q = catalog.clique_ij(k)
+        assert not is_iota_acyclic(q.hypergraph())
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5, 8])
+    def test_paths_berge_acyclic(self, k):
+        q = catalog.path_ij(k)
+        h = q.hypergraph()
+        assert is_berge_acyclic(h)
+        assert is_iota_acyclic(h)
+
+    @pytest.mark.parametrize("k", [1, 2, 4, 6])
+    def test_stars_berge_acyclic(self, k):
+        q = catalog.star_ij(k)
+        assert is_berge_acyclic(q.hypergraph())
+
+    def test_cycle_ij_rejects_small(self):
+        with pytest.raises(ValueError):
+            cycle_ij(2)
+
+
+class TestIjwOfCycleFamily:
+    """ijw of the IJ k-cycle: each variable is 2-way, singletons drop,
+    every reduced hypergraph is the EJ k-cycle, so ijw = subw(C_k)
+    = 2 - 1/ceil(k/2)."""
+
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_cycle_ijw(self, k):
+        q = cycle_ij(k)
+        got = ij_width(q.hypergraph(), q.interval_variable_names())
+        expected = 2 - 1 / -(-k // 2)
+        assert math.isclose(got, expected, abs_tol=1e-5), k
+
+
+class TestWidthTheorems:
+    """Structural facts checked empirically on random hypergraphs."""
+
+    def _random_hypergraphs(self, seed, count, max_vertices=5):
+        rng = random.Random(seed)
+        out = []
+        vertices = list("ABCDE")[:max_vertices]
+        for _ in range(count):
+            edges = {}
+            for i in range(rng.randint(1, 4)):
+                edges[f"e{i}"] = rng.sample(vertices, rng.randint(1, 3))
+            out.append(Hypergraph(edges))
+        return out
+
+    def test_subw_one_iff_alpha_acyclic(self):
+        """subw(H) = 1 characterises α-acyclicity (the EJ analogue of
+        the paper's ijw = 1 iff ι-acyclic)."""
+        for h in self._random_hypergraphs(0, 40):
+            subw = submodular_width(h)
+            if is_alpha_acyclic(h):
+                assert math.isclose(subw, 1.0, abs_tol=1e-5), h
+            else:
+                assert subw > 1.0 + 1e-5, h
+
+    def test_fhtw_one_iff_alpha_acyclic(self):
+        for h in self._random_hypergraphs(1, 40):
+            fhtw = fractional_hypertree_width(h)
+            if is_alpha_acyclic(h):
+                assert math.isclose(fhtw, 1.0, abs_tol=1e-5), h
+            else:
+                assert fhtw > 1.0 + 1e-5, h
+
+    def test_ijw_one_iff_iota_acyclic(self):
+        """Theorem 6.6 both ways at the width level: ijw(H) = 1 exactly
+        for ι-acyclic hypergraphs (small random IJ hypergraphs)."""
+        rng = random.Random(2)
+        vertices = list("ABC")
+        checked = 0
+        for _ in range(25):
+            edges = {}
+            for i in range(rng.randint(1, 3)):
+                edges[f"e{i}"] = rng.sample(vertices, rng.randint(1, 2))
+            h = Hypergraph(edges)
+            # keep tau manageable
+            if any(h.degree(v) > 3 for v in h.vertices):
+                continue
+            ijw = ij_width(h)
+            if is_iota_acyclic(h):
+                assert math.isclose(ijw, 1.0, abs_tol=1e-5), edges
+            else:
+                assert ijw > 1.0 + 1e-5, edges
+            checked += 1
+        assert checked >= 10
+
+    def test_ijw_at_least_ej_subw(self):
+        """Point intervals embed the EJ query into the IJ query, so
+        ijw(H) >= subw(H read as an EJ query) — checked on the catalog."""
+        cases = [
+            catalog.triangle_ij(),
+            catalog.figure9c_ij(),
+            catalog.figure9f_ij(),
+        ]
+        for q in cases:
+            h = q.hypergraph()
+            ijw = ij_width(h, q.interval_variable_names())
+            ej_subw = submodular_width(h)
+            assert ijw >= ej_subw - 1e-6, q.name
+
+    def test_tau_members_at_least_as_many_vertices(self):
+        """Every hypergraph in τ(H) replaces each interval vertex by at
+        least one fresh vertex; edge counts are preserved."""
+        q = catalog.figure9c_ij()
+        h = q.hypergraph()
+        for member in tau(h, q.interval_variable_names()):
+            assert member.num_edges == h.num_edges
+            assert member.num_vertices >= h.num_vertices

@@ -1,0 +1,130 @@
+"""FAQ-AI comparator tests (Appendix F, Tables 1-3)."""
+
+import random
+
+from repro.core import (
+    IntervalPairIndex,
+    faqai_triangle_evaluate,
+    inequality_pairs,
+    naive_evaluate,
+    pair_partitions_with_witnesses,
+    relaxed_width_lower_bound,
+)
+from repro.core.faqai import quotient_is_forest, set_partitions
+from repro.engine import Database, Relation
+from repro.intervals import Interval
+from repro.queries import catalog
+
+
+class TestInequalityEncoding:
+    def test_triangle_pairs(self):
+        q = catalog.triangle_ij()
+        pairs = inequality_pairs(q)
+        assert pairs == {
+            frozenset({"R", "S"}),
+            frozenset({"S", "T"}),
+            frozenset({"R", "T"}),
+        }
+
+    def test_clique4_pairs_complete(self):
+        q = catalog.clique4_ij()
+        pairs = inequality_pairs(q)
+        # every pair of the six relations shares a variable? no —
+        # exactly the pairs sharing one of A,B,C,D
+        assert len(pairs) == 12
+
+
+class TestSetPartitions:
+    def test_bell_numbers(self):
+        assert len(list(set_partitions(["a"]))) == 1
+        assert len(list(set_partitions(list("ab")))) == 2
+        assert len(list(set_partitions(list("abc")))) == 5
+        assert len(list(set_partitions(list("abcd")))) == 15
+        assert len(list(set_partitions(list("abcdef")))) == 203
+
+    def test_partitions_cover(self):
+        for partition in set_partitions(list("abc")):
+            flat = sorted(x for part in partition for x in part)
+            assert flat == ["a", "b", "c"]
+
+
+class TestRelaxedWidths:
+    def test_table1_exponents(self):
+        """Table 1/2: FAQ-AI exponents 2 (triangle), 2 (LW4), 3 (4-clique)."""
+        assert relaxed_width_lower_bound(catalog.triangle_ij()) == 2
+        assert relaxed_width_lower_bound(catalog.loomis_whitney4_ij()) == 2
+        assert relaxed_width_lower_bound(catalog.clique4_ij()) == 3
+
+    def test_table3_pair_partitions(self):
+        """Table 3: all 15 pairings of the 4-clique's six relations have
+        a cycle of inequalities."""
+        rows = pair_partitions_with_witnesses(catalog.clique4_ij())
+        assert len(rows) == 15
+        for partition, witness in rows:
+            assert sorted(len(p) for p in partition) == [2, 2, 2]
+            assert len(witness) >= 3
+
+    def test_quotient_forest_logic(self):
+        pairs = {
+            frozenset({"R", "S"}),
+            frozenset({"S", "T"}),
+            frozenset({"R", "T"}),
+        }
+        ok, witness = quotient_is_forest([["R", "S"], ["T"]], pairs)
+        assert ok and witness is None
+        bad, witness = quotient_is_forest([["R"], ["S"], ["T"]], pairs)
+        assert not bad and witness is not None and len(witness) == 3
+
+
+class TestIntervalPairIndex:
+    def test_matches_brute_force(self):
+        rng = random.Random(0)
+        for trial in range(20):
+            n = rng.randint(1, 20)
+            tuples = []
+            for _ in range(n):
+                a_lo = rng.randint(0, 20)
+                c_lo = rng.randint(0, 20)
+                tuples.append(
+                    (
+                        Interval(a_lo, a_lo + rng.randint(0, 5)),
+                        Interval(c_lo, c_lo + rng.randint(0, 5)),
+                    )
+                )
+            index = IntervalPairIndex(tuples)
+            for _ in range(25):
+                qa_lo = rng.randint(-2, 22)
+                qc_lo = rng.randint(-2, 22)
+                qa = Interval(qa_lo, qa_lo + rng.randint(0, 5))
+                qc = Interval(qc_lo, qc_lo + rng.randint(0, 5))
+                expected = any(
+                    a.intersects(qa) and c.intersects(qc) for a, c in tuples
+                )
+                assert index.exists(qa, qc) == expected, (trial, qa, qc)
+
+    def test_empty_index(self):
+        index = IntervalPairIndex([])
+        assert not index.exists(Interval(0, 1), Interval(0, 1))
+
+
+class TestFaqaiTriangle:
+    def test_matches_naive(self):
+        rng = random.Random(5)
+        q = catalog.triangle_ij()
+        for trial in range(20):
+            n = rng.randint(1, 8)
+            db = Database()
+            for name, sch in [
+                ("R", ("A", "B")),
+                ("S", ("B", "C")),
+                ("T", ("A", "C")),
+            ]:
+                rows = set()
+                for _ in range(n):
+                    row = []
+                    for _ in sch:
+                        lo = rng.randint(0, 10)
+                        row.append(Interval(lo, lo + rng.randint(0, 4)))
+                    rows.add(tuple(row))
+                db.add(Relation(name, sch, rows))
+            assert faqai_triangle_evaluate(db) == naive_evaluate(q, db), trial

@@ -1,0 +1,257 @@
+"""Forward reduction tests (Section 4): Theorem 4.13 equivalence,
+Lemma 4.10 size bounds, and the Section 1.1 triangle structure."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.baselines import naive_evaluate
+from repro.engine import Database, Relation, evaluate_ej
+from repro.intervals import Interval
+from repro.queries import catalog, parse_query
+from repro.reduction import forward_reduce
+
+
+def rand_interval(rng, dom=12, maxlen=4):
+    lo = rng.randint(0, dom)
+    return Interval(lo, lo + rng.randint(0, maxlen))
+
+
+def rand_db(rng, query, n, dom=12, maxlen=4):
+    db = Database()
+    for atom in query.atoms:
+        rows = set()
+        for _ in range(n):
+            row = []
+            for v in atom.variables:
+                if v.is_interval:
+                    row.append(rand_interval(rng, dom, maxlen))
+                else:
+                    row.append(rng.randint(0, 5))
+            rows.add(tuple(row))
+        db.add(Relation(atom.relation, atom.variable_names, rows))
+    return db
+
+
+class TestTriangleStructure:
+    """Section 1.1: the eight EJ queries of the triangle reduction."""
+
+    def setup_method(self):
+        rng = random.Random(0)
+        self.q = catalog.triangle_ij()
+        self.db = rand_db(rng, self.q, 5)
+        self.result = forward_reduce(self.q, self.db)
+
+    def test_eight_disjuncts(self):
+        assert len(self.result.ej_queries) == 8
+
+    def test_all_disjuncts_are_ej(self):
+        for eq in self.result.ej_queries:
+            assert eq.is_ej
+
+    def test_schemas_match_paper(self):
+        """Each relation appears in 4 variants: (A-parts, B-parts) in
+        {1,2}² — the R_{i;j} of Section 1.1."""
+        variant_names = set(self.result.database.relation_names)
+        for rel in ["R", "S", "T"]:
+            variants = {n for n in variant_names if n.startswith(f"{rel}~")}
+            assert len(variants) == 4, (rel, variants)
+
+    def test_central_bag_variables_shared(self):
+        """Every disjunct contains A1, B1, C1 in the appropriate atoms
+        (the central bag of Figure 2)."""
+        for eq in self.result.ej_queries:
+            atom_vars = {
+                a.label: set(a.variable_names) for a in eq.atoms
+            }
+            assert {"A1", "B1"} <= atom_vars["R"]
+            assert {"B1", "C1"} <= atom_vars["S"]
+            assert {"A1", "C1"} <= atom_vars["T"]
+
+    def test_segment_trees_per_variable(self):
+        assert set(self.result.segment_trees) == {"A", "B", "C"}
+
+
+class TestEquivalence:
+    """Theorem 4.13 on randomised instances for several query shapes."""
+
+    QUERIES = [
+        catalog.triangle_ij,
+        catalog.figure9c_ij,
+        catalog.figure9d_ij,
+        catalog.figure9e_ij,
+        catalog.figure9f_ij,
+        lambda: parse_query("Q2a := R([A],[B]) ∧ S([A],[B])"),
+        lambda: parse_query("Qk1 := R([A]) ∧ S([A]) ∧ T([A])"),
+    ]
+
+    def test_random_instances(self):
+        rng = random.Random(11)
+        for factory in self.QUERIES:
+            q = factory()
+            for trial in range(8):
+                db = rand_db(rng, q, rng.randint(1, 6))
+                expected = naive_evaluate(q, db)
+                result = forward_reduce(q, db)
+                got = any(
+                    evaluate_ej(eq, result.database, "generic")
+                    for eq in result.ej_queries
+                )
+                assert got == expected, (q.name, trial)
+
+    def test_point_intervals_degenerate_to_equality(self):
+        """With point intervals the IJ triangle behaves as the EJ
+        triangle (Section 1)."""
+        rng = random.Random(5)
+        q = catalog.triangle_ij()
+        for trial in range(10):
+            pairs = {
+                name: {
+                    (rng.randint(0, 3), rng.randint(0, 3)) for _ in range(5)
+                }
+                for name in "RST"
+            }
+            db = Database(
+                [
+                    Relation(
+                        name,
+                        sch,
+                        {
+                            (Interval.point(a), Interval.point(b))
+                            for a, b in pairs[name]
+                        },
+                    )
+                    for name, sch in [
+                        ("R", ("A", "B")),
+                        ("S", ("B", "C")),
+                        ("T", ("A", "C")),
+                    ]
+                ]
+            )
+            expected = any(
+                (a, b) in pairs["R"]
+                and (b, c) in pairs["S"]
+                and (a, c) in pairs["T"]
+                for a, b in pairs["R"]
+                for b2, c in pairs["S"]
+                if b == b2
+            )
+            result = forward_reduce(q, db)
+            got = any(
+                evaluate_ej(eq, result.database, "generic")
+                for eq in result.ej_queries
+            )
+            assert got == expected, trial
+
+    def test_eij_mixed_query(self):
+        """EIJ queries: point variables join by equality, interval
+        variables by intersection."""
+        rng = random.Random(6)
+        q = parse_query("Qm := R([A], K) ∧ S([A], K)")
+        for trial in range(10):
+            db = rand_db(rng, q, rng.randint(1, 7))
+            expected = naive_evaluate(q, db)
+            result = forward_reduce(q, db)
+            got = any(
+                evaluate_ej(eq, result.database, "generic")
+                for eq in result.ej_queries
+            )
+            assert got == expected, trial
+
+    def test_empty_relation(self):
+        q = catalog.triangle_ij()
+        db = Database(
+            [
+                Relation("R", ("A", "B"), []),
+                Relation("S", ("B", "C"), [(Interval(0, 1), Interval(0, 1))]),
+                Relation("T", ("A", "C"), [(Interval(0, 1), Interval(0, 1))]),
+            ]
+        )
+        result = forward_reduce(q, db)
+        assert not any(
+            evaluate_ej(eq, result.database, "generic")
+            for eq in result.ej_queries
+        )
+
+
+class TestLemma410Sizes:
+    """Transformed relation sizes are O(N log^i N) per variable part."""
+
+    def test_blowup_polylog(self):
+        rng = random.Random(7)
+        q = catalog.triangle_ij()
+        for n in [16, 64]:
+            db = rand_db(rng, q, n, dom=8 * n, maxlen=max(2, n // 4))
+            result = forward_reduce(q, db)
+            size = db.size
+            log = math.log2(max(size, 2))
+            # each variant has <= 2 interval variables with <= 2 parts:
+            # bound O(N log^2 N) with a generous constant
+            for name in result.database.relation_names:
+                rel = result.database[name]
+                assert len(rel) <= 20 * (size / 3) * log * log, (
+                    name,
+                    len(rel),
+                    size,
+                )
+
+    def test_leaf_variant_smaller_than_cp_variant(self):
+        """For i = k the leaf variant drops one log factor
+        (Lemma 4.10)."""
+        rng = random.Random(8)
+        q = parse_query("Qp := R([A]) ∧ S([A])")
+        db = rand_db(rng, q, 64, dom=300, maxlen=30)
+        result = forward_reduce(q, db)
+        # variant with 1 part at position 1 (CP) vs position-2 atom's
+        # 2-part leaf variant exist; CP variant >= leaf-variant/"k" size
+        sizes = {
+            name: len(result.database[name])
+            for name in result.database.relation_names
+        }
+        assert all(v > 0 for v in sizes.values())
+
+
+class TestSharedVariants:
+    def test_variant_count_triangle(self):
+        rng = random.Random(9)
+        q = catalog.triangle_ij()
+        db = rand_db(rng, q, 4)
+        result = forward_reduce(q, db)
+        # 3 relations x 4 variants each
+        assert len(result.database.relation_names) == 12
+
+    def test_variant_count_fig9c(self):
+        rng = random.Random(10)
+        q = catalog.figure9c_ij()
+        db = rand_db(rng, q, 4)
+        result = forward_reduce(q, db)
+        # R: A(2 ways) x B(3) x C(2) = 12; S: B(3) x C(2) = 6; T: A(2) x B(3) = 6
+        names = result.database.relation_names
+        assert sum(1 for n in names if n.startswith("R~")) == 12
+        assert sum(1 for n in names if n.startswith("S~")) == 6
+        assert sum(1 for n in names if n.startswith("T~")) == 6
+
+    def test_blowup_reported(self):
+        rng = random.Random(12)
+        q = catalog.triangle_ij()
+        db = rand_db(rng, q, 8)
+        result = forward_reduce(q, db)
+        assert result.blowup(db) >= 1.0
+
+
+@pytest.mark.slow
+class TestLw4Reduction:
+    def test_lw4_equivalence_small(self):
+        rng = random.Random(13)
+        q = catalog.loomis_whitney4_ij()
+        for trial in range(2):
+            db = rand_db(rng, q, 2, dom=6, maxlen=3)
+            expected = naive_evaluate(q, db)
+            result = forward_reduce(q, db)
+            assert len(result.ej_queries) == 1296
+            got = any(
+                evaluate_ej(eq, result.database, "generic")
+                for eq in result.ej_queries
+            )
+            assert got == expected, trial

@@ -1,0 +1,122 @@
+"""Non-Boolean IJ query tests (select / aggregate / top-k)."""
+
+import random
+
+import pytest
+
+from repro.core import naive_count, naive_witnesses
+from repro.core.full_queries import aggregate_ij, select_ij, top_k_ij
+from repro.engine import Database, Relation
+from repro.intervals import Interval
+from repro.queries import catalog
+
+
+def rand_db(rng, query, n, dom=10, maxlen=4):
+    db = Database()
+    for atom in query.atoms:
+        rows = set()
+        for _ in range(n):
+            row = []
+            for _ in atom.variables:
+                lo = rng.randint(0, dom)
+                row.append(Interval(lo, lo + rng.randint(0, maxlen)))
+            rows.add(tuple(row))
+        db.add(Relation(atom.relation, atom.variable_names, rows))
+    return db
+
+
+class TestSelect:
+    def test_projection_matches_naive(self):
+        rng = random.Random(0)
+        q = catalog.triangle_ij()
+        for trial in range(6):
+            db = rand_db(rng, q, rng.randint(1, 5))
+            got = select_ij(q, db, [("R", "A"), ("S", "C")])
+            expected = {
+                (w["R"][0], w["S"][1]) for w in naive_witnesses(q, db)
+            }
+            assert got.tuples == expected, trial
+            assert got.schema == ("R.A", "S.C")
+
+    def test_different_atoms_different_intervals(self):
+        """The same variable can surface with different intervals from
+        different atoms — the essence of intersection joins."""
+        q = catalog.triangle_ij()
+        db = Database(
+            [
+                Relation(
+                    "R", ("A", "B"), [(Interval(0, 10), Interval(0, 10))]
+                ),
+                Relation(
+                    "S", ("B", "C"), [(Interval(5, 15), Interval(0, 10))]
+                ),
+                Relation(
+                    "T", ("A", "C"), [(Interval(8, 20), Interval(2, 4))]
+                ),
+            ]
+        )
+        got = select_ij(q, db, [("R", "A"), ("T", "A")])
+        assert got.tuples == {(Interval(0, 10), Interval(8, 20))}
+
+    def test_limit(self):
+        rng = random.Random(1)
+        q = catalog.figure9f_ij()
+        for trial in range(6):
+            db = rand_db(rng, q, 5)
+            total = naive_count(q, db)
+            if total >= 2:
+                limited = select_ij(q, db, [("R", "A")], limit=1)
+                assert len(limited) <= 1
+                return
+        pytest.skip("no multi-witness instance found")
+
+
+class TestAggregates:
+    def test_count(self):
+        rng = random.Random(2)
+        q = catalog.triangle_ij()
+        db = rand_db(rng, q, 5)
+        assert aggregate_ij(q, db, "count") == naive_count(q, db)
+
+    def test_min_left_and_max_right(self):
+        rng = random.Random(3)
+        q = catalog.figure9f_ij()
+        for trial in range(8):
+            db = rand_db(rng, q, 4)
+            witnesses = list(naive_witnesses(q, db))
+            got_min = aggregate_ij(q, db, "min_left", over=("R", "A"))
+            got_max = aggregate_ij(q, db, "max_right", over=("R", "A"))
+            if not witnesses:
+                assert got_min is None and got_max is None
+                continue
+            a_idx = q.atom("R").variable_names.index("A")
+            expected_min = min(w["R"][a_idx].left for w in witnesses)
+            expected_max = max(w["R"][a_idx].right for w in witnesses)
+            assert got_min == expected_min, trial
+            assert got_max == expected_max, trial
+
+    def test_over_required(self):
+        q = catalog.triangle_ij()
+        db = rand_db(random.Random(4), q, 2)
+        with pytest.raises(ValueError):
+            aggregate_ij(q, db, "min_left")
+
+
+class TestTopK:
+    def test_longest_witness_first(self):
+        rng = random.Random(5)
+        q = catalog.figure9f_ij()
+        for trial in range(8):
+            db = rand_db(rng, q, 4)
+            witnesses = list(naive_witnesses(q, db))
+            if len(witnesses) < 2:
+                continue
+            a_idx = q.atom("R").variable_names.index("A")
+            ranked = top_k_ij(q, db, over=("R", "A"), k=len(witnesses))
+            lengths = []
+            for w in ranked:
+                mapping = dict(w)
+                lengths.append(mapping["R"][a_idx].length)
+            assert lengths == sorted(lengths, reverse=True), trial
+            return
+        pytest.skip("no multi-witness instance found")

@@ -1,0 +1,105 @@
+"""Hypergraph structure tests (Definitions A.1, A.5, A.6)."""
+
+from repro.hypergraph import Hypergraph, minimisation
+
+
+def h_triangle():
+    return Hypergraph({"R": ["A", "B"], "S": ["B", "C"], "T": ["A", "C"]})
+
+
+class TestBasics:
+    def test_vertices_and_edges(self):
+        h = h_triangle()
+        assert set(h.vertices) == {"A", "B", "C"}
+        assert h.num_edges == 3
+        assert h.edge("R") == frozenset({"A", "B"})
+
+    def test_multi_hypergraph_labels(self):
+        h = Hypergraph({"R": ["A", "B"], "S": ["A", "B"]})
+        assert h.num_edges == 2
+        assert h.edge("R") == h.edge("S")
+
+    def test_edges_containing_and_degree(self):
+        h = h_triangle()
+        assert set(h.edges_containing("A")) == {"R", "T"}
+        assert h.degree("B") == 2
+
+    def test_equality_and_hash(self):
+        assert h_triangle() == h_triangle()
+        assert hash(h_triangle()) == hash(h_triangle())
+        assert h_triangle() != Hypergraph({"R": ["A", "B"]})
+
+    def test_isolated_vertices_kept(self):
+        h = Hypergraph({"R": ["A"]}, vertices=["Z", "A"])
+        assert set(h.vertices) == {"Z", "A"}
+
+
+class TestDerivedGraphs:
+    def test_primal_graph(self):
+        h = Hypergraph({"R": ["A", "B", "C"], "S": ["C", "D"]})
+        g = h.primal_graph()
+        assert g.has_edge("A", "B") and g.has_edge("B", "C")
+        assert g.has_edge("C", "D")
+        assert not g.has_edge("A", "D")
+
+    def test_incidence_graph_bipartite(self):
+        h = h_triangle()
+        g = h.incidence_graph()
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 6
+        parts = {data["part"] for _, data in g.nodes(data=True)}
+        assert parts == {"vertex", "edge"}
+
+
+class TestInducedAndMinimisation:
+    def test_induced_edge_sets(self):
+        h = Hypergraph({"R": ["A", "B", "C"], "S": ["B", "C"], "T": ["D"]})
+        induced = h.induced_edge_sets({"B", "C", "D"})
+        assert frozenset({"B", "C"}) in induced
+        assert frozenset({"D"}) in induced
+        # empty intersections dropped; duplicates collapse
+        assert len(induced) == 2
+
+    def test_minimisation(self):
+        fam = [
+            frozenset({"A"}),
+            frozenset({"A", "B"}),
+            frozenset({"C"}),
+            frozenset({"A", "B"}),
+        ]
+        result = set(minimisation(fam))
+        assert result == {frozenset({"A", "B"}), frozenset({"C"})}
+
+
+class TestSingletonDropping:
+    def test_drop(self):
+        h = Hypergraph({"R": ["A", "B", "X"], "S": ["A", "B", "Y"]})
+        reduced = h.drop_singleton_vertices()
+        assert set(reduced.vertices) == {"A", "B"}
+        assert reduced.edge("R") == frozenset({"A", "B"})
+
+    def test_empty_edges_removed(self):
+        h = Hypergraph({"R": ["A", "B"], "S": ["Z"]})
+        reduced = h.drop_singleton_vertices()
+        assert "S" not in reduced.edges
+
+    def test_idempotent(self):
+        h = Hypergraph({"R": ["A", "B", "X"], "S": ["A", "B"]})
+        once = h.drop_singleton_vertices()
+        assert once.drop_singleton_vertices() == once
+
+    def test_structure_key_collapses(self):
+        h1 = Hypergraph({"R": ["A", "B", "X"], "S": ["A", "B"]})
+        h2 = Hypergraph({"R": ["A", "B", "Y"], "S": ["A", "B"]})
+        assert (
+            h1.drop_singleton_vertices().structure_key()
+            == h2.drop_singleton_vertices().structure_key()
+        )
+
+
+class TestRestrict:
+    def test_restrict(self):
+        h = Hypergraph({"R": ["A", "B", "C"], "S": ["C", "D"]})
+        r = h.restrict({"A", "B"})
+        assert r.edge("R") == frozenset({"A", "B"})
+        assert "S" not in r.edges

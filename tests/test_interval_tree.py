@@ -1,0 +1,119 @@
+"""Centered interval tree tests, cross-validated against brute force
+and the segment tree."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.intervals import Interval, SegmentTree
+from repro.intervals.interval_tree import IntervalTree, index_join
+
+
+def random_items(rng, n, domain=60, max_len=12):
+    out = []
+    for i in range(n):
+        lo = rng.randint(0, domain)
+        out.append((Interval(lo, lo + rng.randint(0, max_len)), i))
+    return out
+
+
+class TestStab:
+    def test_brute_force(self):
+        rng = random.Random(0)
+        items = random_items(rng, 40)
+        tree = IntervalTree(items)
+        for p in range(-5, 80):
+            expected = {i for x, i in items if x.contains_point(p)}
+            assert set(tree.stab(p)) == expected, p
+
+    def test_empty(self):
+        tree = IntervalTree([])
+        assert list(tree.stab(0)) == []
+        assert not tree.any_overlapping(Interval(0, 1))
+
+    def test_point_intervals(self):
+        items = [(Interval.point(5), "a"), (Interval.point(5), "b")]
+        tree = IntervalTree(items)
+        assert sorted(tree.stab(5)) == ["a", "b"]
+        assert list(tree.stab(4.999)) == []
+
+    def test_agrees_with_segment_tree(self):
+        rng = random.Random(1)
+        items = random_items(rng, 30)
+        itree = IntervalTree(items)
+        stree = SegmentTree([x for x, _ in items])
+        for x, i in items:
+            stree.insert(x, i)
+        for p in [0, 3.5, 17, 44, 61, -2]:
+            assert sorted(itree.stab(p)) == sorted(stree.stab(p)), p
+
+
+class TestOverlap:
+    def test_brute_force(self):
+        rng = random.Random(2)
+        items = random_items(rng, 35)
+        tree = IntervalTree(items)
+        for trial in range(60):
+            lo = rng.randint(-5, 70)
+            q = Interval(lo, lo + rng.randint(0, 15))
+            expected = {i for x, i in items if x.intersects(q)}
+            assert set(tree.overlapping(q)) == expected, q
+
+    def test_count_and_any(self):
+        items = [(Interval(0, 10), 1), (Interval(20, 30), 2)]
+        tree = IntervalTree(items)
+        assert tree.count_overlapping(Interval(5, 25)) == 2
+        assert tree.any_overlapping(Interval(11, 19)) is False
+
+    def test_nested_intervals(self):
+        items = [(Interval(i, 100 - i), i) for i in range(20)]
+        tree = IntervalTree(items)
+        assert set(tree.overlapping(Interval(50, 50))) == set(range(20))
+        assert set(tree.overlapping(Interval(0, 0))) == {0}
+
+
+class TestIndexJoin:
+    def test_matches_sweep(self):
+        from repro.core import sweep_join
+
+        rng = random.Random(3)
+        left = random_items(rng, 25)
+        right = random_items(rng, 25)
+        via_index = set(index_join(left, right))
+        via_sweep = set(sweep_join(left, right))
+        assert via_index == via_sweep
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 10)),
+        max_size=20,
+    ),
+    st.integers(-5, 55),
+)
+def test_stab_property(raw, point):
+    items = [
+        (Interval(lo, lo + ln), i) for i, (lo, ln) in enumerate(raw)
+    ]
+    tree = IntervalTree(items)
+    expected = sorted(i for x, i in items if x.contains_point(point))
+    assert sorted(tree.stab(point)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 40), st.integers(0, 10)),
+        max_size=20,
+    ),
+    st.tuples(st.integers(-5, 50), st.integers(0, 12)),
+)
+def test_overlap_property(raw, q):
+    items = [
+        (Interval(lo, lo + ln), i) for i, (lo, ln) in enumerate(raw)
+    ]
+    query = Interval(q[0], q[0] + q[1])
+    tree = IntervalTree(items)
+    expected = sorted(i for x, i in items if x.intersects(query))
+    assert sorted(tree.overlapping(query)) == expected

@@ -1,0 +1,177 @@
+"""Membership join tests (Section 7) and β-acyclicity lattice tests."""
+
+import random
+
+import pytest
+
+from repro.core import naive_count, naive_evaluate
+from repro.core.membership import (
+    coerce_membership_database,
+    count_membership,
+    evaluate_membership,
+)
+from repro.engine import Database, Relation
+from repro.hypergraph import (
+    Hypergraph,
+    is_alpha_acyclic,
+    is_gamma_acyclic,
+    is_iota_acyclic,
+)
+from repro.hypergraph.acyclicity import is_beta_acyclic
+from repro.intervals import Interval
+from repro.queries import catalog, parse_query
+
+
+class TestMembershipCoercion:
+    def test_numbers_become_point_intervals(self):
+        q = parse_query("R([A]) ∧ S([A])")
+        db = Database(
+            [
+                Relation("R", ("A",), [(5,), (Interval(0, 10),)]),
+                Relation("S", ("A",), [(5.0,)]),
+            ]
+        )
+        coerced = coerce_membership_database(q, db)
+        values = {t[0] for t in coerced["R"].tuples}
+        assert all(isinstance(v, Interval) for v in values)
+        assert Interval.point(5.0) in values
+
+    def test_point_variable_columns_untouched(self):
+        q = parse_query("R([A], K)")
+        db = Database([Relation("R", ("A", "K"), [(3, "tag")])])
+        coerced = coerce_membership_database(q, db)
+        assert next(iter(coerced["R"].tuples))[1] == "tag"
+
+    def test_bad_values_rejected(self):
+        q = parse_query("R([A])")
+        db = Database([Relation("R", ("A",), [("oops",)])])
+        with pytest.raises(TypeError):
+            coerce_membership_database(q, db)
+
+
+class TestMembershipSemantics:
+    def test_point_in_interval(self):
+        """Membership: a point matches an interval iff it lies inside."""
+        q = parse_query("Events([T]) ∧ Windows([T])")
+        db = Database(
+            [
+                Relation("Events", ("T",), [(5,), (15,)]),
+                Relation("Windows", ("T",), [(Interval(0, 10),)]),
+            ]
+        )
+        assert evaluate_membership(q, db)
+        assert count_membership(q, db) == 1  # only 5 inside [0,10]
+
+    def test_point_point_equality(self):
+        q = parse_query("R([X]) ∧ S([X])")
+        db = Database(
+            [
+                Relation("R", ("X",), [(1,), (2,)]),
+                Relation("S", ("X",), [(2,), (3,)]),
+            ]
+        )
+        assert evaluate_membership(q, db)
+        assert count_membership(q, db) == 1
+
+    def test_three_way_membership(self):
+        """Two points and one interval on the same variable: both points
+        must coincide and lie inside the interval."""
+        q = parse_query("R([X]) ∧ S([X]) ∧ W([X])")
+        db = Database(
+            [
+                Relation("R", ("X",), [(4,), (7,)]),
+                Relation("S", ("X",), [(4,), (9,)]),
+                Relation("W", ("X",), [(Interval(0, 5),)]),
+            ]
+        )
+        assert evaluate_membership(q, db)
+        assert count_membership(q, db) == 1  # only X = 4
+
+    def test_random_mixed_instances(self):
+        rng = random.Random(0)
+        q = catalog.triangle_ij()
+        for trial in range(8):
+            db = Database()
+            for atom in q.atoms:
+                rows = set()
+                for _ in range(5):
+                    row = []
+                    for _ in atom.variables:
+                        if rng.random() < 0.4:
+                            row.append(rng.randint(0, 8))
+                        else:
+                            lo = rng.randint(0, 8)
+                            row.append(Interval(lo, lo + rng.randint(0, 4)))
+                    rows.add(tuple(row))
+                db.add(Relation(atom.relation, atom.variable_names, rows))
+            coerced = coerce_membership_database(q, db)
+            assert evaluate_membership(q, db) == naive_evaluate(q, coerced)
+            assert count_membership(q, db) == naive_count(q, coerced), trial
+
+    def test_point_columns_stay_small(self):
+        """The membership optimisation: point-interval columns have
+        singleton canonical partitions, so no CP fan-out."""
+        from repro.reduction import forward_reduce
+
+        q = parse_query("R([A]) ∧ S([A])")
+        n = 128
+        rng = random.Random(1)
+        db = Database(
+            [
+                Relation("R", ("A",), {(rng.randint(0, 10 * n),) for _ in range(n)}),
+                Relation(
+                    "S",
+                    ("A",),
+                    {
+                        (Interval(lo, lo + rng.randint(0, 50)),)
+                        for lo in rng.sample(range(10 * n), n)
+                    },
+                ),
+            ]
+        )
+        coerced = coerce_membership_database(q, db)
+        result = forward_reduce(q, coerced)
+        # R's CP variant has one node per point tuple: size ~= |R|
+        cp1 = result.database["R~A1"]
+        assert len(cp1) <= len(db["R"]) + 2
+
+
+def H(**edges):
+    return Hypergraph({k: list(v) for k, v in edges.items()})
+
+
+class TestBetaAcyclicity:
+    def test_known_examples(self):
+        assert is_beta_acyclic(H(R="AB", S="BC", T="ABC"))
+        assert not is_beta_acyclic(H(R="AB", S="BC", T="AC"))
+        assert not is_beta_acyclic(H(R="AB", S="BC", T="AC", U="ABC"))
+
+    def test_beta_strictly_between_gamma_and_alpha(self):
+        # beta but not gamma
+        witness = H(R="AB", S="BC", T="ABC")
+        assert is_beta_acyclic(witness)
+        assert not is_gamma_acyclic(witness)
+        # alpha but not beta
+        witness2 = H(R="AB", S="BC", T="AC", U="ABC")
+        assert is_alpha_acyclic(witness2)
+        assert not is_beta_acyclic(witness2)
+
+    def test_lattice_on_random(self):
+        rng = random.Random(5)
+        vertices = list("ABCDE")
+        for _ in range(60):
+            edges = {}
+            for i in range(rng.randint(1, 4)):
+                edges[f"e{i}"] = rng.sample(vertices, rng.randint(1, 4))
+            h = Hypergraph(edges)
+            if is_iota_acyclic(h):
+                assert is_gamma_acyclic(h)
+            if is_gamma_acyclic(h):
+                assert is_beta_acyclic(h), edges
+            if is_beta_acyclic(h):
+                assert is_alpha_acyclic(h), edges
+
+    def test_guard(self):
+        big = Hypergraph({f"e{i}": ["A", "B"] for i in range(15)})
+        with pytest.raises(ValueError):
+            is_beta_acyclic(big)

@@ -1,0 +1,143 @@
+"""Query model and parser tests."""
+
+import pytest
+
+from repro.queries import Atom, Query, catalog, ivar, make_query, parse_query, pvar
+
+
+class TestVariables:
+    def test_kinds(self):
+        assert ivar("A").is_interval
+        assert not pvar("A").is_interval
+        assert repr(ivar("A")) == "[A]"
+        assert repr(pvar("A")) == "A"
+
+    def test_equality(self):
+        assert ivar("A") == ivar("A")
+        assert ivar("A") != pvar("A")
+
+
+class TestAtoms:
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("R", "R", (ivar("A"), ivar("A")))
+
+    def test_variable_names(self):
+        a = Atom("R", "R", (ivar("A"), pvar("B")))
+        assert a.variable_names == ("A", "B")
+
+
+class TestQuery:
+    def test_kind_flags(self):
+        ij = parse_query("R([A],[B]) ∧ S([B],[C])")
+        assert ij.is_ij and not ij.is_ej
+        ej = parse_query("R(A,B) ∧ S(B,C)")
+        assert ej.is_ej and not ej.is_ij
+        eij = parse_query("R([A],B) ∧ S(B,[C])")
+        assert not eij.is_ij and not eij.is_ej
+
+    def test_mixed_kind_same_name_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("R([A]) ∧ S(A)")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Query((
+                Atom("R", "R", (ivar("A"),)),
+                Atom("R", "R", (ivar("B"),)),
+            ))
+
+    def test_self_join_auto_labels(self):
+        q = make_query([("R", [ivar("A")]), ("R", [ivar("B")])])
+        assert [a.label for a in q.atoms] == ["R", "R#2"]
+        assert not q.is_self_join_free
+
+    def test_atoms_containing(self):
+        q = catalog.triangle_ij()
+        assert [a.label for a in q.atoms_containing("A")] == ["R", "T"]
+        assert [a.label for a in q.atoms_containing("B")] == ["R", "S"]
+
+    def test_hypergraph(self):
+        q = catalog.triangle_ij()
+        h = q.hypergraph()
+        assert set(h.vertices) == {"A", "B", "C"}
+        assert h.edge("R") == frozenset({"A", "B"})
+        assert h.degree("A") == 2
+
+    def test_variables_order(self):
+        q = parse_query("R([B],[A]) ∧ S([A],[C])")
+        assert [v.name for v in q.variables] == ["B", "A", "C"]
+
+
+class TestParser:
+    def test_name_prefix(self):
+        q = parse_query("Foo := R([A])")
+        assert q.name == "Foo"
+
+    def test_separators(self):
+        for sep in ["∧", ",", "&&", "/\\"]:
+            q = parse_query(f"R([A]) {sep} S([A])")
+            assert len(q.atoms) == 2, sep
+
+    def test_point_and_interval(self):
+        q = parse_query("R([A], B)")
+        assert q.atoms[0].variables[0].is_interval
+        assert not q.atoms[0].variables[1].is_interval
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_query("R([A)")
+        with pytest.raises(ValueError):
+            parse_query("   ")
+
+
+class TestCatalog:
+    def test_triangle(self):
+        q = catalog.triangle_ij()
+        assert len(q.atoms) == 3
+        assert q.is_ij
+        assert all(len(a.variables) == 2 for a in q.atoms)
+
+    def test_lw4_structure(self):
+        q = catalog.loomis_whitney4_ij()
+        assert len(q.atoms) == 4
+        # every variable appears in exactly 3 of the 4 atoms
+        for v in q.variables:
+            assert len(q.atoms_containing(v.name)) == 3
+
+    def test_clique4_structure(self):
+        q = catalog.clique4_ij()
+        assert len(q.atoms) == 6
+        for v in q.variables:
+            assert len(q.atoms_containing(v.name)) == 3
+
+    def test_clique_generator_matches(self):
+        generic = catalog.clique_ij(4)
+        assert len(generic.atoms) == 6
+        assert len(generic.variables) == 4
+
+    def test_cycle_ej(self):
+        q = catalog.cycle_ej(5)
+        assert len(q.atoms) == 5
+        assert q.is_ej
+        # each variable in exactly two atoms
+        for v in q.variables:
+            assert len(q.atoms_containing(v.name)) == 2
+
+    def test_loomis_whitney_ej(self):
+        q = catalog.loomis_whitney_ej(4)
+        assert len(q.atoms) == 4
+        assert all(len(a.variables) == 3 for a in q.atoms)
+
+    def test_path_and_star(self):
+        p = catalog.path_ij(4)
+        assert len(p.atoms) == 4
+        s = catalog.star_ij(5)
+        assert len(s.atoms) == 5
+        assert len(s.atoms_containing("X")) == 5
+
+    def test_all_paper_queries_parse(self):
+        for name, factory in catalog.PAPER_IJ_QUERIES.items():
+            q = factory()
+            assert q.is_ij, name
+            assert len(q.atoms) >= 2, name
