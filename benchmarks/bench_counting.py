@@ -5,14 +5,14 @@ default vs factored encodings, and the witness-enumeration stream.
 """
 
 import pytest
-from conftest import fit_loglog_slope, print_table, time_scaling
+from conftest import bench_sizes, fit_loglog_slope, print_table, time_scaling
 
 from repro.core import count_ij, naive_count, witnesses_ij
 from repro.queries import catalog
 from repro.reduction.factored import count_ij_factored
 from repro.workloads import random_database
 
-NS = [16, 32, 64]
+NS = bench_sizes([16, 32, 64])
 
 
 def _db(n):

@@ -7,7 +7,7 @@ computed by plane sweep, the reduction, and the adaptive planner — all
 agreeing.
 """
 
-from conftest import print_table
+from conftest import bench_n, print_table
 
 from repro.core import count_ij, evaluate_ij, execute, sweep_join
 from repro.engine import Database, Relation
@@ -19,7 +19,7 @@ def test_temporal_triangle(benchmark):
     q = parse_query(
         "Deploy([W],[R]) ∧ Alert([W],[P]) ∧ Anomaly([R],[P])"
     )
-    db = temporal_database(q, 60, seed=2)
+    db = temporal_database(q, bench_n(60, 20), seed=2)
 
     def run():
         return evaluate_ij(q, db), count_ij(q, db)
@@ -36,7 +36,7 @@ def test_temporal_triangle(benchmark):
 
 def test_spatial_overlay_three_ways(benchmark):
     pair = parse_query("P([X],[Y]) ∧ F([X],[Y])")
-    n = 150
+    n = bench_n(150, 40)
     layers = {}
     for name, seed in [("P", 4), ("F", 5)]:
         rects = spatial_rectangles(n, seed=seed, extent=400.0, mean_side=25.0)

@@ -8,7 +8,7 @@ here: transformed database sizes and end-to-end Boolean runtimes.
 """
 
 import pytest
-from conftest import print_table
+from conftest import bench_n, bench_sizes, print_table, shape_assert
 
 from repro.core import evaluate_ij
 from repro.queries import catalog
@@ -16,7 +16,7 @@ from repro.reduction import forward_reduce, forward_reduce_factored
 from repro.reduction.factored import evaluate_ij_factored
 from repro.workloads import random_database
 
-NS = [32, 64, 128]
+NS = bench_sizes([32, 64, 128])
 
 
 @pytest.mark.slow
@@ -51,13 +51,13 @@ def test_encoding_sizes(benchmark):
     # the factored encoding must be smaller, increasingly so with n
     ratios = [r[2] / r[3] for r in rows]
     assert all(r > 1.0 for r in ratios)
-    assert ratios[-1] >= ratios[0] * 0.9
+    shape_assert(ratios[-1] >= ratios[0] * 0.9, ratios)
 
 
 @pytest.mark.slow
 def test_encoding_runtimes(benchmark):
     q = catalog.triangle_ij()
-    n = 96
+    n = bench_n(96, 24)
     db = random_database(q, n, seed=5, domain=20.0 * n, mean_length=8.0)
 
     def both():

@@ -9,14 +9,14 @@ Backward: ``|D₂| = O(|D̃₂|)`` — equality in our construction.
 import random
 
 import pytest
-from conftest import polylog_ratio, print_table
+from conftest import bench_n, bench_sizes, polylog_ratio, print_table, shape_assert
 
 from repro.engine import Database, Relation
 from repro.queries import catalog
 from repro.reduction import backward_reduce, forward_reduce
 from repro.workloads import random_database
 
-NS = [32, 64, 128, 256]
+NS = bench_sizes([32, 64, 128, 256])
 
 
 @pytest.mark.slow
@@ -50,7 +50,7 @@ def test_forward_blowup_polylog(benchmark):
     )
     # the normalised column must stay bounded (no polynomial blowup)
     normalised = [ratio / polylog_ratio(size, 2) for _, size, _, ratio in rows]
-    assert max(normalised) < 4 * min(normalised)
+    shape_assert(max(normalised) < 4 * min(normalised), normalised)
 
 
 def test_backward_size_preserved(benchmark):
@@ -92,7 +92,7 @@ def test_backward_size_preserved(benchmark):
             ]
         )
 
-    ej_db = build(200)
+    ej_db = build(bench_n(200, 50))
     ij_db = benchmark(lambda: backward_reduce(q, positions, ej_db))
     print_table(
         "backward reduction size |D2| vs |D~2| (Theorem 5.2)",

@@ -9,7 +9,7 @@ canonical-partition queries at realistic sizes, checking the
 import math
 import random
 
-from conftest import print_table
+from conftest import bench_n, bench_sizes, print_table
 
 from repro.intervals import Interval, SegmentTree
 
@@ -37,14 +37,14 @@ def _build_intervals(n, seed=0):
 
 
 def test_construction_speed(benchmark):
-    intervals = _build_intervals(4000)
+    intervals = _build_intervals(bench_n(4000, 500))
     tree = benchmark(lambda: SegmentTree(intervals))
     assert tree.size >= 2 * len(intervals)
 
 
 def test_canonical_partition_logarithmic(benchmark):
     rows = []
-    for n in [256, 1024, 4096]:
+    for n in bench_sizes([256, 1024, 4096]):
         intervals = _build_intervals(n, seed=n)
         tree = SegmentTree(intervals)
         sizes = [len(tree.canonical_partition(x)) for x in intervals[:200]]
@@ -58,7 +58,7 @@ def test_canonical_partition_logarithmic(benchmark):
         ["N", "tree height", "mean |CP|", "max |CP|"],
         rows,
     )
-    intervals = _build_intervals(4096, seed=1)
+    intervals = _build_intervals(bench_n(4096, 500), seed=1)
     tree = SegmentTree(intervals)
     benchmark(
         lambda: [tree.canonical_partition(x) for x in intervals[:100]]

@@ -8,7 +8,7 @@
 """
 
 import pytest
-from conftest import fit_loglog_slope, print_table, time_scaling
+from conftest import bench_sizes, fit_loglog_slope, print_table, shape_assert, time_scaling
 
 from repro.core import evaluate_ij, naive_evaluate
 from repro.queries import catalog
@@ -19,7 +19,7 @@ from repro.workloads import (
     random_database,
 )
 
-NS = [32, 64, 128, 256]
+NS = bench_sizes([32, 64, 128, 256])
 
 
 @pytest.mark.slow
@@ -60,8 +60,8 @@ def test_dichotomy_scaling(benchmark):
         "paper shape: iota-acyclic ~ N polylog N (slope near 1); "
         "non-iota >= N^(4/3) conditionally"
     )
-    assert slope_acyclic < 1.7  # linear + polylog drift at small N
-    assert slope_acyclic < slope_hard + 0.3
+    shape_assert(slope_acyclic < 1.7, slope_acyclic)  # linear + polylog drift
+    shape_assert(slope_acyclic < slope_hard + 0.3, (slope_acyclic, slope_hard))
 
 
 def test_theorem_66_embedding(benchmark):

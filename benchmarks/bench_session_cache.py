@@ -1,0 +1,109 @@
+"""Session layer: reduction caching and batched execution.
+
+The Theorem 4.15 pipeline pays its cost in the forward reduction;
+:class:`repro.core.QuerySession` computes it once per (canonical query,
+database) and serves every later — repeated or isomorphic — query from
+cache.  Measured here on a 3-atom IJ path query over ~2000 intervals:
+
+* cold vs warm ``evaluate`` on one session (acceptance: warm ≥ 5×
+  faster — in practice it is orders of magnitude);
+* ``evaluate_many`` over 20 isomorphic queries against the naive loop
+  that gives each query its own session: the batch performs exactly
+  one forward reduction, the loop performs twenty.
+"""
+
+import time
+
+from conftest import bench_n, print_table
+
+from repro.core import QuerySession
+from repro.queries import parse_query
+from repro.workloads import isomorphic_variants, random_database
+
+# 3 relations x N_PER_RELATION tuples x 2 interval columns ~ 2000
+# interval values in the database at full size.
+N_PER_RELATION = bench_n(334, 40)
+BATCH = 20
+
+
+def _path3():
+    return parse_query("Qp3 := R([A],[B]) ∧ S([B],[C]) ∧ T([C],[D])")
+
+
+def _db(query, n):
+    return random_database(query, n, seed=7, domain=20.0 * n, mean_length=8.0)
+
+
+def test_cold_vs_warm_evaluate(benchmark):
+    query = _path3()
+    db = _db(query, N_PER_RELATION)
+    session = QuerySession(db)
+
+    def cold_then_warm():
+        start = time.perf_counter()
+        first = session.evaluate(query, strategy="reduction")
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        second = session.evaluate(query, strategy="reduction")
+        warm = time.perf_counter() - start
+        return first, second, cold, warm
+
+    first, second, cold, warm = benchmark.pedantic(
+        cold_then_warm, rounds=1, iterations=1
+    )
+    speedup = cold / max(warm, 1e-9)
+    print_table(
+        f"session cache: 3-atom IJ path, |D| = {db.size} tuples "
+        f"(~{2 * db.size} intervals)",
+        ["cold evaluate", "warm evaluate", "speedup"],
+        [(f"{cold * 1e3:.1f}ms", f"{warm * 1e6:.1f}us", f"x{speedup:.0f}")],
+    )
+    assert first == second
+    assert session.stats.reductions == 1
+    # acceptance criterion: warm-cache >= 5x faster than cold
+    assert cold >= 5 * warm, (cold, warm)
+
+
+def test_batch_vs_loop_isomorphic(benchmark):
+    base = _path3()
+    queries = isomorphic_variants(base, BATCH, seed=3)
+    n = bench_n(120, 30)
+    db = _db(base, n)
+
+    def both():
+        batch_session = QuerySession(db)
+        start = time.perf_counter()
+        batch_answers = batch_session.evaluate_many(
+            queries, strategy="reduction"
+        )
+        batch_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        loop_answers = [
+            QuerySession(db).evaluate(q, strategy="reduction")
+            for q in queries
+        ]
+        loop_time = time.perf_counter() - start
+        return batch_session, batch_answers, batch_time, loop_answers, loop_time
+
+    session, batch_answers, batch_time, loop_answers, loop_time = (
+        benchmark.pedantic(both, rounds=1, iterations=1)
+    )
+    print_table(
+        f"evaluate_many vs per-query sessions ({BATCH} isomorphic "
+        f"3-atom queries, n={n}/relation)",
+        ["batch", "loop", "speedup", "batch reductions"],
+        [
+            (
+                f"{batch_time * 1e3:.1f}ms",
+                f"{loop_time * 1e3:.1f}ms",
+                f"x{loop_time / max(batch_time, 1e-9):.1f}",
+                session.stats.reductions,
+            )
+        ],
+    )
+    assert batch_answers == loop_answers
+    # acceptance criterion: the whole batch shares ONE forward reduction
+    assert session.stats.reductions == 1
+    # the loop reduces once per member; the batch must win outright
+    assert batch_time < loop_time, (batch_time, loop_time)

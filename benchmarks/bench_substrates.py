@@ -6,6 +6,7 @@ number; regressions here would distort all shape benchmarks.
 
 import random
 
+from conftest import bench_n
 from repro.engine import (
     Database,
     JoinAtom,
@@ -14,14 +15,14 @@ from repro.engine import (
     generic_join_count,
 )
 from repro.core import sweep_join_count
-from repro.intervals import Interval
 from repro.queries import parse_query
 from repro.workloads import temporal_sessions
 
 
 def test_sweep_join_10k(benchmark):
-    left = temporal_sessions(5000, seed=0)
-    right = temporal_sessions(5000, seed=1)
+    n = bench_n(5000, 600)
+    left = temporal_sessions(n, seed=0)
+    right = temporal_sessions(n, seed=1)
     count = benchmark(lambda: sweep_join_count(left, right))
     assert count > 0
 
@@ -65,7 +66,7 @@ def test_yannakakis_path(benchmark):
 def test_segment_tree_stab(benchmark):
     from repro.intervals import SegmentTree
 
-    sessions = temporal_sessions(3000, seed=2)
+    sessions = temporal_sessions(bench_n(3000, 600), seed=2)
     tree = SegmentTree([x for x, _ in sessions])
     for x, ident in sessions:
         tree.insert(x, ident)
@@ -76,8 +77,9 @@ def test_segment_tree_stab(benchmark):
 def test_forward_scan_join_10k(benchmark):
     from repro.core.classical_joins import forward_scan_join
 
-    left = temporal_sessions(5000, seed=3)
-    right = temporal_sessions(5000, seed=4)
+    n = bench_n(5000, 600)
+    left = temporal_sessions(n, seed=3)
+    right = temporal_sessions(n, seed=4)
     count = benchmark(lambda: sum(1 for _ in forward_scan_join(left, right)))
     assert count > 0
 
@@ -85,8 +87,9 @@ def test_forward_scan_join_10k(benchmark):
 def test_partition_join_10k(benchmark):
     from repro.core.classical_joins import partition_join
 
-    left = temporal_sessions(5000, seed=3)
-    right = temporal_sessions(5000, seed=4)
+    n = bench_n(5000, 600)
+    left = temporal_sessions(n, seed=3)
+    right = temporal_sessions(n, seed=4)
     count = benchmark(lambda: sum(1 for _ in partition_join(left, right)))
     assert count > 0
 
@@ -94,7 +97,8 @@ def test_partition_join_10k(benchmark):
 def test_interval_tree_index_join_10k(benchmark):
     from repro.intervals.interval_tree import index_join
 
-    left = temporal_sessions(2000, seed=3)
-    right = temporal_sessions(2000, seed=4)
+    n = bench_n(2000, 400)
+    left = temporal_sessions(n, seed=3)
+    right = temporal_sessions(n, seed=4)
     count = benchmark(lambda: sum(1 for _ in index_join(left, right)))
     assert count > 0

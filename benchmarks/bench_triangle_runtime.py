@@ -9,13 +9,13 @@ ours grows strictly slower than both quadratic baselines.
 """
 
 import pytest
-from conftest import fit_loglog_slope, print_table, time_scaling
+from conftest import bench_sizes, fit_loglog_slope, print_table, quick_mode, time_scaling
 
 from repro.core import BinaryJoinPlan, evaluate_ij, faqai_triangle_evaluate
 from repro.queries import catalog
 from repro.workloads import quadratic_intermediate_triangle
 
-NS = [24, 48, 96, 192]
+NS = bench_sizes([24, 48, 96, 192])
 
 
 def _measure():
@@ -61,6 +61,8 @@ def test_triangle_runtime_shape(benchmark):
         "paper shape: ours Õ(N^1.5) vs baselines Õ(N^2) — expect "
         "slope(ours) < slope(binary) and slope(ours) < slope(faqai)"
     )
+    if quick_mode():
+        return  # slopes on two tiny sizes are noise, not shape
     # shape assertions (generous: polylog factors + timer noise at small N)
     assert slope_binary > 1.6, slope_binary
     assert slope_faqai > 1.3, slope_faqai

@@ -5,6 +5,12 @@ Conventions: every benchmark prints the paper artifact it regenerates
 through the ``benchmark`` fixture.  Absolute numbers are pure-Python
 scale; the *shape* (who wins, exponent ordering, crossovers) is what is
 compared against the paper — see EXPERIMENTS.md.
+
+Smoke mode: ``pytest benchmarks/bench_x.py --quick`` shrinks input
+sizes (``bench_sizes`` / ``bench_n``) and skips the *statistical* shape
+assertions (``shape_assert``) that need full-size inputs to be stable.
+Exact combinatorial assertions still run, so CI catches API drift and
+broken math without paying full benchmark time.
 """
 
 from __future__ import annotations
@@ -14,6 +20,46 @@ import time
 from typing import Callable, Sequence
 
 import numpy as np
+
+QUICK = False
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: tiny inputs, statistical shape asserts skipped",
+    )
+
+
+def pytest_configure(config):
+    global QUICK
+    QUICK = bool(config.getoption("--quick", default=False))
+
+
+def quick_mode() -> bool:
+    """True when running under ``--quick``."""
+    return QUICK
+
+
+def bench_sizes(full: Sequence[int], keep: int = 2) -> list[int]:
+    """The scaling sizes to use: all of ``full``, or its first ``keep``
+    entries in quick mode."""
+    return list(full[:keep]) if QUICK else list(full)
+
+
+def bench_n(full: int, quick: int) -> int:
+    """A single size knob: ``full`` normally, ``quick`` under --quick."""
+    return quick if QUICK else full
+
+
+def shape_assert(condition: bool, message: object = "") -> None:
+    """Assert a statistical/shape claim — skipped in quick mode, where
+    sizes are too small for slopes and ratios to be meaningful."""
+    if QUICK:
+        return
+    assert condition, message
 
 
 def fit_loglog_slope(ns: Sequence[int], times: Sequence[float]) -> float:

@@ -49,7 +49,9 @@ from .engine import Database, Relation, count_ej, evaluate_ej
 from .reduction import backward_reduce, forward_reduce
 from .core import (
     IntersectionJoinEngine,
+    QuerySession,
     analyze_query,
+    canonical_form,
     count_ij,
     evaluate_ij,
     naive_count,
@@ -88,6 +90,8 @@ __all__ = [
     "backward_reduce",
     "forward_reduce",
     "IntersectionJoinEngine",
+    "QuerySession",
+    "canonical_form",
     "analyze_query",
     "count_ij",
     "evaluate_ij",

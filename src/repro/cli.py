@@ -7,10 +7,13 @@ Commands
     Structural classification: acyclicity flags, Berge-cycle witness,
     τ class structure with exact widths, ij-width, predicted runtime.
 
-``evaluate "<query>" --n 100 --seed 0 [--count] [--workload temporal]``
-    Generate a synthetic database and run the IJ engine (optionally
-    counting witnesses), cross-checking small instances against the
-    naive oracle.
+``evaluate "<query>" [...more queries] --n 100 --seed 0 [--count]
+[--repeat K] [--workload temporal]``
+    Generate a synthetic database and run the IJ engine through a
+    :class:`~repro.core.QuerySession` (optionally counting witnesses),
+    cross-checking small instances against the naive oracle.  Several
+    queries share one session — isomorphic ones share one reduction —
+    and ``--repeat`` re-runs the batch to show the warm-cache speedup.
 
 ``reduce "<query>" --n 50 [--factored]``
     Show the forward reduction: number of disjuncts, shared variants,
@@ -27,7 +30,8 @@ import sys
 import time
 from typing import Sequence
 
-from .core import analyze_query, count_ij, evaluate_ij, naive_evaluate
+from .core import QuerySession, analyze_query, naive_evaluate
+from .engine import Database
 from .queries import catalog as query_catalog
 from .queries import parse_query
 from .reduction import forward_reduce, forward_reduce_factored
@@ -57,9 +61,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p_eval = sub.add_parser("evaluate", help="evaluate on a synthetic database")
-    p_eval.add_argument("query")
+    p_eval.add_argument(
+        "query",
+        nargs="+",
+        help="one or more query texts; a batch shares one session cache",
+    )
     p_eval.add_argument("--n", type=int, default=50, help="tuples per relation")
     p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument(
+        "--repeat", type=int, default=1,
+        help="evaluate the batch this many times (cold vs warm cache)",
+    )
     p_eval.add_argument(
         "--workload", choices=sorted(WORKLOADS), default="random"
     )
@@ -91,26 +103,81 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _evaluation_database(queries, args: argparse.Namespace) -> Database:
+    """One database covering every relation referenced by the batch.
+
+    Every query must agree on each shared relation's schema (arity and
+    interval/point pattern); the first generated instance is shared.
+    """
+    patterns: dict[str, tuple] = {}
+    for query in queries:
+        for atom in query.atoms:
+            pattern = tuple(v.is_interval for v in atom.variables)
+            prior = patterns.setdefault(atom.relation, pattern)
+            if prior != pattern:
+                raise ValueError(
+                    f"relation {atom.relation} is used with incompatible "
+                    f"schemas across the batch (arity/interval pattern "
+                    f"{len(prior)}/{prior} vs {len(pattern)}/{pattern})"
+                )
+    db = Database()
+    for query in queries:
+        if all(atom.relation in db for atom in query.atoms):
+            continue
+        partial = WORKLOADS[args.workload](query, args.n, args.seed)
+        for relation in partial:
+            if relation.name not in db:
+                db.add(relation)
+    return db
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    query = parse_query(args.query)
-    db = WORKLOADS[args.workload](query, args.n, args.seed)
-    start = time.perf_counter()
-    answer = evaluate_ij(query, db)
-    elapsed = time.perf_counter() - start
+    queries = [parse_query(text) for text in args.query]
+    try:
+        db = _evaluation_database(queries, args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    session = QuerySession(db)
     print(f"|D| = {db.size} tuples ({args.workload} workload)")
-    print(f"Q(D) = {answer}   [{elapsed * 1e3:.1f} ms]")
-    if args.check:
-        expected = naive_evaluate(query, db)
-        status = "OK" if expected == answer else "MISMATCH"
-        print(f"naive oracle: {expected}   [{status}]")
-        if expected != answer:  # pragma: no cover - defensive
-            return 1
-    if args.count:
+    timings: list[float] = []
+    answers: list[bool] = []
+    for _ in range(max(args.repeat, 1)):
         start = time.perf_counter()
-        total = count_ij(query, db)
-        elapsed = time.perf_counter() - start
-        print(f"#witnesses = {total}   [{elapsed * 1e3:.1f} ms]")
-    return 0
+        answers = session.evaluate_many(queries, strategy="reduction")
+        timings.append(time.perf_counter() - start)
+    for i, (query, answer) in enumerate(zip(queries, answers), start=1):
+        suffix = f"   [{timings[0] * 1e3:.1f} ms]" if len(queries) == 1 else ""
+        label = query.name if len(queries) == 1 else f"#{i} {query.name}"
+        print(f"Q(D) = {answer}{suffix}   ({label})")
+    if len(timings) > 1:
+        warm = min(timings[1:])
+        speedup = timings[0] / warm if warm > 0 else float("inf")
+        print(
+            f"cold {timings[0] * 1e3:.1f} ms, warm {warm * 1e3:.3f} ms "
+            f"(x{speedup:.0f} via session cache)"
+        )
+    stats = session.stats
+    if args.repeat > 1 or len(queries) > 1:
+        print(
+            f"session: {stats.reductions} reductions, "
+            f"{stats.hits} hits, {stats.misses} misses"
+        )
+    failed = False
+    for i, (query, answer) in enumerate(zip(queries, answers), start=1):
+        label = query.name if len(queries) == 1 else f"#{i} {query.name}"
+        if args.check:
+            expected = naive_evaluate(query, db)
+            status = "OK" if expected == answer else "MISMATCH"
+            print(f"naive oracle: {expected}   [{status}]   ({label})")
+            if expected != answer:  # pragma: no cover - defensive
+                failed = True
+        if args.count:
+            start = time.perf_counter()
+            total = session.count(query)
+            elapsed = time.perf_counter() - start
+            print(f"#witnesses = {total}   [{elapsed * 1e3:.1f} ms]")
+    return 1 if failed else 0
 
 
 def cmd_reduce(args: argparse.Namespace) -> int:

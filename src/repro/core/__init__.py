@@ -5,7 +5,15 @@ from .ij_engine import (
     IntersectionJoinEngine,
     count_ij,
     evaluate_ij,
+    witnesses_from_reduction,
     witnesses_ij,
+)
+from .session import (
+    CanonicalForm,
+    QuerySession,
+    SessionStats,
+    canonical_form,
+    database_fingerprint,
 )
 from .baselines import (
     BinaryJoinPlan,
@@ -36,7 +44,13 @@ __all__ = [
     "IntersectionJoinEngine",
     "count_ij",
     "evaluate_ij",
+    "witnesses_from_reduction",
     "witnesses_ij",
+    "CanonicalForm",
+    "QuerySession",
+    "SessionStats",
+    "canonical_form",
+    "database_fingerprint",
     "BinaryJoinPlan",
     "binary_join_evaluate",
     "naive_count",

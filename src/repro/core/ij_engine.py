@@ -71,31 +71,53 @@ def witnesses_ij(
     of the *original* database), each exactly once."""
     shifted = shift_distinct_left(query, db)
     result = forward_reduce(query, shifted, disjoint=True, provenance=True)
-    # Rebuild the stable tuple-id maps the reduction used, but pointing
-    # at the ORIGINAL tuples: the shift is order-preserving under repr?
-    # No — recover via the shifted tuples' ids, then invert the shift by
-    # position alignment.
+    return witnesses_from_reduction(query, db, result, limit)
+
+
+def witnesses_from_reduction(
+    query: Query,
+    db: Database,
+    result: ForwardReductionResult,
+    limit: int | None = None,
+) -> Iterator[dict[str, tuple]]:
+    """Enumerate witnesses given the (possibly cached) disjoint
+    provenance reduction ``result`` of ``query``, computed over
+    ``shift_distinct_left(query, db)``.
+
+    Provenance ids index the reduction's own ``tuple_order`` (which
+    holds the *shifted* tuples), so id alignment is exact by
+    construction; the G.1 shift is then inverted tuple-by-tuple to
+    reach the original database.
+    """
     eps = _shift_epsilon(query, db)
     n = len(query.atoms)
-    shifted_order: dict[str, list[tuple]] = {}
+    shifted_order = result.tuple_order
     unshift: dict[str, dict[tuple, tuple]] = {}
     for i, atom in enumerate(query.atoms, start=1):
-        shifted_rel = shifted[atom.relation]
-        shifted_order[atom.label] = sorted(shifted_rel.tuples, key=repr)
         mapping: dict[tuple, tuple] = {}
         for original in db[atom.relation].tuples:
             mapping[_shift_tuple(atom, original, i, n, eps)] = original
         unshift[atom.label] = mapping
 
-    id_columns = [
-        f"__id_{atom.label}"
-        for atom in query.atoms
-        if any(v.is_interval for v in atom.variables)
-    ]
+    # Atoms with interval variables carry a provenance id; point-only
+    # atoms are identified by their variable values directly (every
+    # column of a point atom is a variable, so the projection of the
+    # assignment onto those variables IS the satisfying tuple).
+    id_columns: list[str] = []
+    point_columns: list[str] = []
+    for atom in query.atoms:
+        if any(v.is_interval for v in atom.variables):
+            id_columns.append(f"__id_{atom.label}")
+        else:
+            for name in atom.variable_names:
+                if name not in point_columns:
+                    point_columns.append(name)
+    if limit is not None and limit <= 0:
+        return
     emitted = 0
     for encoded in result.encoded_queries:
         assignments = evaluate_ej_full(
-            encoded.query, result.database, output=id_columns
+            encoded.query, result.database, output=id_columns + point_columns
         )
         for row in assignments.tuples:
             witness: dict[str, tuple] = {}
@@ -106,8 +128,10 @@ def witnesses_ij(
                     shifted_tuple = shifted_order[atom.label][tuple_id]
                     witness[atom.label] = unshift[atom.label][shifted_tuple]
                 else:
-                    only = next(iter(db[atom.relation].tuples))
-                    witness[atom.label] = only
+                    witness[atom.label] = tuple(
+                        row[assignments.schema.index(name)]
+                        for name in atom.variable_names
+                    )
             yield witness
             emitted += 1
             if limit is not None and emitted >= limit:
@@ -144,22 +168,35 @@ def _shift_tuple(atom, original, i: int, n: int, eps: float):
 class IntersectionJoinEngine:
     """Object API bundling reduction reuse across evaluations.
 
-    Reduces once per database, exposes Boolean evaluation, counting and
-    witness enumeration, plus the reduction's size statistics.
+    Reduces once per database: every call routes through the database's
+    shared :class:`~repro.core.session.QuerySession`, which memoizes the
+    forward reduction (keyed by the query's canonical form and the
+    database fingerprint) and invalidates it if the database's contents
+    change.  Two ``evaluate`` calls on the same unchanged database run
+    ``forward_reduce`` exactly once; so do two engines whose queries are
+    isomorphic.
     """
 
     def __init__(self, query: Query, ej_method: Method = "auto"):
         self.query = query
         self.ej_method: Method = ej_method
 
+    @staticmethod
+    def _session(db: Database):
+        from .session import QuerySession
+
+        return QuerySession.for_database(db)
+
     def evaluate(self, db: Database) -> bool:
-        return evaluate_ij(self.query, db, self.ej_method)
+        return self._session(db).evaluate(
+            self.query, ej_method=self.ej_method, strategy="reduction"
+        )
 
     def count(self, db: Database) -> int:
-        return count_ij(self.query, db, self.ej_method)
+        return self._session(db).count(self.query, ej_method=self.ej_method)
 
     def witnesses(self, db: Database, limit: int | None = None):
-        return witnesses_ij(self.query, db, limit=limit)
+        return self._session(db).witnesses(self.query, limit=limit)
 
     def reduction(self, db: Database) -> ForwardReductionResult:
-        return forward_reduce(self.query, db)
+        return self._session(db).reduction(self.query)

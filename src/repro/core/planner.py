@@ -16,13 +16,16 @@ planner inspects the query structure and database statistics and picks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import TYPE_CHECKING, Literal
 
 from ..engine.relation import Database
 from ..queries.query import Query
 from .baselines import naive_evaluate
 from .ij_engine import evaluate_ij
-from .sweep import sweep_join
+from .sweep import sweep_evaluate_binary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .session import QuerySession
 
 Strategy = Literal["naive", "sweep", "reduction"]
 
@@ -42,7 +45,7 @@ def _brute_force_cost(query: Query, db: Database) -> float:
     return cost
 
 
-def _single_shared_interval_variable(query: Query) -> str | None:
+def single_shared_interval_variable(query: Query) -> str | None:
     """The shared variable when the query is a two-atom join on exactly
     one interval variable (and nothing else shared)."""
     if len(query.atoms) != 2:
@@ -68,7 +71,7 @@ def plan_query(
             "naive",
             f"brute-force product {cost:.0f} <= budget {naive_budget:.0f}",
         )
-    shared = _single_shared_interval_variable(query)
+    shared = single_shared_interval_variable(query)
     if shared is not None:
         return Plan(
             "sweep",
@@ -82,30 +85,32 @@ def plan_query(
     )
 
 
-def _sweep_evaluate(query: Query, db: Database, shared: str) -> bool:
-    a, b = query.atoms
-    a_idx = a.variable_names.index(shared)
-    b_idx = b.variable_names.index(shared)
-    left = [(t[a_idx], t) for t in db[a.relation].tuples]
-    right = [(t[b_idx], t) for t in db[b.relation].tuples]
-    for _ in sweep_join(left, right):
-        return True
-    return False
-
-
 def execute(
     query: Query,
     db: Database,
-    naive_budget: float = 20_000.0,
+    naive_budget: float | None = None,
+    session: "QuerySession | None" = None,
 ) -> tuple[bool, Plan]:
-    """Evaluate with the adaptive plan; returns (answer, plan)."""
-    plan = plan_query(query, db, naive_budget)
+    """Evaluate with the adaptive plan; returns (answer, plan).
+
+    ``naive_budget=None`` means the default: the session's configured
+    budget when a session is passed, else 20,000.  With a
+    :class:`~repro.core.session.QuerySession` (pinned to ``db``), the
+    plan and the answer are served from — and recorded in — the
+    session's caches, so repeated and isomorphic queries are free.
+    """
+    if session is not None:
+        if session.db is not db:
+            raise ValueError("session is pinned to a different database")
+        plan = session.plan(query, naive_budget)
+        return session.evaluate(query, strategy=plan.strategy), plan
+    plan = plan_query(query, db, 20_000.0 if naive_budget is None else naive_budget)
     if plan.strategy == "naive":
         return naive_evaluate(query, db), plan
     if plan.strategy == "sweep":
-        shared = _single_shared_interval_variable(query)
+        shared = single_shared_interval_variable(query)
         assert shared is not None
-        return _sweep_evaluate(query, db, shared), plan
+        return sweep_evaluate_binary(query, db, shared), plan
     return evaluate_ij(query, db), plan
 
 

@@ -1,0 +1,491 @@
+"""Reduction-caching query sessions with batched execution.
+
+The Theorem 4.15 pipeline pays essentially all of its cost in the
+forward reduction: building the transformed database ``D~`` dominates,
+while the EJ disjuncts evaluated over it are comparatively cheap.  That
+one-time cost is exactly what the paper amortises — ``D~`` is computed
+*once per database* and then serves every disjunct — and, in a serving
+system, every later query that is isomorphic to one already reduced
+(compare the enumeration-amortisation framing of Carmeli & Kröll for
+unions of conjunctive queries).
+
+A :class:`QuerySession` pins one :class:`~repro.engine.relation.Database`
+and makes the amortisation explicit:
+
+* the database is **fingerprinted**; any content mutation between calls
+  invalidates every cached artifact (no stale answers);
+* ``forward_reduce`` results are **memoized** keyed by the query's
+  canonical form and the ``disjoint``/``provenance`` flags;
+* queries are **canonicalized** (variable renaming + atom reordering,
+  cross-checked against :mod:`repro.hypergraph.isomorphism`), so
+  isomorphic queries share one reduction;
+* planner decisions (:func:`repro.core.planner.plan_query`) and Boolean /
+  count answers are memoized under the same keys, so a batch whose
+  members share a reduction also shares its short-circuit outcome.
+
+``evaluate_many`` / ``count_many`` batch-execute a list of queries: the
+batch is grouped by canonical form, one reduction (and one answer) is
+computed per group, and every member receives it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations, product
+from math import factorial
+from typing import Iterator, Literal, Sequence
+
+from ..engine.ej import count_ej, evaluate_ej
+from ..engine.relation import Database
+from ..engine.statistics import rank_disjuncts
+from ..hypergraph.isomorphism import structure_hash
+from ..queries.query import Atom, Query, Variable
+from ..reduction.disjoint import shift_distinct_left
+from ..reduction.forward import ForwardReductionResult, forward_reduce
+from .baselines import naive_evaluate
+from .sweep import sweep_evaluate_binary
+
+Method = Literal["auto", "yannakakis", "decomposition", "generic"]
+Strategy = Literal["auto", "naive", "sweep", "reduction"]
+
+# ----------------------------------------------------------------------
+# database fingerprinting
+# ----------------------------------------------------------------------
+
+
+def database_fingerprint(db: Database) -> tuple:
+    """A content fingerprint of a database, stable under relation and
+    tuple enumeration order.  Per relation, tuple hashes are folded with
+    two order-independent accumulators (sum and xor) — one O(|D|) scan,
+    no transient copies.  Built on ``hash()``, so fingerprints are only
+    meaningful *within one process*; the scan itself is the designed
+    staleness check (incremental invalidation is a ROADMAP item)."""
+    relations = []
+    for r in db:
+        acc_sum = 0
+        acc_xor = 0
+        for t in r.tuples:
+            h = hash(t)
+            acc_sum = (acc_sum + h) & 0xFFFFFFFFFFFFFFFF
+            acc_xor ^= h
+        relations.append((r.name, r.schema, len(r.tuples), acc_sum, acc_xor))
+    return tuple(sorted(relations))
+
+
+# ----------------------------------------------------------------------
+# query canonicalization
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """A query's canonical representative.
+
+    ``key`` is equal for two queries exactly when one maps onto the
+    other by renaming variables and reordering atoms while preserving
+    each atom's relation and argument positions — the condition under
+    which they share a forward reduction *and* an answer.  ``query`` is
+    the canonical representative actually evaluated; ``label_map``
+    sends its canonical atom labels back to the original query's labels
+    (needed to relabel witnesses).
+    """
+
+    key: tuple
+    query: Query
+    label_map: tuple[tuple[str, str], ...]
+
+    def relabel_witness(self, witness: dict[str, tuple]) -> dict[str, tuple]:
+        back = dict(self.label_map)
+        return {back[label]: value for label, value in witness.items()}
+
+
+#: Above this many candidate atom orders the exact minimisation is
+#: abandoned and the query becomes its own (unshared) canonical form.
+_MAX_CANDIDATES = 40_320
+
+#: Canonicalization memo.  Bounded: recomputation is pure and cheap
+#: relative to a reduction, so the cache is simply dropped when full.
+_CANON_CACHE_MAX = 4096
+_canon_cache: dict[Query, CanonicalForm] = {}
+
+
+def _canon_cache_put(query: Query, form: CanonicalForm) -> None:
+    if len(_canon_cache) >= _CANON_CACHE_MAX:
+        _canon_cache.clear()
+    _canon_cache[query] = form
+
+
+def _exact_key(query: Query) -> tuple:
+    """An exact (label- and name-preserving) cache key for a query."""
+    return tuple(
+        (
+            atom.label,
+            atom.relation,
+            tuple((v.name, v.is_interval) for v in atom.variables),
+        )
+        for atom in query.atoms
+    )
+
+
+def _atom_signature(atom: Atom) -> tuple:
+    return (
+        atom.relation,
+        len(atom.variables),
+        tuple(v.is_interval for v in atom.variables),
+    )
+
+
+def _serialize(order: Sequence[Atom]) -> tuple[tuple, dict[str, int]]:
+    """Relation/position serialization of the atoms in ``order``, with
+    variables numbered by first occurrence."""
+    var_ids: dict[str, int] = {}
+    rows = []
+    for atom in order:
+        row = []
+        for v in atom.variables:
+            idx = var_ids.setdefault(v.name, len(var_ids))
+            row.append((idx, v.is_interval))
+        rows.append((atom.relation, tuple(row)))
+    return tuple(rows), var_ids
+
+
+def canonical_form(query: Query) -> CanonicalForm:
+    """Canonicalize ``query``: try every structure-preserving atom order
+    (atoms are first bucketed by ``(relation, arity, interval pattern)``,
+    an isomorphism invariant, so only same-bucket permutations are
+    explored) and keep the lexicographically least serialization.  The
+    WL ``structure_hash`` of the query hypergraph is folded into the key
+    as a cross-check against :mod:`repro.hypergraph.isomorphism`."""
+    cached = _canon_cache.get(query)
+    if cached is not None:
+        return cached
+
+    buckets: dict[tuple, list[Atom]] = {}
+    for atom in query.atoms:
+        buckets.setdefault(_atom_signature(atom), []).append(atom)
+    ordered_groups = [buckets[sig] for sig in sorted(buckets)]
+
+    candidates = 1
+    for group in ordered_groups:
+        candidates *= factorial(len(group))
+    wl = structure_hash(query.hypergraph())
+    if candidates > _MAX_CANDIDATES:
+        # opaque form: correct (never conflates queries), never shared
+        serialization, _ = _serialize(query.atoms)
+        labels = tuple((a.label, a.label) for a in query.atoms)
+        form = CanonicalForm(
+            ("opaque", wl, tuple(a.label for a in query.atoms), serialization),
+            query,
+            labels,
+        )
+        _canon_cache_put(query, form)
+        return form
+
+    best: tuple | None = None
+    best_order: list[Atom] = []
+    best_vars: dict[str, int] = {}
+    for combo in product(*(permutations(g) for g in ordered_groups)):
+        order = [atom for group in combo for atom in group]
+        serialization, var_ids = _serialize(order)
+        if best is None or serialization < best:
+            best = serialization
+            best_order = order
+            best_vars = var_ids
+
+    atoms = tuple(
+        Atom(
+            f"a{i}",
+            atom.relation,
+            tuple(
+                Variable(f"v{best_vars[v.name]}", v.is_interval)
+                for v in atom.variables
+            ),
+        )
+        for i, atom in enumerate(best_order)
+    )
+    form = CanonicalForm(
+        ("canon", wl, best),
+        Query(atoms, name="canon"),
+        tuple((f"a{i}", atom.label) for i, atom in enumerate(best_order)),
+    )
+    _canon_cache_put(query, form)
+    return form
+
+
+# ----------------------------------------------------------------------
+# the session
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class SessionStats:
+    """Cache accounting for one session."""
+
+    reductions: int = 0      # forward reductions actually computed
+    hits: int = 0            # answers served from cache
+    misses: int = 0          # answers computed
+    invalidations: int = 0   # database mutations detected
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "reductions": self.reductions,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }
+
+
+class QuerySession:
+    """Cached query evaluation over one pinned database.
+
+    All artifacts — reductions, plans, per-disjunct EJ outcomes and
+    answers — are keyed by the query's canonical form, so isomorphic
+    queries (same structure up to variable renaming and atom reordering
+    over the same relations) share one reduction.  The database is
+    re-fingerprinted on every public call; any mutation clears the
+    caches, so answers never go stale.
+    """
+
+    def __init__(self, db: Database, naive_budget: float = 20_000.0):
+        self.db = db
+        self.naive_budget = naive_budget
+        self.stats = SessionStats()
+        self._fingerprint = database_fingerprint(db)
+        self._reductions: dict[tuple, ForwardReductionResult] = {}
+        self._disjoint: dict[tuple, ForwardReductionResult] = {}
+        self._plans: dict[tuple, object] = {}
+        self._answers: dict[tuple, object] = {}
+        self._in_batch = False
+
+    @classmethod
+    def for_database(cls, db: Database) -> "QuerySession":
+        """The shared session of ``db`` — one per database object,
+        attached to it so the session (and its caches) lives exactly as
+        long as the database."""
+        session = getattr(db, "_query_session", None)
+        if session is None:
+            session = cls(db)
+            db._query_session = session
+        return session
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached artifact (called automatically when the
+        database fingerprint changes)."""
+        self._reductions.clear()
+        self._disjoint.clear()
+        self._plans.clear()
+        self._answers.clear()
+        self.stats.invalidations += 1
+
+    def _ensure_current(self) -> None:
+        if self._in_batch:
+            return  # checked once at batch entry; a batch call is atomic
+        fingerprint = database_fingerprint(self.db)
+        if fingerprint != self._fingerprint:
+            self.invalidate()
+            self._fingerprint = fingerprint
+
+    # ------------------------------------------------------------------
+    # cached artifacts
+    # ------------------------------------------------------------------
+
+    def reduction(
+        self, query: Query, disjoint: bool = False, provenance: bool = False
+    ) -> ForwardReductionResult:
+        """The (memoized) forward reduction of ``query`` over this
+        session's database, **as written**: atom labels, variable names
+        and transformed-relation names all come from ``query`` itself
+        (so ``tuple_order`` is keyed by the caller's labels).  Evaluation
+        paths share reductions across isomorphic queries internally; this
+        accessor trades that sharing for a faithful schema."""
+        self._ensure_current()
+        key = ("exact", _exact_key(query), disjoint, provenance)
+        result = self._reductions.get(key)
+        if result is None:
+            result = forward_reduce(
+                query, self.db, disjoint=disjoint, provenance=provenance
+            )
+            self._reductions[key] = result
+            self.stats.reductions += 1
+        return result
+
+    def _reduction(
+        self, form: CanonicalForm, disjoint: bool, provenance: bool
+    ) -> ForwardReductionResult:
+        key = (form.key, disjoint, provenance)
+        result = self._reductions.get(key)
+        if result is None:
+            result = forward_reduce(
+                form.query, self.db, disjoint=disjoint, provenance=provenance
+            )
+            self._reductions[key] = result
+            self.stats.reductions += 1
+        return result
+
+    def _disjoint_reduction(self, form: CanonicalForm) -> ForwardReductionResult:
+        """The disjoint provenance reduction over the G.1-shifted
+        database (the Appendix G counting/witness pipeline), memoized."""
+        result = self._disjoint.get(form.key)
+        if result is None:
+            shifted = shift_distinct_left(form.query, self.db)
+            result = forward_reduce(
+                form.query, shifted, disjoint=True, provenance=True
+            )
+            self._disjoint[form.key] = result
+            self.stats.reductions += 1
+        return result
+
+    def plan(self, query: Query, naive_budget: float | None = None):
+        """The (memoized) adaptive plan for ``query`` on this database.
+        ``naive_budget`` overrides the session default for this lookup
+        (plans are cached per effective budget)."""
+        self._ensure_current()
+        return self._plan_for(canonical_form(query), naive_budget)
+
+    def _plan_for(self, form: CanonicalForm, naive_budget: float | None = None):
+        budget = self.naive_budget if naive_budget is None else naive_budget
+        key = (form.key, budget)
+        plan = self._plans.get(key)
+        if plan is None:
+            from .planner import plan_query
+
+            plan = plan_query(form.query, self.db, budget)
+            self._plans[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(
+        self,
+        query: Query,
+        ej_method: Method = "auto",
+        strategy: Strategy = "auto",
+    ) -> bool:
+        """Boolean answer, cached by canonical form.
+
+        ``strategy='auto'`` consults the planner; ``'reduction'`` forces
+        the Theorem 4.15 pipeline (what :func:`repro.core.evaluate_ij`
+        does).  The answer cache is strategy-agnostic — every correct
+        strategy returns the same Boolean.
+        """
+        self._ensure_current()
+        form = canonical_form(query)
+        key = ("eval", form.key)
+        cached = self._answers.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return bool(cached)
+        self.stats.misses += 1
+        answer = self._evaluate_uncached(form, ej_method, strategy)
+        self._answers[key] = answer
+        return answer
+
+    def _evaluate_uncached(
+        self, form: CanonicalForm, ej_method: Method, strategy: Strategy
+    ) -> bool:
+        if strategy == "auto":
+            strategy = self._plan_for(form).strategy
+        if strategy == "naive":
+            return naive_evaluate(form.query, self.db)
+        if strategy == "sweep":
+            from .planner import single_shared_interval_variable
+
+            shared = single_shared_interval_variable(form.query)
+            if shared is not None:
+                return sweep_evaluate_binary(form.query, self.db, shared)
+        return self._evaluate_reduction(form, ej_method)
+
+    def _evaluate_reduction(
+        self, form: CanonicalForm, ej_method: Method
+    ) -> bool:
+        result = self._reduction(form, False, False)
+        ranked = rank_disjuncts(result.ej_queries, result.database)
+        return any(
+            evaluate_ej(ej_query, result.database, ej_method)
+            for ej_query in ranked
+        )
+
+    def count(self, query: Query, ej_method: Method = "auto") -> int:
+        """Exact witness count, cached by canonical form."""
+        self._ensure_current()
+        form = canonical_form(query)
+        key = ("count", form.key)
+        cached = self._answers.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return int(cached)  # type: ignore[call-overload]
+        self.stats.misses += 1
+        result = self._disjoint_reduction(form)
+        total = sum(
+            count_ej(q, result.database, ej_method)
+            for q in result.ej_queries
+        )
+        self._answers[key] = total
+        return total
+
+    def witnesses(
+        self, query: Query, limit: int | None = None
+    ) -> Iterator[dict[str, tuple]]:
+        """Enumerate witnesses through the memoized disjoint reduction,
+        relabeled back to the original query's atom labels."""
+        self._ensure_current()
+        form = canonical_form(query)
+        result = self._disjoint_reduction(form)
+        from .ij_engine import witnesses_from_reduction
+
+        for witness in witnesses_from_reduction(
+            form.query, self.db, result, limit
+        ):
+            yield form.relabel_witness(witness)
+
+    # ------------------------------------------------------------------
+    # batched execution
+    # ------------------------------------------------------------------
+
+    def evaluate_many(
+        self,
+        queries: Sequence[Query],
+        ej_method: Method = "auto",
+        strategy: Strategy = "auto",
+    ) -> list[bool]:
+        """Evaluate a batch: queries are grouped by canonical form, one
+        answer (and at most one reduction) is computed per group, and
+        every member of a group shares the group's short-circuit
+        outcome."""
+        return self._many(
+            queries, lambda q: self.evaluate(q, ej_method, strategy)
+        )
+
+    def count_many(
+        self, queries: Sequence[Query], ej_method: Method = "auto"
+    ) -> list[int]:
+        """Count a batch, one disjoint reduction per canonical form."""
+        return self._many(queries, lambda q: self.count(q, ej_method))
+
+    def _many(self, queries: Sequence[Query], compute) -> list:
+        """Group a batch by canonical form, compute one answer per
+        group, fan it out; duplicates beyond each group's first member
+        count as cache hits.  Freshness is checked once — the batch is
+        a single atomic call, so the per-group calls skip the O(|D|)
+        fingerprint scan."""
+        self._ensure_current()
+        results: list = [None] * len(queries)
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(canonical_form(query).key, []).append(i)
+        self._in_batch = True
+        try:
+            for indices in groups.values():
+                value = compute(queries[indices[0]])
+                for i in indices:
+                    results[i] = value
+                self.stats.hits += len(indices) - 1
+        finally:
+            self._in_batch = False
+        return results

@@ -64,3 +64,17 @@ def sweep_join_count(
 ) -> int:
     """Number of intersecting pairs."""
     return sum(1 for _ in sweep_join(left, right))
+
+
+def sweep_evaluate_binary(query, db, shared: str) -> bool:
+    """Boolean plane-sweep evaluation of a two-atom query joined on the
+    single interval variable ``shared`` — the planner's and the query
+    session's ``sweep`` strategy."""
+    a, b = query.atoms
+    a_idx = a.variable_names.index(shared)
+    b_idx = b.variable_names.index(shared)
+    left = [(t[a_idx], t) for t in db[a.relation].tuples]
+    right = [(t[b_idx], t) for t in db[b.relation].tuples]
+    for _ in sweep_join(left, right):
+        return True
+    return False

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import permutations, product
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from ..engine.relation import Database, Relation
 from ..intervals.bitstring import splits
@@ -78,6 +78,9 @@ class ForwardReductionResult:
     encoded_queries: list[EncodedQuery]
     database: Database
     segment_trees: dict[str, SegmentTree] = field(default_factory=dict)
+    #: atom label -> input tuples in provenance-id order: the tuple at
+    #: index ``i`` is the one the reduction tagged ``__id_<label> = i``.
+    tuple_order: dict[str, list[tuple]] = field(default_factory=dict)
 
     @property
     def ej_queries(self) -> list[Query]:
@@ -117,6 +120,18 @@ class ForwardReducer:
                     intervals.append(t[idx])
             self.trees[x] = SegmentTree(intervals)
         self._variants: dict[_VariantSpec, Relation] = {}
+        self._tuple_order: dict[str, list[tuple]] = {}
+
+    def relation_order(self, relation_name: str) -> list[tuple]:
+        """The fixed enumeration of a relation's tuples that provenance
+        ids index into — computed once per relation and shared by every
+        variant (and exposed via :attr:`ForwardReductionResult.tuple_order`
+        so consumers never have to re-derive it)."""
+        order = self._tuple_order.get(relation_name)
+        if order is None:
+            order = sorted(self.db[relation_name].tuples, key=repr)
+            self._tuple_order[relation_name] = order
+        return order
 
     # ------------------------------------------------------------------
     # query-level transformation
@@ -196,7 +211,6 @@ class ForwardReducer:
     def variant_relation(self, atom: Atom, spec: _VariantSpec) -> Relation:
         if spec in self._variants:
             return self._variants[spec]
-        relation = self.db[atom.relation]
         parts = dict(spec.parts)
         nonempty = set(spec.nonempty_last)
         schema: list[str] = []
@@ -209,7 +223,7 @@ class ForwardReducer:
         if spec.provenance and parts:
             schema.append(f"__id_{atom.label}")
         tuples: set[tuple] = set()
-        for tuple_id, t in enumerate(sorted(relation.tuples, key=repr)):
+        for tuple_id, t in enumerate(self.relation_order(atom.relation)):
             encodings: list[list[tuple[str, ...]]] = []
             fixed: list = []
             order: list[tuple[str, int]] = []  # (kind, payload)
@@ -285,8 +299,12 @@ class ForwardReducer:
                             self.db[original.relation].tuples,
                         )
                     )
+        tuple_order = {
+            atom.label: self.relation_order(atom.relation)
+            for atom in self.query.atoms
+        }
         return ForwardReductionResult(
-            self.query, encoded, database, dict(self.trees)
+            self.query, encoded, database, dict(self.trees), tuple_order
         )
 
 

@@ -10,7 +10,7 @@ from .generators import (
     temporal_database,
     temporal_sessions,
 )
-from .query_generator import query_corpus, random_ij_query
+from .query_generator import isomorphic_variants, query_corpus, random_ij_query
 from .hard_instances import (
     ej_triangle_hard_instance,
     embed_ej_into_ij,
@@ -26,6 +26,7 @@ __all__ = [
     "spatial_rectangles",
     "temporal_database",
     "temporal_sessions",
+    "isomorphic_variants",
     "query_corpus",
     "random_ij_query",
     "ej_triangle_hard_instance",

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import random
 
-from ..queries.query import Query, Variable, ivar, make_query, pvar
+from ..queries.query import Atom, Query, Variable, ivar, make_query, pvar
 
 
 def random_ij_query(
@@ -71,3 +71,38 @@ def query_corpus(
         )
         for i in range(count)
     ]
+
+
+def isomorphic_variants(
+    query: Query, count: int, seed: int = 0
+) -> list[Query]:
+    """``count`` fresh copies of ``query``, each with its variables
+    renamed by a random bijection and its atoms shuffled — exactly the
+    transformations a :class:`~repro.core.session.QuerySession`
+    canonicalizes away, so all variants share one cached reduction."""
+    rng = random.Random(seed)
+    names = [v.name for v in query.variables]
+    variants: list[Query] = []
+    for i in range(count):
+        fresh = [f"X{i}_{j}" for j in range(len(names))]
+        rng.shuffle(fresh)
+        renaming = dict(zip(names, fresh))
+        atoms = list(query.atoms)
+        rng.shuffle(atoms)
+        variants.append(
+            Query(
+                tuple(
+                    Atom(
+                        atom.label,
+                        atom.relation,
+                        tuple(
+                            Variable(renaming[v.name], v.is_interval)
+                            for v in atom.variables
+                        ),
+                    )
+                    for atom in atoms
+                ),
+                name=f"{query.name}~iso{i}",
+            )
+        )
+    return variants

@@ -1,0 +1,81 @@
+"""CI pipeline sanity: the workflow file must stay parseable and keep
+its three jobs (tests / lint / bench smoke), and the packaging metadata
+must stay consistent with it."""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+WORKFLOW = REPO / ".github" / "workflows" / "ci.yml"
+PYPROJECT = REPO / "pyproject.toml"
+
+
+@pytest.fixture(scope="module")
+def workflow():
+    yaml = pytest.importorskip("yaml")
+    with WORKFLOW.open() as handle:
+        return yaml.safe_load(handle)
+
+
+class TestWorkflow:
+    def test_file_exists(self):
+        assert WORKFLOW.is_file()
+
+    def test_parses_and_has_trigger(self, workflow):
+        assert isinstance(workflow, dict)
+        # YAML 1.1 parses the `on:` key as the boolean True
+        trigger = workflow.get("on", workflow.get(True))
+        assert trigger is not None
+        assert "pull_request" in trigger and "push" in trigger
+
+    def test_three_jobs(self, workflow):
+        jobs = workflow["jobs"]
+        assert {"tests", "lint", "bench-smoke"} <= set(jobs)
+
+    def test_tests_job_matrix_covers_310_to_312(self, workflow):
+        matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
+        assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+    def test_tests_job_installs_package_and_runs_pytest(self, workflow):
+        steps = workflow["jobs"]["tests"]["steps"]
+        runs = " ".join(step.get("run", "") for step in steps)
+        assert 'pip install -e ".[dev]"' in runs
+        assert "pytest -x -q" in runs
+
+    def test_lint_job_runs_ruff(self, workflow):
+        steps = workflow["jobs"]["lint"]["steps"]
+        runs = " ".join(step.get("run", "") for step in steps)
+        assert "ruff check" in runs
+
+    def test_bench_smoke_runs_every_benchmark_quick(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        runs = " ".join(step.get("run", "") for step in steps)
+        assert "benchmarks/bench_*.py" in runs
+        assert "--quick" in runs
+
+    def test_every_job_checks_out_and_sets_up_python(self, workflow):
+        for name, job in workflow["jobs"].items():
+            uses = [step.get("uses", "") for step in job["steps"]]
+            assert any(u.startswith("actions/checkout@") for u in uses), name
+            assert any(
+                u.startswith("actions/setup-python@") for u in uses
+            ), name
+
+
+class TestPyproject:
+    def test_parses_with_required_sections(self):
+        tomllib = pytest.importorskip("tomllib")  # stdlib from 3.11
+        with PYPROJECT.open("rb") as handle:
+            data = tomllib.load(handle)
+        assert data["project"]["name"] == "repro-intersection-joins"
+        assert data["project"]["requires-python"] == ">=3.10"
+        dev = data["project"]["optional-dependencies"]["dev"]
+        assert any(d.startswith("pytest") for d in dev)
+        assert any(d.startswith("ruff") for d in dev)
+        assert data["tool"]["setuptools"]["packages"]["find"]["where"] == [
+            "src"
+        ]
+
+    def test_setup_py_is_gone(self):
+        assert not (REPO / "setup.py").exists()

@@ -72,6 +72,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "factored (Id)" in out
 
+    def test_evaluate_batch_shares_one_reduction(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])",
+                "R([X],[Y]) ∧ S([Y],[Z]) ∧ T([X],[Z])",
+                "--n", "8", "--seed", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count("Q(D) =") == 2
+        assert "session: 1 reductions" in out
+
+    def test_evaluate_batch_rejects_schema_conflicts(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "R([A],[B]) ∧ S([B],[C])",
+                "R([A],[B],[C]) ∧ S([C],[D])",
+                "--n", "4",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "incompatible schemas" in captured.err
+
+    def test_evaluate_repeat_reports_warm_cache(self, capsys):
+        code = main(
+            [
+                "evaluate", "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])",
+                "--n", "8", "--seed", "2", "--repeat", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cold" in out and "warm" in out
+        assert "session: 1 reductions" in out
+
     def test_catalog(self, capsys):
         code = main(["catalog"])
         out = capsys.readouterr().out

@@ -240,6 +240,44 @@ class TestSharedVariants:
         assert result.blowup(db) >= 1.0
 
 
+class TestTupleOrder:
+    """The reduction's stable provenance-id map (ForwardReductionResult
+    .tuple_order) — consumers must never re-derive the enumeration."""
+
+    def test_order_covers_every_atom_and_tuple(self):
+        rng = random.Random(31)
+        q = catalog.triangle_ij()
+        db = rand_db(rng, q, 5)
+        result = forward_reduce(q, db, disjoint=True, provenance=True)
+        for atom in q.atoms:
+            order = result.tuple_order[atom.label]
+            assert set(order) == db[atom.relation].tuples
+            assert len(order) == len(db[atom.relation].tuples)
+
+    def test_provenance_ids_index_the_order(self):
+        """Every __id value stored in a variant relation points back at
+        the tuple it encodes."""
+        rng = random.Random(32)
+        q = catalog.triangle_ij()
+        db = rand_db(rng, q, 4)
+        result = forward_reduce(q, db, disjoint=True, provenance=True)
+        checked = 0
+        for atom in q.atoms:
+            order = result.tuple_order[atom.label]
+            column = f"__id_{atom.label}"
+            for name in result.database.relation_names:
+                relation = result.database[name]
+                if not name.startswith(f"{atom.label}~"):
+                    continue
+                if column not in relation.schema:
+                    continue
+                idx = relation.schema.index(column)
+                for t in relation.tuples:
+                    assert 0 <= t[idx] < len(order)
+                    checked += 1
+        assert checked > 0
+
+
 @pytest.mark.slow
 class TestLw4Reduction:
     def test_lw4_equivalence_small(self):

@@ -171,6 +171,40 @@ class TestWitnesses:
             assert got == expected, trial
             assert len(got_list) == len(got)  # no duplicates
 
+    def test_point_only_atoms_get_real_witness_tuples(self):
+        """Point-only atoms have no provenance column; their witness
+        tuple must be reconstructed from the assignment, not guessed."""
+        q = parse_query("R([A],B) ∧ S(B)")
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(Interval(0, 1), 2)]),
+                Relation("S", ("B",), [(1,), (2,)]),
+            ]
+        )
+        assert list(witnesses_ij(q, db)) == [
+            {"R": (Interval(0, 1), 2), "S": (2,)}
+        ]
+
+    def test_point_only_atoms_enumerate_every_combination(self):
+        q = parse_query("R([A],B) ∧ S(B,C)")
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(Interval(0, 1), 1)]),
+                Relation("S", ("B", "C"), [(1, 10), (1, 20), (2, 30)]),
+            ]
+        )
+        got = {tuple(sorted(w.items())) for w in witnesses_ij(q, db)}
+        expected = {
+            tuple(sorted(w.items())) for w in naive_witnesses(q, db)
+        }
+        assert got == expected
+        assert len(got) == naive_count(q, db) == 2
+
+    def test_limit_zero_yields_nothing(self):
+        q = catalog.triangle_ij()
+        db = rand_db(random.Random(5), q, 5)
+        assert list(witnesses_ij(q, db, limit=0)) == []
+
     def test_limit(self):
         rng = random.Random(8)
         q = catalog.triangle_ij()

@@ -1,0 +1,256 @@
+"""QuerySession: canonicalization, reduction caching, batching,
+invalidation — the amortized Theorem 4.15 pipeline."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    IntersectionJoinEngine,
+    QuerySession,
+    canonical_form,
+    database_fingerprint,
+    naive_count,
+    naive_evaluate,
+)
+from repro.core import session as session_module
+from repro.core.planner import execute
+from repro.engine import Database, Relation
+from repro.hypergraph import are_isomorphic
+from repro.intervals import Interval
+from repro.queries import catalog, parse_query
+from repro.workloads import isomorphic_variants, random_database
+
+TRIANGLE = "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])"
+
+
+def small_db(query, n=8, seed=0):
+    return random_database(query, n, seed=seed)
+
+
+class TestCanonicalForm:
+    def test_isomorphic_queries_share_a_key(self):
+        q = parse_query(TRIANGLE)
+        for variant in isomorphic_variants(q, 10, seed=1):
+            assert canonical_form(variant).key == canonical_form(q).key
+
+    def test_key_is_position_sensitive(self):
+        """Hypergraph-isomorphic queries whose atoms bind different
+        argument positions must NOT share a reduction."""
+        a = parse_query("R([A],[B]) ∧ S([B],[C])")
+        b = parse_query("R([A],[B]) ∧ S([C],[B])")
+        assert are_isomorphic(a.hypergraph(), b.hypergraph())
+        assert canonical_form(a).key != canonical_form(b).key
+
+    def test_key_distinguishes_relations(self):
+        a = parse_query("R([A],[B]) ∧ S([B],[C])")
+        b = parse_query("R([A],[B]) ∧ R2([B],[C])")
+        assert canonical_form(a).key != canonical_form(b).key
+
+    def test_canonical_query_is_semantically_equal(self):
+        rng = random.Random(5)
+        q = parse_query(TRIANGLE)
+        form = canonical_form(q)
+        for trial in range(6):
+            db = small_db(q, n=rng.randint(2, 6), seed=trial)
+            assert naive_evaluate(form.query, db) == naive_evaluate(q, db)
+            assert naive_count(form.query, db) == naive_count(q, db)
+
+    def test_label_map_round_trips(self):
+        q = parse_query(TRIANGLE)
+        form = canonical_form(q)
+        canonical_labels = {a.label for a in form.query.atoms}
+        assert {c for c, _ in form.label_map} == canonical_labels
+        assert {o for _, o in form.label_map} == {a.label for a in q.atoms}
+
+
+class TestAnswerCorrectness:
+    @pytest.mark.parametrize("name", ["triangle", "fig9e", "fig9f"])
+    def test_matches_naive(self, name):
+        rng = random.Random(sum(name.encode()) % 100)
+        q = catalog.PAPER_IJ_QUERIES[name]()
+        for trial in range(6):
+            db = small_db(q, n=rng.randint(1, 6), seed=trial)
+            session = QuerySession(db)
+            assert session.evaluate(q) == naive_evaluate(q, db), trial
+            assert session.count(q) == naive_count(q, db), trial
+
+    def test_strategies_agree(self):
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=6, seed=4)
+        expected = naive_evaluate(q, db)
+        for strategy in ["auto", "naive", "reduction"]:
+            assert QuerySession(db).evaluate(q, strategy=strategy) == expected
+
+    def test_witnesses_keep_original_labels(self):
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=5, seed=11)
+        session = QuerySession(db)
+        expected = {
+            tuple(sorted(w.items())) for w in session.witnesses(q)
+        }
+        from repro.core import witnesses_ij
+
+        direct = {tuple(sorted(w.items())) for w in witnesses_ij(q, db)}
+        assert expected == direct
+        for witness in session.witnesses(q, limit=1):
+            assert set(witness) == {"R", "S", "T"}
+
+
+class TestReductionSharing:
+    def test_two_evaluates_one_forward_reduce(self, monkeypatch):
+        """Regression for the engine docstring: 'reduces once per
+        database' must be literally true."""
+        calls = []
+        real = session_module.forward_reduce
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(session_module, "forward_reduce", counting)
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=6, seed=2)
+        engine = IntersectionJoinEngine(q)
+        first = engine.evaluate(db)
+        second = engine.evaluate(db)
+        assert first == second == naive_evaluate(q, db)
+        assert len(calls) == 1
+
+    def test_isomorphic_engines_share_the_session_reduction(
+        self, monkeypatch
+    ):
+        calls = []
+        real = session_module.forward_reduce
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(session_module, "forward_reduce", counting)
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=6, seed=8)
+        variant = isomorphic_variants(q, 1, seed=2)[0]
+        assert IntersectionJoinEngine(q).evaluate(db) == (
+            IntersectionJoinEngine(variant).evaluate(db)
+        )
+        assert len(calls) == 1
+
+    def test_evaluate_many_twenty_isomorphic_one_reduction(self):
+        """Acceptance criterion: a 20-query isomorphic batch performs
+        exactly one forward reduction."""
+        q = parse_query("R([A],[B]) ∧ S([B],[C]) ∧ T([C],[D])")
+        queries = isomorphic_variants(q, 20, seed=6)
+        db = small_db(q, n=10, seed=6)
+        session = QuerySession(db)
+        answers = session.evaluate_many(queries, strategy="reduction")
+        assert len(answers) == 20
+        assert set(answers) == {naive_evaluate(q, db)}
+        assert session.stats.reductions == 1
+        assert session.stats.misses == 1
+        assert session.stats.hits == 19
+
+    def test_engine_reduction_keeps_original_labels(self):
+        """engine.reduction(db) must expose the reduction of the query
+        *as written* — original atom labels in tuple_order and original
+        label prefixes in the transformed relation names — even though
+        evaluation internally shares canonicalized reductions."""
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=4, seed=1)
+        result = IntersectionJoinEngine(q).reduction(db)
+        assert set(result.tuple_order) == {"R", "S", "T"}
+        assert any(
+            name.startswith("R~")
+            for name in result.database.relation_names
+        )
+
+    def test_count_many_shares_the_disjoint_reduction(self):
+        q = parse_query(TRIANGLE)
+        queries = isomorphic_variants(q, 5, seed=9)
+        db = small_db(q, n=5, seed=9)
+        session = QuerySession(db)
+        counts = session.count_many(queries)
+        assert counts == [naive_count(q, db)] * 5
+        assert session.stats.reductions == 1
+
+
+class TestInvalidation:
+    def test_mutation_between_evaluates_is_seen(self):
+        q = parse_query(TRIANGLE)
+        db = Database(
+            [
+                Relation("R", ("A", "B"), [(Interval(0, 1), Interval(0, 1))]),
+                Relation("S", ("B", "C"), [(Interval(5, 6), Interval(0, 1))]),
+                Relation("T", ("A", "C"), [(Interval(0, 1), Interval(0, 1))]),
+            ]
+        )
+        session = QuerySession(db)
+        assert session.evaluate(q) is False
+        assert session.count(q) == 0
+        # overlap S's B-interval with R's: the query becomes true
+        db["S"].tuples.add((Interval(0, 1), Interval(0, 1)))
+        assert session.evaluate(q) is True
+        assert session.evaluate(q) == naive_evaluate(q, db)
+        assert session.count(q) == naive_count(q, db) > 0
+        assert session.stats.invalidations >= 1
+
+    def test_fingerprint_ignores_enumeration_order(self):
+        tuples = [
+            (Interval(i, i + 1), Interval(2 * i, 2 * i + 1)) for i in range(6)
+        ]
+        a = Database([Relation("R", ("A", "B"), tuples)])
+        b = Database([Relation("R", ("A", "B"), list(reversed(tuples)))])
+        assert database_fingerprint(a) == database_fingerprint(b)
+
+    def test_fingerprint_sees_content_change(self):
+        db = Database([Relation("R", ("A",), [(Interval(0, 1),)])])
+        before = database_fingerprint(db)
+        db["R"].tuples.add((Interval(3, 4),))
+        assert database_fingerprint(db) != before
+
+
+class TestPlannerIntegration:
+    def test_execute_with_session_matches_stateless(self):
+        rng = random.Random(13)
+        for text in [TRIANGLE, "R([A],[B]) ∧ S([B],[C])", "R([A]) ∧ S([A])"]:
+            q = parse_query(text)
+            for trial in range(3):
+                db = small_db(q, n=rng.randint(2, 8), seed=trial)
+                session = QuerySession(db)
+                answer, plan = execute(q, db, session=session)
+                stateless_answer, stateless_plan = execute(q, db)
+                assert answer == stateless_answer
+                assert plan.strategy == stateless_plan.strategy
+
+    def test_execute_uses_the_session_budget_by_default(self):
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=4, seed=2)
+        session = QuerySession(db, naive_budget=0.0)
+        _, plan = execute(q, db, session=session)
+        assert plan.strategy != "naive"
+        _, default_plan = execute(q, db)
+        assert default_plan.strategy == "naive"
+
+    def test_execute_rejects_foreign_session(self):
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=3, seed=0)
+        other = small_db(q, n=3, seed=1)
+        with pytest.raises(ValueError):
+            execute(q, db, session=QuerySession(other))
+
+    def test_plan_is_cached(self):
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=4, seed=0)
+        session = QuerySession(db)
+        assert session.plan(q) is session.plan(q)
+
+
+class TestSharedRegistry:
+    def test_for_database_is_one_session_per_db(self):
+        q = parse_query(TRIANGLE)
+        db = small_db(q, n=4, seed=3)
+        assert QuerySession.for_database(db) is QuerySession.for_database(db)
+        other = small_db(q, n=4, seed=4)
+        assert QuerySession.for_database(db) is not QuerySession.for_database(
+            other
+        )

@@ -9,7 +9,6 @@ from repro.engine.statistics import (
     estimate_join_cardinality,
     rank_disjuncts,
 )
-from repro.intervals import Interval
 from repro.queries import catalog, parse_query
 from repro.reduction import forward_reduce
 from repro.workloads import random_database

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import naive_evaluate
-from repro.engine import Database
 from repro.intervals import Interval
 from repro.queries import catalog
 from repro.workloads import (
