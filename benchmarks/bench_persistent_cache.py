@@ -1,0 +1,110 @@
+"""Persistent reduction cache: restarted workers skip the reduction.
+
+PR 1's session cache amortized the forward reduction *within* one
+process; the content-addressed on-disk cache extends the amortization
+across processes and restarts.  Measured here on a 3-atom IJ path
+query:
+
+* a **cold worker** (empty cache directory) pays the full reduction and
+  populates the store;
+* a **warm worker** (fresh session, same directory — what a restarted
+  serving process sees) performs **zero** forward reductions: it
+  deserializes the stored artifact and goes straight to the cheap EJ
+  disjunct evaluations;
+* a **mutated-data worker** is *not* served the stale entry — the
+  content digests miss and it re-reduces.
+"""
+
+import time
+
+from conftest import bench_n, print_table, shape_assert
+
+from repro.core import QuerySession
+from repro.intervals import Interval
+from repro.queries import parse_query
+from repro.workloads import random_database
+
+N_PER_RELATION = bench_n(250, 30)
+
+
+def _path3():
+    return parse_query("Qp3 := R([A],[B]) ∧ S([B],[C]) ∧ T([C],[D])")
+
+
+def _db(query, n):
+    return random_database(query, n, seed=11, domain=20.0 * n, mean_length=8.0)
+
+
+def test_warm_worker_serves_from_disk(benchmark, tmp_path):
+    query = _path3()
+    db = _db(query, N_PER_RELATION)
+
+    def cold_then_warm():
+        cold_session = QuerySession(db, cache_dir=tmp_path)
+        start = time.perf_counter()
+        cold_answer = cold_session.evaluate(query, strategy="reduction")
+        cold = time.perf_counter() - start
+
+        # a fresh session over the same directory = a restarted worker
+        warm_session = QuerySession(db, cache_dir=tmp_path)
+        start = time.perf_counter()
+        warm_answer = warm_session.evaluate(query, strategy="reduction")
+        warm = time.perf_counter() - start
+        return cold_session, warm_session, cold_answer, warm_answer, cold, warm
+
+    cold_session, warm_session, cold_answer, warm_answer, cold, warm = (
+        benchmark.pedantic(cold_then_warm, rounds=1, iterations=1)
+    )
+    print_table(
+        f"persistent cache: 3-atom IJ path, |D| = {db.size} tuples",
+        ["cold worker", "warm worker", "speedup", "warm reductions"],
+        [
+            (
+                f"{cold * 1e3:.1f}ms",
+                f"{warm * 1e3:.2f}ms",
+                f"x{cold / max(warm, 1e-9):.1f}",
+                warm_session.stats.reductions,
+            )
+        ],
+    )
+    assert cold_answer == warm_answer
+    assert cold_session.stats.reductions == 1
+    # acceptance criterion: the restarted worker never reduces
+    assert warm_session.stats.reductions == 0
+    assert warm_session.stats.persistent_hits == 1
+    # loading from disk must beat recomputing (full size only: at tiny
+    # --quick sizes the reduction itself is near-free)
+    shape_assert(cold > warm, (cold, warm))
+
+
+def test_mutated_data_misses_the_cache(benchmark, tmp_path):
+    query = _path3()
+    db = _db(query, bench_n(120, 20))
+
+    def warm_then_mutate():
+        QuerySession(db, cache_dir=tmp_path).evaluate(
+            query, strategy="reduction"
+        )
+        db["R"].tuples.add(
+            (Interval(0.0, 1.0), Interval(0.0, 1.0))
+        )
+        mutated_session = QuerySession(db, cache_dir=tmp_path)
+        mutated_session.evaluate(query, strategy="reduction")
+        return mutated_session
+
+    mutated_session = benchmark.pedantic(
+        warm_then_mutate, rounds=1, iterations=1
+    )
+    print_table(
+        "content addressing under mutation",
+        ["reductions", "persistent hits"],
+        [
+            (
+                mutated_session.stats.reductions,
+                mutated_session.stats.persistent_hits,
+            )
+        ],
+    )
+    # the stale entry is unreachable: the mutated worker re-reduces
+    assert mutated_session.stats.reductions == 1
+    assert mutated_session.stats.persistent_hits == 0

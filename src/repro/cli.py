@@ -8,7 +8,7 @@ Commands
     τ class structure with exact widths, ij-width, predicted runtime.
 
 ``evaluate "<query>" [...more queries] --n 100 --seed 0 [--count]
-[--repeat K] [--workload temporal]``
+[--repeat K] [--workload temporal] [--cache-dir DIR]``
     Generate a synthetic database and run the IJ engine through a
     :class:`~repro.core.QuerySession` (optionally counting witnesses),
     cross-checking small instances against the naive oracle.  Several
@@ -82,6 +82,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--check", action="store_true",
         help="cross-check against the naive oracle (small n only)",
     )
+    p_eval.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "persistent reduction cache directory: reductions are "
+            "content-addressed on disk and shared across runs, so a "
+            "warm re-run performs zero forward reductions"
+        ),
+    )
 
     p_reduce = sub.add_parser("reduce", help="inspect the forward reduction")
     p_reduce.add_argument("query")
@@ -138,7 +146,7 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    session = QuerySession(db)
+    session = QuerySession(db, cache_dir=args.cache_dir)
     print(f"|D| = {db.size} tuples ({args.workload} workload)")
     timings: list[float] = []
     answers: list[bool] = []
@@ -162,6 +170,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(
             f"session: {stats.reductions} reductions, "
             f"{stats.hits} hits, {stats.misses} misses"
+        )
+    if session.cache is not None:
+        cache_stats = session.cache.stats()
+        print(
+            f"persistent cache ({args.cache_dir}): "
+            f"{cache_stats['hits']} hits, {cache_stats['stores']} stores, "
+            f"{stats.reductions} reductions this run"
         )
     failed = False
     for i, (query, answer) in enumerate(zip(queries, answers), start=1):

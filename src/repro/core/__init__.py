@@ -15,6 +15,17 @@ from .session import (
     canonical_form,
     database_fingerprint,
 )
+from .reduction_cache import (
+    ReductionCache,
+    database_digests,
+    reduction_key,
+    relation_digest,
+)
+from .disjunct_eval import (
+    count_disjunction,
+    evaluate_disjunction,
+    ranked_disjuncts,
+)
 from .baselines import (
     BinaryJoinPlan,
     binary_join_evaluate,
@@ -51,6 +62,13 @@ __all__ = [
     "SessionStats",
     "canonical_form",
     "database_fingerprint",
+    "ReductionCache",
+    "database_digests",
+    "reduction_key",
+    "relation_digest",
+    "count_disjunction",
+    "evaluate_disjunction",
+    "ranked_disjuncts",
     "BinaryJoinPlan",
     "binary_join_evaluate",
     "naive_count",

@@ -17,11 +17,12 @@ from __future__ import annotations
 
 from typing import Iterator, Literal
 
-from ..engine.ej import count_ej, evaluate_ej, evaluate_ej_full
+from ..engine.ej import evaluate_ej_full
 from ..engine.relation import Database
 from ..queries.query import Query
 from ..reduction.disjoint import shift_distinct_left
 from ..reduction.forward import ForwardReductionResult, forward_reduce
+from .disjunct_eval import count_disjunction, evaluate_disjunction
 
 Method = Literal["auto", "yannakakis", "decomposition", "generic"]
 
@@ -30,20 +31,10 @@ def evaluate_ij(
     query: Query, db: Database, ej_method: Method = "auto"
 ) -> bool:
     """Boolean evaluation of an IJ (or EIJ) query via the forward
-    reduction (Theorem 4.13 + Theorem 4.15)."""
+    reduction (Theorem 4.13 + Theorem 4.15).  The disjunction itself is
+    evaluated by the shared :mod:`repro.core.disjunct_eval` path."""
     result = forward_reduce(query, db)
-    return _evaluate_disjunction(result, ej_method)
-
-
-def _evaluate_disjunction(
-    result: ForwardReductionResult, ej_method: Method
-) -> bool:
-    from ..engine.statistics import rank_disjuncts
-
-    ranked = rank_disjuncts(result.ej_queries, result.database)
-    return any(
-        evaluate_ej(q, result.database, ej_method) for q in ranked
-    )
+    return evaluate_disjunction(result, ej_method)
 
 
 def count_ij(
@@ -59,9 +50,7 @@ def count_ij(
     """
     shifted = shift_distinct_left(query, db)
     result = forward_reduce(query, shifted, disjoint=True, provenance=True)
-    return sum(
-        count_ej(q, result.database, ej_method) for q in result.ej_queries
-    )
+    return count_disjunction(result, ej_method)
 
 
 def witnesses_ij(

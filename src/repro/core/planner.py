@@ -10,6 +10,11 @@ planner inspects the query structure and database statistics and picks:
   case where one join at a time *is* optimal);
 * ``reduction`` — the forward reduction (Theorem 4.15) otherwise.
 
+Every ``reduction``-strategy execution — stateless or through a
+session — evaluates the reduced disjunction via the single shared
+:mod:`repro.core.disjunct_eval` path, so disjunct ordering policy is
+defined exactly once.
+
 ``explain`` returns the chosen plan and its rationale without running.
 """
 
@@ -20,8 +25,9 @@ from typing import TYPE_CHECKING, Literal
 
 from ..engine.relation import Database
 from ..queries.query import Query
+from ..reduction.forward import forward_reduce
 from .baselines import naive_evaluate
-from .ij_engine import evaluate_ij
+from .disjunct_eval import evaluate_disjunction
 from .sweep import sweep_evaluate_binary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -111,7 +117,7 @@ def execute(
         shared = single_shared_interval_variable(query)
         assert shared is not None
         return sweep_evaluate_binary(query, db, shared), plan
-    return evaluate_ij(query, db), plan
+    return evaluate_disjunction(forward_reduce(query, db)), plan
 
 
 def explain(query: Query, db: Database) -> str:

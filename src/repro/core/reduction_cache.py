@@ -1,0 +1,233 @@
+"""Content-addressed database digests and the persistent reduction cache.
+
+The forward reduction (Theorem 4.13) is a pure function of the query and
+the database contents, so its result can be addressed by *content*: a
+stable SHA-256 digest per relation plus a structural serialization of
+the (canonical) query.  Two consequences the in-process ``hash()``-based
+fingerprint of PR 1 could not deliver:
+
+* **cross-process sharing** — digests are identical across interpreter
+  runs (no ``PYTHONHASHSEED`` salting), so a reduction serialized to a
+  cache directory by one worker is a valid artifact for every other
+  worker and for the same worker after a restart;
+* **incremental invalidation** — the fingerprint is per-relation, so a
+  mutation identifies exactly *which* relations changed and the session
+  can keep every cached artifact whose query does not touch them.
+
+:class:`ReductionCache` is the on-disk store: pickled
+:class:`~repro.reduction.forward.ForwardReductionResult` payloads under
+``<dir>/<key[:2]>/<key>.pkl``, written atomically (temp file + rename)
+so concurrent workers sharing one directory never observe a torn entry.
+Keys commit to the reduction pipeline flags and the digests of every
+relation the query references, so a stale entry is unreachable by
+construction — mutations change the digests, which change the key.
+
+The store uses :mod:`pickle`; point it only at cache directories you
+trust (the same trust level as the code itself).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Mapping
+
+from ..engine.relation import Database, Relation
+from ..intervals.interval import Interval
+from ..queries.query import Query
+from ..reduction.forward import ForwardReductionResult
+
+#: Bumped whenever the serialized payload layout or the semantics of the
+#: reduction change incompatibly; old entries are then simply misses.
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# stable content digests
+# ----------------------------------------------------------------------
+
+
+def encode_value(value) -> str:
+    """A stable, process-independent text encoding of one attribute
+    value.  Type-tagged so ``1``, ``1.0``, ``"1"`` and ``[1, 1]`` never
+    collide, and strings are **length-prefixed** so no string content
+    (commas, tags, separators of this very format) can forge another
+    encoding's boundaries.  Covers every value kind the engines produce
+    (numbers, strings/bitstrings, :class:`Interval`, nested tuples)."""
+    if isinstance(value, Interval):
+        return f"i:{value.left!r}:{value.right!r}"
+    if isinstance(value, bool):
+        return f"b:{int(value)}"
+    if isinstance(value, int):
+        return f"n:{value}"
+    if isinstance(value, float):
+        return f"f:{value!r}"
+    if isinstance(value, str):
+        return f"s:{len(value)}:{value}"
+    if isinstance(value, tuple):
+        return "t:(" + ",".join(encode_value(v) for v in value) + ")"
+    if isinstance(value, frozenset):
+        # unordered: sort the element encodings, not the elements (the
+        # set may be type-heterogeneous), so the digest is iteration-
+        # and hash-seed-independent
+        return "F:{" + ",".join(sorted(encode_value(v) for v in value)) + "}"
+    if value is None:
+        return "z:"
+    # last resort: requires a deterministic, content-based __repr__ —
+    # the default object repr (memory address) would never match across
+    # processes and defeats persistent-cache sharing for such values
+    text = repr(value)
+    return f"r:{type(value).__name__}:{len(text)}:{text}"
+
+
+def relation_digest(relation: Relation) -> str:
+    """SHA-256 digest of one relation's schema and tuple set, stable
+    under tuple enumeration order and across processes.  Each encoded
+    tuple is fed length-framed, so values containing the separator
+    (e.g. strings with newlines) cannot make two different tuple sets
+    collide."""
+    h = hashlib.sha256()
+    h.update(repr(relation.schema).encode())
+    for line in sorted(encode_value(t) for t in relation.tuples):
+        encoded = line.encode()
+        h.update(b"%d:" % len(encoded))
+        h.update(encoded)
+    return h.hexdigest()
+
+
+def database_digests(db: Database) -> dict[str, str]:
+    """Per-relation content digests — the unit of incremental
+    invalidation: a mutation changes exactly the digests of the
+    relations it touched."""
+    return {r.name: relation_digest(r) for r in db}
+
+
+def database_fingerprint(db: Database) -> tuple:
+    """A content fingerprint of a whole database, stable under relation
+    and tuple enumeration order *and across processes* (SHA-based, no
+    ``hash()`` salting).  Equal fingerprints mean identical contents."""
+    return tuple(sorted(database_digests(db).items()))
+
+
+def query_content_key(query: Query) -> tuple:
+    """A deterministic structural serialization of a query: atom labels,
+    relation names, and per-variable (name, kind) pairs.  Equal exactly
+    for syntactically identical queries, and process-independent."""
+    return tuple(
+        (
+            atom.label,
+            atom.relation,
+            tuple((v.name, v.is_interval) for v in atom.variables),
+        )
+        for atom in query.atoms
+    )
+
+
+def reduction_key(
+    query: Query,
+    digests: Mapping[str, str],
+    disjoint: bool = False,
+    provenance: bool = False,
+    pipeline: str = "plain",
+) -> str:
+    """The content address of one forward reduction: the query's
+    structural serialization, the digests of exactly the relations it
+    references, the reduction flags and the pipeline tag (``plain`` vs
+    ``disjoint-shifted`` for the Appendix G counting pipeline, which
+    reduces over the shifted database — itself a pure function of the
+    original relations)."""
+    referenced = sorted(query.relations)
+    payload = repr(
+        (
+            FORMAT_VERSION,
+            query_content_key(query),
+            tuple((name, digests[name]) for name in referenced),
+            bool(disjoint),
+            bool(provenance),
+            pipeline,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# the persistent store
+# ----------------------------------------------------------------------
+
+
+class ReductionCache:
+    """A persistent, content-addressed store of forward reductions.
+
+    Entries are immutable once written: the key commits to the query and
+    to the contents of every relation it reads, so there is nothing to
+    invalidate — mutated databases simply address different entries.
+    Safe to share between concurrent workers (atomic writes; readers of
+    a half-written temp file are impossible, readers of a corrupt or
+    version-skewed entry get a miss).
+    """
+
+    def __init__(self, directory: str | os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> ForwardReductionResult | None:
+        """The stored reduction for ``key``, or ``None``.  Any failure —
+        missing file, truncated write from a crashed worker, pickle from
+        an incompatible version — is a plain miss, never an error."""
+        try:
+            with self._path(key).open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != FORMAT_VERSION
+            or not isinstance(payload.get("result"), ForwardReductionResult)
+        ):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def put(self, key: str, result: ForwardReductionResult) -> None:
+        """Store ``result`` under ``key`` atomically (write to a temp
+        file in the same directory, then rename over the target)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(
+                    {"version": FORMAT_VERSION, "result": result},
+                    handle,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        """Number of stored entries currently on disk."""
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

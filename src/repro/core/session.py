@@ -12,16 +12,22 @@ unions of conjunctive queries).
 A :class:`QuerySession` pins one :class:`~repro.engine.relation.Database`
 and makes the amortisation explicit:
 
-* the database is **fingerprinted**; any content mutation between calls
-  invalidates every cached artifact (no stale answers);
+* the database is **fingerprinted per relation** with stable content
+  digests (:mod:`repro.core.reduction_cache`); a mutation invalidates
+  only the cached artifacts whose query *touches a changed relation* —
+  everything else stays warm;
 * ``forward_reduce`` results are **memoized** keyed by the query's
-  canonical form and the ``disjoint``/``provenance`` flags;
+  canonical form and the ``disjoint``/``provenance`` flags, and — when
+  the session is given a ``cache_dir`` — **persisted** to a
+  content-addressed on-disk :class:`~repro.core.reduction_cache.ReductionCache`
+  shared across processes and workers;
 * queries are **canonicalized** (variable renaming + atom reordering,
   cross-checked against :mod:`repro.hypergraph.isomorphism`), so
   isomorphic queries share one reduction;
 * planner decisions (:func:`repro.core.planner.plan_query`) and Boolean /
-  count answers are memoized under the same keys, so a batch whose
-  members share a reduction also shares its short-circuit outcome.
+  count answers are memoized under the same keys (the answer cache is
+  LRU-bounded), so a batch whose members share a reduction also shares
+  its short-circuit outcome.
 
 ``evaluate_many`` / ``count_many`` batch-execute a list of queries: the
 batch is grouped by canonical form, one reduction (and one answer) is
@@ -30,46 +36,39 @@ computed per group, and every member receives it.
 
 from __future__ import annotations
 
+import os
+from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import permutations, product
 from math import factorial
 from typing import Iterator, Literal, Sequence
 
-from ..engine.ej import count_ej, evaluate_ej
 from ..engine.relation import Database
-from ..engine.statistics import rank_disjuncts
 from ..hypergraph.isomorphism import structure_hash
 from ..queries.query import Atom, Query, Variable
 from ..reduction.disjoint import shift_distinct_left
 from ..reduction.forward import ForwardReductionResult, forward_reduce
 from .baselines import naive_evaluate
+from .disjunct_eval import count_disjunction, evaluate_disjunction
+from .reduction_cache import (
+    ReductionCache,
+    database_digests,
+    database_fingerprint,
+    query_content_key,
+    reduction_key,
+)
 from .sweep import sweep_evaluate_binary
+
+__all__ = [
+    "CanonicalForm",
+    "QuerySession",
+    "SessionStats",
+    "canonical_form",
+    "database_fingerprint",
+]
 
 Method = Literal["auto", "yannakakis", "decomposition", "generic"]
 Strategy = Literal["auto", "naive", "sweep", "reduction"]
-
-# ----------------------------------------------------------------------
-# database fingerprinting
-# ----------------------------------------------------------------------
-
-
-def database_fingerprint(db: Database) -> tuple:
-    """A content fingerprint of a database, stable under relation and
-    tuple enumeration order.  Per relation, tuple hashes are folded with
-    two order-independent accumulators (sum and xor) — one O(|D|) scan,
-    no transient copies.  Built on ``hash()``, so fingerprints are only
-    meaningful *within one process*; the scan itself is the designed
-    staleness check (incremental invalidation is a ROADMAP item)."""
-    relations = []
-    for r in db:
-        acc_sum = 0
-        acc_xor = 0
-        for t in r.tuples:
-            h = hash(t)
-            acc_sum = (acc_sum + h) & 0xFFFFFFFFFFFFFFFF
-            acc_xor ^= h
-        relations.append((r.name, r.schema, len(r.tuples), acc_sum, acc_xor))
-    return tuple(sorted(relations))
 
 
 # ----------------------------------------------------------------------
@@ -99,32 +98,48 @@ class CanonicalForm:
         return {back[label]: value for label, value in witness.items()}
 
 
+def _form_deps(form: CanonicalForm) -> frozenset[str]:
+    """The relations a canonical form's cached artifacts depend on —
+    the unit of incremental invalidation."""
+    return form.query.relations
+
+
+def _quick_stamp(db: Database) -> tuple:
+    """A cheap, order-independent *in-process* change stamp: per
+    relation, tuple hashes folded with two commutative accumulators —
+    one O(|D|) scan, no allocations.  Only meaningful within one
+    process (built on ``hash()``); it gates the hot path so the heavier
+    SHA digests of :func:`database_digests` are recomputed exactly when
+    something actually changed."""
+    relations = []
+    for r in db:
+        acc_sum = 0
+        acc_xor = 0
+        for t in r.tuples:
+            h = hash(t)
+            acc_sum = (acc_sum + h) & 0xFFFFFFFFFFFFFFFF
+            acc_xor ^= h
+        relations.append((r.name, r.schema, len(r.tuples), acc_sum, acc_xor))
+    return tuple(sorted(relations))
+
+
 #: Above this many candidate atom orders the exact minimisation is
 #: abandoned and the query becomes its own (unshared) canonical form.
 _MAX_CANDIDATES = 40_320
 
-#: Canonicalization memo.  Bounded: recomputation is pure and cheap
-#: relative to a reduction, so the cache is simply dropped when full.
+#: Canonicalization memo.  LRU-bounded: recomputation is pure and cheap
+#: relative to a reduction, but a hot serving loop re-canonicalizes the
+#: same working set over and over — so eviction drops the *least
+#: recently used* entry instead of the old drop-wholesale policy (which
+#: emptied the memo exactly when it was fullest, i.e. busiest).
 _CANON_CACHE_MAX = 4096
-_canon_cache: dict[Query, CanonicalForm] = {}
+_canon_cache: OrderedDict[Query, CanonicalForm] = OrderedDict()
 
 
 def _canon_cache_put(query: Query, form: CanonicalForm) -> None:
-    if len(_canon_cache) >= _CANON_CACHE_MAX:
-        _canon_cache.clear()
+    while len(_canon_cache) >= _CANON_CACHE_MAX:
+        _canon_cache.popitem(last=False)
     _canon_cache[query] = form
-
-
-def _exact_key(query: Query) -> tuple:
-    """An exact (label- and name-preserving) cache key for a query."""
-    return tuple(
-        (
-            atom.label,
-            atom.relation,
-            tuple((v.name, v.is_interval) for v in atom.variables),
-        )
-        for atom in query.atoms
-    )
 
 
 def _atom_signature(atom: Atom) -> tuple:
@@ -158,6 +173,7 @@ def canonical_form(query: Query) -> CanonicalForm:
     as a cross-check against :mod:`repro.hypergraph.isomorphism`."""
     cached = _canon_cache.get(query)
     if cached is not None:
+        _canon_cache.move_to_end(query)
         return cached
 
     buckets: dict[tuple, list[Atom]] = {}
@@ -221,10 +237,12 @@ def canonical_form(query: Query) -> CanonicalForm:
 class SessionStats:
     """Cache accounting for one session."""
 
-    reductions: int = 0      # forward reductions actually computed
-    hits: int = 0            # answers served from cache
-    misses: int = 0          # answers computed
-    invalidations: int = 0   # database mutations detected
+    reductions: int = 0        # forward reductions actually computed
+    hits: int = 0              # answers served from cache
+    misses: int = 0            # answers computed
+    invalidations: int = 0     # database mutations detected
+    persistent_hits: int = 0   # reductions loaded from the on-disk cache
+    evictions: int = 0         # answer-cache entries dropped by the LRU bound
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -232,6 +250,8 @@ class SessionStats:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "persistent_hits": self.persistent_hits,
+            "evictions": self.evictions,
         }
 
 
@@ -242,19 +262,45 @@ class QuerySession:
     answers — are keyed by the query's canonical form, so isomorphic
     queries (same structure up to variable renaming and atom reordering
     over the same relations) share one reduction.  The database is
-    re-fingerprinted on every public call; any mutation clears the
-    caches, so answers never go stale.
+    re-digested (per relation, content SHA) on every public call; a
+    mutation invalidates exactly the artifacts whose query references a
+    changed relation, so answers never go stale and untouched queries
+    stay warm.
+
+    ``cache_dir`` plugs in a persistent
+    :class:`~repro.core.reduction_cache.ReductionCache`: reductions are
+    content-addressed on disk, so a fresh session (same process or a
+    restarted worker) over the same data performs **zero** forward
+    reductions — only cheap disjunct evaluations.
+
+    The answer cache is LRU-bounded at ``answer_cache_size`` entries
+    (reductions and plans are far fewer — one per canonical form — and
+    stay unbounded).
     """
 
-    def __init__(self, db: Database, naive_budget: float = 20_000.0):
+    def __init__(
+        self,
+        db: Database,
+        naive_budget: float = 20_000.0,
+        cache_dir: str | os.PathLike | None = None,
+        answer_cache_size: int = 1024,
+    ):
+        if answer_cache_size < 1:
+            raise ValueError("answer_cache_size must be at least 1")
         self.db = db
         self.naive_budget = naive_budget
         self.stats = SessionStats()
-        self._fingerprint = database_fingerprint(db)
-        self._reductions: dict[tuple, ForwardReductionResult] = {}
-        self._disjoint: dict[tuple, ForwardReductionResult] = {}
-        self._plans: dict[tuple, object] = {}
-        self._answers: dict[tuple, object] = {}
+        self.cache = ReductionCache(cache_dir) if cache_dir is not None else None
+        self.answer_cache_size = answer_cache_size
+        self._stamp = _quick_stamp(db)
+        self._digests = database_digests(db)
+        # every store maps key -> (artifact, relation names it depends on)
+        self._reductions: dict[tuple, tuple[ForwardReductionResult, frozenset[str]]] = {}
+        self._disjoint: dict[tuple, tuple[ForwardReductionResult, frozenset[str]]] = {}
+        self._plans: dict[tuple, tuple[object, frozenset[str]]] = {}
+        self._answers: OrderedDict[tuple, tuple[object, frozenset[str]]] = (
+            OrderedDict()
+        )
         self._in_batch = False
 
     @classmethod
@@ -273,21 +319,50 @@ class QuerySession:
     # ------------------------------------------------------------------
 
     def invalidate(self) -> None:
-        """Drop every cached artifact (called automatically when the
-        database fingerprint changes)."""
+        """Drop every cached artifact unconditionally.  (Automatic
+        invalidation is finer: a detected mutation drops only the
+        artifacts touching changed relations.)"""
         self._reductions.clear()
         self._disjoint.clear()
         self._plans.clear()
         self._answers.clear()
+        self._stamp = _quick_stamp(self.db)
+        self._digests = database_digests(self.db)
+        self.stats.invalidations += 1
+
+    def invalidate_relations(self, changed: frozenset[str] | set[str]) -> None:
+        """Drop exactly the cached artifacts whose query references a
+        relation in ``changed``; everything else stays warm."""
+        stores: tuple[dict, ...] = (
+            self._reductions,
+            self._disjoint,
+            self._plans,
+            self._answers,
+        )
+        for store in stores:
+            stale = [
+                key for key, (_, deps) in store.items() if deps & changed
+            ]
+            for key in stale:
+                del store[key]
         self.stats.invalidations += 1
 
     def _ensure_current(self) -> None:
         if self._in_batch:
             return  # checked once at batch entry; a batch call is atomic
-        fingerprint = database_fingerprint(self.db)
-        if fingerprint != self._fingerprint:
-            self.invalidate()
-            self._fingerprint = fingerprint
+        stamp = _quick_stamp(self.db)
+        if stamp == self._stamp:
+            return  # hot path: one hash() fold, no digest recompute
+        self._stamp = stamp
+        digests = database_digests(self.db)
+        changed = {
+            name
+            for name in set(digests) | set(self._digests)
+            if digests.get(name) != self._digests.get(name)
+        }
+        self._digests = digests
+        if changed:
+            self.invalidate_relations(changed)
 
     # ------------------------------------------------------------------
     # cached artifacts
@@ -303,41 +378,62 @@ class QuerySession:
         paths share reductions across isomorphic queries internally; this
         accessor trades that sharing for a faithful schema."""
         self._ensure_current()
-        key = ("exact", _exact_key(query), disjoint, provenance)
-        result = self._reductions.get(key)
-        if result is None:
-            result = forward_reduce(
-                query, self.db, disjoint=disjoint, provenance=provenance
-            )
-            self._reductions[key] = result
-            self.stats.reductions += 1
-        return result
+        key = ("exact", query_content_key(query), disjoint, provenance)
+        entry = self._reductions.get(key)
+        if entry is None:
+            entry = self._reduce(query, disjoint, provenance, "plain")
+            self._reductions[key] = entry
+        return entry[0]
 
     def _reduction(
         self, form: CanonicalForm, disjoint: bool, provenance: bool
     ) -> ForwardReductionResult:
         key = (form.key, disjoint, provenance)
-        result = self._reductions.get(key)
-        if result is None:
-            result = forward_reduce(
-                form.query, self.db, disjoint=disjoint, provenance=provenance
-            )
-            self._reductions[key] = result
-            self.stats.reductions += 1
-        return result
+        entry = self._reductions.get(key)
+        if entry is None:
+            entry = self._reduce(form.query, disjoint, provenance, "plain")
+            self._reductions[key] = entry
+        return entry[0]
 
     def _disjoint_reduction(self, form: CanonicalForm) -> ForwardReductionResult:
         """The disjoint provenance reduction over the G.1-shifted
         database (the Appendix G counting/witness pipeline), memoized."""
-        result = self._disjoint.get(form.key)
-        if result is None:
-            shifted = shift_distinct_left(form.query, self.db)
-            result = forward_reduce(
-                form.query, shifted, disjoint=True, provenance=True
+        entry = self._disjoint.get(form.key)
+        if entry is None:
+            entry = self._reduce(form.query, True, True, "disjoint-shifted")
+            self._disjoint[form.key] = entry
+        return entry[0]
+
+    def _reduce(
+        self, query: Query, disjoint: bool, provenance: bool, pipeline: str
+    ) -> tuple[ForwardReductionResult, frozenset[str]]:
+        """Compute (or load from the persistent cache) one forward
+        reduction, returning it with its relation dependency set.  The
+        persistent key is content-addressed — canonical query plus the
+        digests of exactly the relations it reads — so entries written
+        by other processes (or before a mutation of an unrelated
+        relation) are shared, and stale entries are unreachable."""
+        deps = query.relations
+        key = None
+        if self.cache is not None:
+            key = reduction_key(
+                query, self._digests, disjoint, provenance, pipeline
             )
-            self._disjoint[form.key] = result
-            self.stats.reductions += 1
-        return result
+            result = self.cache.get(key)
+            if result is not None:
+                self.stats.persistent_hits += 1
+                return result, deps
+        if pipeline == "disjoint-shifted":
+            base = shift_distinct_left(query, self.db)
+        else:
+            base = self.db
+        result = forward_reduce(
+            query, base, disjoint=disjoint, provenance=provenance
+        )
+        self.stats.reductions += 1
+        if self.cache is not None and key is not None:
+            self.cache.put(key, result)
+        return result, deps
 
     def plan(self, query: Query, naive_budget: float | None = None):
         """The (memoized) adaptive plan for ``query`` on this database.
@@ -349,13 +445,36 @@ class QuerySession:
     def _plan_for(self, form: CanonicalForm, naive_budget: float | None = None):
         budget = self.naive_budget if naive_budget is None else naive_budget
         key = (form.key, budget)
-        plan = self._plans.get(key)
-        if plan is None:
+        entry = self._plans.get(key)
+        if entry is None:
             from .planner import plan_query
 
             plan = plan_query(form.query, self.db, budget)
-            self._plans[key] = plan
-        return plan
+            entry = (plan, _form_deps(form))
+            self._plans[key] = entry
+        return entry[0]
+
+    # ------------------------------------------------------------------
+    # the (LRU-bounded) answer cache
+    # ------------------------------------------------------------------
+
+    def _answer_get(self, key: tuple):
+        """The cached answer under ``key`` (refreshing its LRU slot), or
+        ``None``."""
+        entry = self._answers.get(key)
+        if entry is None:
+            return None
+        self._answers.move_to_end(key)
+        return entry[0]
+
+    def _answer_put(self, key: tuple, value, deps: frozenset[str]) -> None:
+        if key in self._answers:
+            self._answers.move_to_end(key)
+        else:
+            while len(self._answers) >= self.answer_cache_size:
+                self._answers.popitem(last=False)
+                self.stats.evictions += 1
+        self._answers[key] = (value, deps)
 
     # ------------------------------------------------------------------
     # evaluation
@@ -377,13 +496,13 @@ class QuerySession:
         self._ensure_current()
         form = canonical_form(query)
         key = ("eval", form.key)
-        cached = self._answers.get(key)
+        cached = self._answer_get(key)
         if cached is not None:
             self.stats.hits += 1
             return bool(cached)
         self.stats.misses += 1
         answer = self._evaluate_uncached(form, ej_method, strategy)
-        self._answers[key] = answer
+        self._answer_put(key, answer, _form_deps(form))
         return answer
 
     def _evaluate_uncached(
@@ -405,28 +524,21 @@ class QuerySession:
         self, form: CanonicalForm, ej_method: Method
     ) -> bool:
         result = self._reduction(form, False, False)
-        ranked = rank_disjuncts(result.ej_queries, result.database)
-        return any(
-            evaluate_ej(ej_query, result.database, ej_method)
-            for ej_query in ranked
-        )
+        return evaluate_disjunction(result, ej_method)
 
     def count(self, query: Query, ej_method: Method = "auto") -> int:
         """Exact witness count, cached by canonical form."""
         self._ensure_current()
         form = canonical_form(query)
         key = ("count", form.key)
-        cached = self._answers.get(key)
+        cached = self._answer_get(key)
         if cached is not None:
             self.stats.hits += 1
             return int(cached)  # type: ignore[call-overload]
         self.stats.misses += 1
         result = self._disjoint_reduction(form)
-        total = sum(
-            count_ej(q, result.database, ej_method)
-            for q in result.ej_queries
-        )
-        self._answers[key] = total
+        total = count_disjunction(result, ej_method)
+        self._answer_put(key, total, _form_deps(form))
         return total
 
     def witnesses(

@@ -31,7 +31,6 @@ from .io import (
 from .ej import (
     count_ej,
     evaluate_ej,
-    evaluate_ej_disjunction,
     evaluate_ej_full,
     join_atoms_for,
 )
@@ -60,7 +59,6 @@ __all__ = [
     "validate_database",
     "count_ej",
     "evaluate_ej",
-    "evaluate_ej_disjunction",
     "evaluate_ej_full",
     "join_atoms_for",
 ]

@@ -163,12 +163,6 @@ def evaluate_ej_full(
     return evaluate_full_with_decomposition(atoms, td, output=output)
 
 
-def evaluate_ej_disjunction(
-    queries: Sequence[Query], db: Database, method: Method = "auto"
-) -> bool:
-    """Evaluate a disjunction of EJ queries with short-circuiting,
-    cheapest (α-acyclic) disjuncts first."""
-    ranked = sorted(
-        queries, key=lambda q: 0 if is_alpha_acyclic(q.hypergraph()) else 1
-    )
-    return any(evaluate_ej(q, db, method) for q in ranked)
+# NOTE: disjunction evaluation (rank + short-circuit) lives in
+# repro.core.disjunct_eval — the single shared path for every consumer
+# of a forward reduction's EJ disjuncts.

@@ -122,6 +122,13 @@ class Query:
         relations = [a.relation for a in self.atoms]
         return len(set(relations)) == len(relations)
 
+    @property
+    def relations(self) -> frozenset[str]:
+        """The relations this query reads — the dependency set of every
+        artifact derived from it (the caching layers' invalidation
+        unit; this is the single definition they all share)."""
+        return frozenset(a.relation for a in self.atoms)
+
     def atoms_containing(self, variable_name: str) -> tuple[Atom, ...]:
         """The atoms whose schema contains the named variable
         (the hyperedges ``E_[X]``)."""

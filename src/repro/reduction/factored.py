@@ -206,24 +206,19 @@ def forward_reduce_factored(
 def count_ij_factored(query: Query, db: Database) -> int:
     """Exact witness count through the factored encoding (the Id columns
     double as provenance, so no extra columns are needed)."""
-    from ..engine.ej import count_ej
+    from ..core.disjunct_eval import count_disjunction
     from .disjoint import shift_distinct_left
 
     shifted = shift_distinct_left(query, db)
     result = forward_reduce_factored(query, shifted, disjoint=True)
-    return sum(
-        count_ej(eq, result.database) for eq in result.ej_queries
-    )
+    return count_disjunction(result)
 
 
 def evaluate_ij_factored(query: Query, db: Database) -> bool:
-    """Boolean IJ evaluation through the factored encoding."""
-    from ..engine.ej import evaluate_ej
-    from ..hypergraph.acyclicity import is_alpha_acyclic
+    """Boolean IJ evaluation through the factored encoding, via the
+    shared rank-and-short-circuit path of
+    :mod:`repro.core.disjunct_eval`."""
+    from ..core.disjunct_eval import evaluate_disjunction
 
     result = forward_reduce_factored(query, db)
-    ranked = sorted(
-        result.ej_queries,
-        key=lambda q: 0 if is_alpha_acyclic(q.hypergraph()) else 1,
-    )
-    return any(evaluate_ej(q, result.database) for q in ranked)
+    return evaluate_disjunction(result)

@@ -86,6 +86,13 @@ class ForwardReductionResult:
     def ej_queries(self) -> list[Query]:
         return [e.query for e in self.encoded_queries]
 
+    @property
+    def source_relations(self) -> frozenset[str]:
+        """Names of the input relations this reduction was computed
+        from (``original.relations``): a mutation outside this set can
+        never make the reduction stale."""
+        return self.original.relations
+
     def blowup(self, original_db: Database) -> float:
         """``|D̃| / |D|`` — the measured polylog blowup (Lemma 4.10)."""
         if original_db.size == 0:

@@ -1,6 +1,6 @@
 """CI pipeline sanity: the workflow file must stay parseable and keep
-its three jobs (tests / lint / bench smoke), and the packaging metadata
-must stay consistent with it."""
+its four jobs (tests / fuzz / lint / bench smoke), and the packaging
+metadata must stay consistent with it."""
 
 from pathlib import Path
 
@@ -29,9 +29,9 @@ class TestWorkflow:
         assert trigger is not None
         assert "pull_request" in trigger and "push" in trigger
 
-    def test_three_jobs(self, workflow):
+    def test_four_jobs(self, workflow):
         jobs = workflow["jobs"]
-        assert {"tests", "lint", "bench-smoke"} <= set(jobs)
+        assert {"tests", "fuzz", "lint", "bench-smoke"} <= set(jobs)
 
     def test_tests_job_matrix_covers_310_to_312(self, workflow):
         matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
@@ -42,6 +42,22 @@ class TestWorkflow:
         runs = " ".join(step.get("run", "") for step in steps)
         assert 'pip install -e ".[dev]"' in runs
         assert "pytest -x -q" in runs
+
+    def test_fuzz_job_covers_seed_matrix(self, workflow):
+        """Acceptance criterion: 3 seeds x py3.10/3.12, steered through
+        REPRO_FUZZ_SEED into the differential suite."""
+        job = workflow["jobs"]["fuzz"]
+        matrix = job["strategy"]["matrix"]
+        assert matrix["python-version"] == ["3.10", "3.12"]
+        assert matrix["seed"] == [1, 2, 3]
+        run_steps = [step for step in job["steps"] if "run" in step]
+        fuzz_steps = [
+            step
+            for step in run_steps
+            if "tests/test_differential_cache.py" in step["run"]
+        ]
+        assert len(fuzz_steps) == 1
+        assert "REPRO_FUZZ_SEED" in fuzz_steps[0].get("env", {})
 
     def test_lint_job_runs_ruff(self, workflow):
         steps = workflow["jobs"]["lint"]["steps"]

@@ -5,12 +5,13 @@ import random
 
 import pytest
 
+from repro.core import evaluate_disjunction
 from repro.engine import (
     Database,
     JoinAtom,
     Relation,
-    evaluate_ej_disjunction,
 )
+from repro.reduction.forward import EncodedQuery, ForwardReductionResult
 from repro.engine.generic_join import default_variable_order
 from repro.engine.io import parse_value
 from repro.hypergraph import Hypergraph
@@ -58,10 +59,17 @@ class TestGenericJoinInternals:
         q_true = parse_query("Qt := R(A)")
         q_broken = parse_query("Qb := MISSING(A)")
         db = Database([Relation("R", ("A",), [(1,)])])
-        # q_true is evaluated first (cheapest/acyclic) and short-circuits
-        assert evaluate_ej_disjunction([q_true], db)
+        # the shared disjunct-evaluation path short-circuits on truth...
+        result = ForwardReductionResult(
+            q_true, [EncodedQuery(q_true, {})], db
+        )
+        assert evaluate_disjunction(result)
+        # ...and surfaces a missing relation instead of masking it
+        broken = ForwardReductionResult(
+            q_broken, [EncodedQuery(q_broken, {})], db
+        )
         with pytest.raises(KeyError):
-            evaluate_ej_disjunction([q_broken], db)
+            evaluate_disjunction(broken)
 
 
 class TestIoParsing:

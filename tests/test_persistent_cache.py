@@ -1,0 +1,209 @@
+"""Cross-process persistence: the content-addressed reduction cache.
+
+A first subprocess warms an on-disk cache directory; a second, fresh
+subprocess over the *same data* must perform **zero** forward
+reductions (asserted via the ``reductions`` counter on the session
+stats) while producing identical answers.  A third run against mutated
+data must *not* be served stale entries.
+
+Digest stability across interpreters is what makes this work, so the
+workers run under different ``PYTHONHASHSEED`` values on purpose.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import (
+    ReductionCache,
+    database_fingerprint,
+    naive_count,
+    naive_evaluate,
+    reduction_key,
+    relation_digest,
+)
+from repro.core.reduction_cache import database_digests, encode_value
+from repro.engine import Database, Relation
+from repro.intervals import Interval
+from repro.queries import parse_query
+from repro.reduction import forward_reduce
+from repro.workloads import random_database
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: The worker: builds a deterministic database, evaluates and counts
+#: through a persistently cached session, emits answers + stats as JSON.
+WORKER = """
+import json, sys
+from repro.core import QuerySession
+from repro.queries import parse_query
+from repro.workloads import random_database
+
+cache_dir, n = sys.argv[1], int(sys.argv[2])
+query = parse_query("R([A],[B]) \\u2227 S([B],[C]) \\u2227 T([A],[C])")
+db = random_database(query, n, seed=5)
+session = QuerySession(db, cache_dir=cache_dir)
+answer = session.evaluate(query, strategy="reduction")
+count = session.count(query)
+print(json.dumps({
+    "answer": bool(answer),
+    "count": count,
+    "stats": session.stats.as_dict(),
+}))
+"""
+
+
+def run_worker(cache_dir, n: int = 10, hash_seed: str = "0") -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    result = subprocess.run(
+        [sys.executable, "-c", WORKER, str(cache_dir), str(n)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+class TestCrossProcess:
+    def test_warm_worker_performs_zero_reductions(self, tmp_path):
+        cold = run_worker(tmp_path, hash_seed="101")
+        assert cold["stats"]["reductions"] == 2  # plain + disjoint pipeline
+        assert cold["stats"]["persistent_hits"] == 0
+
+        warm = run_worker(tmp_path, hash_seed="202")
+        assert warm["stats"]["reductions"] == 0, warm["stats"]
+        assert warm["stats"]["persistent_hits"] == 2, warm["stats"]
+        assert warm["answer"] == cold["answer"]
+        assert warm["count"] == cold["count"]
+
+        # and the answers are the oracle's
+        query = parse_query("R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])")
+        db = random_database(query, 10, seed=5)
+        assert cold["answer"] == naive_evaluate(query, db)
+        assert cold["count"] == naive_count(query, db)
+
+    def test_different_data_is_not_served_from_cache(self, tmp_path):
+        run_worker(tmp_path, n=10)
+        other = run_worker(tmp_path, n=11)  # different contents, same dir
+        assert other["stats"]["reductions"] == 2, other["stats"]
+        assert other["stats"]["persistent_hits"] == 0, other["stats"]
+
+
+class TestContentAddressing:
+    def test_fingerprint_is_order_independent_and_content_sensitive(self):
+        tuples = [
+            (Interval(i, i + 1), Interval(2 * i, 2 * i + 1)) for i in range(6)
+        ]
+        a = Database([Relation("R", ("A", "B"), tuples)])
+        b = Database([Relation("R", ("A", "B"), list(reversed(tuples)))])
+        assert database_fingerprint(a) == database_fingerprint(b)
+        b["R"].tuples.add((Interval(9, 10), Interval(9, 10)))
+        assert database_fingerprint(a) != database_fingerprint(b)
+
+    def test_relation_digest_sees_schema(self):
+        tuples = [(Interval(0, 1),)]
+        a = Relation("R", ("A",), tuples)
+        b = Relation("R", ("B",), tuples)
+        assert relation_digest(a) != relation_digest(b)
+
+    def test_encode_value_distinguishes_lookalikes(self):
+        """Type tags: 1, 1.0, "1", True and [1, 1] must not collide."""
+        values = [1, 1.0, "1", True, Interval(1, 1), (1,), None]
+        encoded = [encode_value(v) for v in values]
+        assert len(set(encoded)) == len(encoded)
+
+    def test_frozenset_values_encode_order_independently(self):
+        assert encode_value(frozenset({1, 2, "x"})) == encode_value(
+            frozenset({"x", 2, 1})
+        )
+        assert encode_value(frozenset({1})) != encode_value(frozenset({2}))
+
+    def test_strings_cannot_forge_tuple_boundaries(self):
+        """Regression: without length prefixes, ("a,s:b", "c") and
+        ("a", "b,s:c") encoded identically — a mutation swapping one
+        for the other was invisible to the digest diff."""
+        assert encode_value(("a,s:b", "c")) != encode_value(("a", "b,s:c"))
+        a = Relation("R", ("A", "B"), [("a,s:b", "c")])
+        b = Relation("R", ("A", "B"), [("a", "b,s:c")])
+        assert relation_digest(a) != relation_digest(b)
+
+    def test_newlines_cannot_forge_line_framing(self):
+        """Tuple-set framing is length-based, so embedded newlines in
+        values cannot make two different tuple sets collide."""
+        assert encode_value("a\nb") != encode_value("a") + encode_value("b")
+        one = Relation("R", ("A",), [("a\ns:1:b",)])
+        two = Relation("R", ("A",), [("a",), ("b",)])
+        assert relation_digest(one) != relation_digest(two)
+
+    def test_reduction_key_depends_only_on_referenced_relations(self):
+        query = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(query, 5, seed=1)
+        unrelated = Database(list(db) + [
+            Relation("Z", ("A",), [(Interval(0, 1),)])
+        ])
+        key_without = reduction_key(query, database_digests(db))
+        key_with = reduction_key(query, database_digests(unrelated))
+        assert key_without == key_with
+        unrelated["S"].tuples.add((Interval(7, 8), Interval(7, 8)))
+        assert reduction_key(
+            query, database_digests(unrelated)
+        ) != key_with
+
+
+class TestStore:
+    def test_round_trip_preserves_the_reduction(self, tmp_path):
+        query = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(query, 6, seed=2)
+        result = forward_reduce(query, db)
+        cache = ReductionCache(tmp_path)
+        key = reduction_key(query, database_digests(db))
+        assert cache.get(key) is None  # miss before store
+        cache.put(key, result)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert loaded.database.size == result.database.size
+        assert [q.name for q in loaded.ej_queries] == [
+            q.name for q in result.ej_queries
+        ]
+        assert loaded.tuple_order == result.tuple_order
+        assert loaded.source_relations == {"R", "S"}
+        assert len(cache) == 1
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
+        query = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(query, 4, seed=3)
+        cache = ReductionCache(tmp_path)
+        key = reduction_key(query, database_digests(db))
+        cache.put(key, forward_reduce(query, db))
+        path = next(tmp_path.glob("*/*.pkl"))
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) is None
+
+    def test_version_skew_is_a_miss(self, tmp_path, monkeypatch):
+        from repro.core import reduction_cache as rc
+
+        query = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(query, 4, seed=4)
+        cache = ReductionCache(tmp_path)
+        key = reduction_key(query, database_digests(db))
+        cache.put(key, forward_reduce(query, db))
+        monkeypatch.setattr(rc, "FORMAT_VERSION", rc.FORMAT_VERSION + 1)
+        assert cache.get(key) is None
+
+    def test_rejects_missing_directory_gracefully(self, tmp_path):
+        nested = tmp_path / "a" / "b" / "c"
+        cache = ReductionCache(nested)  # created on demand
+        assert nested.is_dir()
+        assert len(cache) == 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(pytest.main([__file__, "-q"]))

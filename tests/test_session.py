@@ -174,6 +174,171 @@ class TestReductionSharing:
         assert session.stats.reductions == 1
 
 
+class TestAnswerCacheLRU:
+    """The answer cache is bounded and evicts least-recently-used."""
+
+    def _db(self):
+        return Database(
+            [
+                Relation(name, ("A",), [(Interval(0, 1),)])
+                for name in ("R", "S", "T")
+            ]
+        )
+
+    def _queries(self):
+        return [parse_query(f"{name}([A])") for name in ("R", "S", "T")]
+
+    def test_capacity_bounds_the_cache(self):
+        qr, qs, qt = self._queries()
+        session = QuerySession(self._db(), answer_cache_size=2)
+        for q in (qr, qs, qt):
+            session.evaluate(q)
+        assert len(session._answers) == 2
+        assert session.stats.evictions == 1
+
+    def test_eviction_order_is_lru_not_fifo(self):
+        qr, qs, qt = self._queries()
+        session = QuerySession(self._db(), answer_cache_size=2)
+        session.evaluate(qr)  # miss
+        session.evaluate(qs)  # miss
+        session.evaluate(qr)  # hit -> R becomes most recent
+        session.evaluate(qt)  # miss, evicts S (LRU), not R (FIFO victim)
+        assert session.stats.misses == 3
+        session.evaluate(qr)
+        assert session.stats.misses == 3  # R survived
+        session.evaluate(qs)
+        assert session.stats.misses == 4  # S was the one evicted
+
+    def test_evicted_answers_are_recomputed_correctly(self):
+        qr, qs, qt = self._queries()
+        db = self._db()
+        session = QuerySession(db, answer_cache_size=1)
+        for _ in range(2):
+            for q in (qr, qs, qt):
+                assert session.evaluate(q) == naive_evaluate(q, db)
+        assert session.stats.evictions >= 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QuerySession(self._db(), answer_cache_size=0)
+
+    def test_count_and_eval_share_the_bound(self):
+        qr, qs, _ = self._queries()
+        db = self._db()
+        session = QuerySession(db, answer_cache_size=2)
+        session.evaluate(qr)
+        session.count(qr)
+        session.evaluate(qs)  # evicts ("eval", R) — the oldest entry
+        assert len(session._answers) == 2
+        session.count(qr)
+        assert session.stats.hits == 1  # the count entry survived
+
+
+class TestCanonMemoLRU:
+    def test_memo_evicts_least_recently_used(self, monkeypatch):
+        monkeypatch.setattr(session_module, "_CANON_CACHE_MAX", 2)
+        memo = session_module._canon_cache
+        saved = dict(memo)
+        memo.clear()
+        try:
+            q1 = parse_query("R([A])")
+            q2 = parse_query("S([A])")
+            q3 = parse_query("T([A])")
+            canonical_form(q1)
+            canonical_form(q2)
+            canonical_form(q1)  # refresh q1: q2 becomes the LRU victim
+            canonical_form(q3)
+            assert q1 in memo and q3 in memo
+            assert q2 not in memo
+            assert len(memo) == 2
+        finally:
+            memo.clear()
+            memo.update(saved)
+
+    def test_eviction_preserves_correctness(self, monkeypatch):
+        monkeypatch.setattr(session_module, "_CANON_CACHE_MAX", 1)
+        q = parse_query(TRIANGLE)
+        first = canonical_form(q).key
+        canonical_form(parse_query("Z([A])"))  # evicts the triangle
+        assert canonical_form(q).key == first
+
+
+class TestIncrementalInvalidation:
+    def _two_disjoint_queries(self):
+        q1 = parse_query("R([A],[B]) ∧ S([B],[C])")
+        q2 = parse_query("T2([A],[B]) ∧ U([B],[C])")
+        db = Database()
+        for rel in random_database(q1, 5, seed=1):
+            db.add(rel)
+        for rel in random_database(q2, 5, seed=2):
+            db.add(rel)
+        return q1, q2, db
+
+    def test_mutation_re_reduces_only_touching_disjuncts(self):
+        """Acceptance criterion: mutating one relation re-reduces only
+        the queries referencing it; the rest stay warm."""
+        q1, q2, db = self._two_disjoint_queries()
+        session = QuerySession(db)
+        session.evaluate(q1, strategy="reduction")
+        session.evaluate(q2, strategy="reduction")
+        assert session.stats.reductions == 2
+        db["U"].tuples.add((Interval(0, 1), Interval(0, 1)))
+        a1 = session.evaluate(q1, strategy="reduction")
+        assert session.stats.reductions == 2  # q1 untouched: cache intact
+        assert session.stats.hits == 1       # even its answer survived
+        a2 = session.evaluate(q2, strategy="reduction")
+        assert session.stats.reductions == 3  # only q2 re-reduced
+        assert a1 == naive_evaluate(q1, db)
+        assert a2 == naive_evaluate(q2, db)
+        assert session.stats.invalidations == 1
+
+    def test_count_artifacts_follow_the_same_rule(self):
+        q1, q2, db = self._two_disjoint_queries()
+        session = QuerySession(db)
+        session.count(q1)
+        session.count(q2)
+        assert session.stats.reductions == 2
+        db["S"].tuples.add((Interval(0, 1), Interval(0, 1)))
+        assert session.count(q2) == naive_count(q2, db)
+        assert session.stats.reductions == 2  # q2's pipeline untouched
+        assert session.count(q1) == naive_count(q1, db)
+        assert session.stats.reductions == 3
+
+    def test_overlapping_queries_both_invalidate(self):
+        """A query sharing the mutated relation is invalidated even if
+        it also reads unchanged relations."""
+        q1 = parse_query("R([A],[B]) ∧ S([B],[C])")
+        q2 = parse_query("S([A],[B]) ∧ T2([B],[C])")
+        db = Database()
+        for rel in random_database(q1, 4, seed=3):
+            db.add(rel)
+        for rel in random_database(q2, 4, seed=4):
+            if rel.name not in db:
+                db.add(rel)
+        session = QuerySession(db)
+        session.evaluate(q1, strategy="reduction")
+        session.evaluate(q2, strategy="reduction")
+        assert session.stats.reductions == 2
+        db["S"].tuples.add((Interval(2, 3), Interval(2, 3)))
+        assert session.evaluate(q1, strategy="reduction") == naive_evaluate(
+            q1, db
+        )
+        assert session.evaluate(q2, strategy="reduction") == naive_evaluate(
+            q2, db
+        )
+        assert session.stats.reductions == 4  # both touched S
+
+    def test_explicit_invalidate_still_drops_everything(self):
+        q1, q2, db = self._two_disjoint_queries()
+        session = QuerySession(db)
+        session.evaluate(q1, strategy="reduction")
+        session.evaluate(q2, strategy="reduction")
+        session.invalidate()
+        assert not session._reductions and not session._answers
+        session.evaluate(q1, strategy="reduction")
+        assert session.stats.reductions == 3
+
+
 class TestInvalidation:
     def test_mutation_between_evaluates_is_seen(self):
         q = parse_query(TRIANGLE)
