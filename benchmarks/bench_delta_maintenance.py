@@ -1,0 +1,181 @@
+"""Delta maintenance: patching a cached reduction vs. rebuilding it.
+
+The serving scenario the delta layer targets: a warm
+:class:`~repro.core.QuerySession` holds the forward reduction of a
+3-atom IJ query over ~2000 intervals per relation, and a single tuple
+arrives.  Two worlds:
+
+* **patch** — the insert goes through the logged ``Database.insert``
+  API and its interval endpoints already lie in the segment trees'
+  endpoint domains, so the next evaluation patches the cached
+  transformed relations tuple-by-tuple (``stats.delta_patches``) and
+  performs **zero** forward reductions;
+* **rebuild** — the same insert bypasses the change log (direct
+  ``relation.tuples`` mutation), so the digest diff can only drop the
+  artifact and the next evaluation re-runs Algorithm 1 from scratch.
+
+The acceptance criterion is a ≥5× end-to-end advantage for the patch
+path (it is typically orders of magnitude).  Results are also written
+to ``benchmarks/results/delta_maintenance.json`` so CI keeps a bench
+trajectory.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from conftest import bench_n, print_table, quick_mode, shape_assert
+
+from repro.core import QuerySession, naive_evaluate
+from repro.intervals import Interval
+from repro.queries import parse_query
+from repro.workloads import random_database
+
+N_PER_RELATION = bench_n(2000, 40)
+ROUNDS = 5
+
+RESULTS = Path(__file__).resolve().parent / "results"
+
+
+def _query():
+    return parse_query("Qd := R([A],[B]) ∧ S([B],[C]) ∧ T([C],[D])")
+
+
+def _db(query, n):
+    # integer-ish endpoint grid: plenty of endpoint reuse, so new
+    # tuples drawn from existing endpoints are in-domain by construction
+    return random_database(
+        query, n, seed=23, domain=4.0 * n, mean_length=6.0
+    )
+
+
+def _in_domain_tuple(session, rng):
+    result = next(iter(session._reductions.values()))[0]
+    atom = next(a for a in result.original.atoms if a.relation == "R")
+    row = []
+    for v in atom.variables:
+        points = sorted(result.segment_trees[v.name].endpoints)
+        lo, hi = sorted(rng.sample(points, 2))
+        row.append(Interval(lo, hi))
+    return tuple(row)
+
+
+def _median(samples):
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
+def test_single_tuple_insert_patch_vs_rebuild(benchmark):
+    query = _query()
+    rng = random.Random(5)
+
+    def run():
+        db = _db(query, N_PER_RELATION)
+        session = QuerySession(db)
+        session.evaluate(query, strategy="reduction")
+        warm_reductions = session.stats.reductions
+
+        patch_times = []
+        for _ in range(ROUNDS):
+            t = _in_domain_tuple(session, rng)
+            if db.insert("R", t) is None:
+                continue
+            start = time.perf_counter()
+            session.evaluate(query, strategy="reduction")
+            patch_times.append(time.perf_counter() - start)
+        assert session.stats.reductions == warm_reductions, (
+            "in-domain inserts must not trigger forward reductions"
+        )
+        assert session.stats.delta_patches >= len(patch_times) > 0
+
+        rebuild_times = []
+        for _ in range(ROUNDS):
+            t = _in_domain_tuple(session, rng)
+            if t in db["R"].tuples:
+                continue
+            db["R"].tuples.add(t)  # unlogged: forces the rebuild path
+            start = time.perf_counter()
+            session.evaluate(query, strategy="reduction")
+            rebuild_times.append(time.perf_counter() - start)
+        assert session.stats.reductions > warm_reductions
+        return session, db, _median(patch_times), _median(rebuild_times)
+
+    session, db, patch, rebuild = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    speedup = rebuild / max(patch, 1e-9)
+    print_table(
+        f"delta maintenance: single-tuple insert, 3-atom IJ, "
+        f"|D| = {db.size} tuples",
+        ["patch (median)", "rebuild (median)", "speedup", "patches"],
+        [
+            (
+                f"{patch * 1e3:.2f}ms",
+                f"{rebuild * 1e3:.1f}ms",
+                f"x{speedup:.1f}",
+                session.stats.delta_patches,
+            )
+        ],
+    )
+    if db.size <= 300:  # oracle cross-check at smoke sizes only
+        assert session.evaluate(
+            query, strategy="reduction"
+        ) == naive_evaluate(query, db)
+
+    RESULTS.mkdir(exist_ok=True)
+    payload = {
+        "benchmark": "delta_maintenance_single_insert",
+        "n_per_relation": N_PER_RELATION,
+        "database_size": db.size,
+        "patch_ms": patch * 1e3,
+        "rebuild_ms": rebuild * 1e3,
+        "speedup": speedup,
+        "delta_patches": session.stats.delta_patches,
+        "quick": quick_mode(),
+    }
+    with (RESULTS / "delta_maintenance.json").open("w") as handle:
+        json.dump(payload, handle, indent=2)
+
+    # acceptance criterion: >=5x; statistical, so full size only
+    shape_assert(speedup >= 5.0, f"expected >=5x, got x{speedup:.1f}")
+
+
+def test_patched_session_answers_match_a_fresh_engine(benchmark):
+    """Correctness side of the bench: after a burst of logged inserts
+    and deletes, the patched session agrees with a cold session over
+    the same final data."""
+    query = _query()
+    n = bench_n(300, 30)
+    rng = random.Random(9)
+
+    def run():
+        db = _db(query, n)
+        session = QuerySession(db)
+        session.evaluate(query, strategy="reduction")
+        inserted = []
+        for _ in range(8):
+            t = _in_domain_tuple(session, rng)
+            if db.insert("R", t) is not None:
+                inserted.append(t)
+            session.evaluate(query, strategy="reduction")
+        for t in inserted[::2]:
+            db.delete("R", t)
+            session.evaluate(query, strategy="reduction")
+        cold = QuerySession(db)
+        return (
+            session.evaluate(query, strategy="reduction"),
+            cold.evaluate(query, strategy="reduction"),
+            session.stats.delta_patches,
+        )
+
+    warm_answer, cold_answer, patches = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print_table(
+        "patched vs cold session agreement",
+        ["warm answer", "cold answer", "delta patches"],
+        [(warm_answer, cold_answer, patches)],
+    )
+    assert warm_answer == cold_answer
+    assert patches > 0

@@ -45,8 +45,8 @@ from .widths import (
     ij_width_report,
     submodular_width,
 )
-from .engine import Database, Relation, count_ej, evaluate_ej
-from .reduction import backward_reduce, forward_reduce
+from .engine import Database, Delta, Relation, count_ej, evaluate_ej
+from .reduction import DomainChanged, backward_reduce, forward_reduce
 from .core import (
     IntersectionJoinEngine,
     QuerySession,
@@ -84,9 +84,11 @@ __all__ = [
     "ij_width_report",
     "submodular_width",
     "Database",
+    "Delta",
     "Relation",
     "count_ej",
     "evaluate_ej",
+    "DomainChanged",
     "backward_reduce",
     "forward_reduce",
     "IntersectionJoinEngine",

@@ -90,6 +90,14 @@ def build_parser() -> argparse.ArgumentParser:
             "warm re-run performs zero forward reductions"
         ),
     )
+    p_eval.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES",
+        help=(
+            "cap the persistent cache directory at this many bytes; "
+            "least-recently-used entries are evicted after each store "
+            "(requires --cache-dir)"
+        ),
+    )
 
     p_reduce = sub.add_parser("reduce", help="inspect the forward reduction")
     p_reduce.add_argument("query")
@@ -141,12 +149,27 @@ def _evaluation_database(queries, args: argparse.Namespace) -> Database:
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     queries = [parse_query(text) for text in args.query]
+    if args.cache_max_bytes is not None:
+        if args.cache_dir is None:
+            print(
+                "error: --cache-max-bytes requires --cache-dir",
+                file=sys.stderr,
+            )
+            return 2
+        if args.cache_max_bytes < 0:
+            print(
+                "error: --cache-max-bytes must be non-negative",
+                file=sys.stderr,
+            )
+            return 2
     try:
         db = _evaluation_database(queries, args)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    session = QuerySession(db, cache_dir=args.cache_dir)
+    session = QuerySession(
+        db, cache_dir=args.cache_dir, cache_max_bytes=args.cache_max_bytes
+    )
     print(f"|D| = {db.size} tuples ({args.workload} workload)")
     timings: list[float] = []
     answers: list[bool] = []
@@ -173,10 +196,15 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         )
     if session.cache is not None:
         cache_stats = session.cache.stats()
+        pruned = (
+            f", {cache_stats['pruned']} pruned"
+            if args.cache_max_bytes is not None
+            else ""
+        )
         print(
             f"persistent cache ({args.cache_dir}): "
-            f"{cache_stats['hits']} hits, {cache_stats['stores']} stores, "
-            f"{stats.reductions} reductions this run"
+            f"{cache_stats['hits']} hits, {cache_stats['stores']} stores"
+            f"{pruned}, {stats.reductions} reductions this run"
         )
     failed = False
     for i, (query, answer) in enumerate(zip(queries, answers), start=1):

@@ -42,7 +42,9 @@ from ..reduction.forward import ForwardReductionResult
 
 #: Bumped whenever the serialized payload layout or the semantics of the
 #: reduction change incompatibly; old entries are then simply misses.
-FORMAT_VERSION = 1
+#: Version 2: results carry delta-maintenance metadata (``atom_variants``,
+#: ``variant_counts``, segment-tree endpoint domains).
+FORMAT_VERSION = 2
 
 
 # ----------------------------------------------------------------------
@@ -167,14 +169,33 @@ class ReductionCache:
     Safe to share between concurrent workers (atomic writes; readers of
     a half-written temp file are impossible, readers of a corrupt or
     version-skewed entry get a miss).
+
+    ``max_bytes`` caps the directory for long-lived deployments: after
+    every store the cache is pruned back under the cap, evicting least-
+    recently-*used* entries first (each hit touches the entry's mtime,
+    so mtime order is LRU order).  :meth:`prune` is also callable
+    directly for out-of-band garbage collection.
     """
 
-    def __init__(self, directory: str | os.PathLike):
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        max_bytes: int | None = None,
+    ):
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.pruned = 0
+        # running size estimate so capped stores stay O(1): the O(N)
+        # directory scan runs only when the estimate crosses the cap
+        # (prune resyncs it to the exact total, absorbing any drift
+        # from concurrent workers sharing the directory)
+        self._tracked_bytes: int | None = None
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
@@ -183,8 +204,9 @@ class ReductionCache:
         """The stored reduction for ``key``, or ``None``.  Any failure —
         missing file, truncated write from a crashed worker, pickle from
         an incompatible version — is a plain miss, never an error."""
+        path = self._path(key)
         try:
-            with self._path(key).open("rb") as handle:
+            with path.open("rb") as handle:
                 payload = pickle.load(handle)
         except Exception:
             self.misses += 1
@@ -196,6 +218,10 @@ class ReductionCache:
         ):
             self.misses += 1
             return None
+        try:
+            os.utime(path)  # refresh the LRU clock for prune()
+        except OSError:
+            pass
         self.hits += 1
         return payload["result"]
 
@@ -204,6 +230,10 @@ class ReductionCache:
         file in the same directory, then rename over the target)."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            replaced = path.stat().st_size
+        except OSError:
+            replaced = 0
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
@@ -212,6 +242,7 @@ class ReductionCache:
                     handle,
                     protocol=pickle.HIGHEST_PROTOCOL,
                 )
+            written = os.stat(tmp).st_size
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -220,6 +251,52 @@ class ReductionCache:
                 pass
             raise
         self.stores += 1
+        if self.max_bytes is not None:
+            if self._tracked_bytes is None:
+                self._tracked_bytes = self.size_bytes()
+            else:
+                self._tracked_bytes += written - replaced
+            if self._tracked_bytes > self.max_bytes:
+                self.prune(self.max_bytes)
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict least-recently-used entries (mtime order — hits touch
+        the clock) until the directory's payload totals at most
+        ``max_bytes``.  Returns the number of entries removed.  Entries
+        that vanish concurrently (another worker pruned them) are
+        skipped, never an error."""
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        entries.sort()  # oldest mtime first = least recently used
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self._tracked_bytes = total  # resync the running estimate
+        self.pruned += removed
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total payload bytes currently on disk."""
+        total = 0
+        for path in self.directory.glob("*/*.pkl"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
 
     def __len__(self) -> int:
         """Number of stored entries currently on disk."""
@@ -230,4 +307,5 @@ class ReductionCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "pruned": self.pruned,
         }

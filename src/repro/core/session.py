@@ -43,11 +43,15 @@ from itertools import permutations, product
 from math import factorial
 from typing import Iterator, Literal, Sequence
 
-from ..engine.relation import Database
+from ..engine.relation import Database, Delta
 from ..hypergraph.isomorphism import structure_hash
 from ..queries.query import Atom, Query, Variable
 from ..reduction.disjoint import shift_distinct_left
-from ..reduction.forward import ForwardReductionResult, forward_reduce
+from ..reduction.forward import (
+    DomainChanged,
+    ForwardReductionResult,
+    forward_reduce,
+)
 from .baselines import naive_evaluate
 from .disjunct_eval import count_disjunction, evaluate_disjunction
 from .reduction_cache import (
@@ -104,23 +108,32 @@ def _form_deps(form: CanonicalForm) -> frozenset[str]:
     return form.query.relations
 
 
-def _quick_stamp(db: Database) -> tuple:
+_STAMP_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _quick_stamp(db: Database) -> dict[str, tuple]:
     """A cheap, order-independent *in-process* change stamp: per
     relation, tuple hashes folded with two commutative accumulators —
     one O(|D|) scan, no allocations.  Only meaningful within one
     process (built on ``hash()``); it gates the hot path so the heavier
     SHA digests of :func:`database_digests` are recomputed exactly when
-    something actually changed."""
-    relations = []
+    something actually changed.
+
+    The per-relation accumulators are *incrementally predictable*:
+    inserting tuple ``t`` adds ``hash(t)`` to the sum and xors it into
+    the xor fold.  :meth:`QuerySession._ensure_current` exploits this to
+    verify that the database's change log fully explains an observed
+    change before trusting it for delta patching."""
+    relations: dict[str, tuple] = {}
     for r in db:
         acc_sum = 0
         acc_xor = 0
         for t in r.tuples:
             h = hash(t)
-            acc_sum = (acc_sum + h) & 0xFFFFFFFFFFFFFFFF
+            acc_sum = (acc_sum + h) & _STAMP_MASK
             acc_xor ^= h
-        relations.append((r.name, r.schema, len(r.tuples), acc_sum, acc_xor))
-    return tuple(sorted(relations))
+        relations[r.name] = (r.schema, len(r.tuples), acc_sum, acc_xor)
+    return relations
 
 
 #: Above this many candidate atom orders the exact minimisation is
@@ -243,6 +256,7 @@ class SessionStats:
     invalidations: int = 0     # database mutations detected
     persistent_hits: int = 0   # reductions loaded from the on-disk cache
     evictions: int = 0         # answer-cache entries dropped by the LRU bound
+    delta_patches: int = 0     # deltas applied to cached reductions in place
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -252,6 +266,7 @@ class SessionStats:
             "invalidations": self.invalidations,
             "persistent_hits": self.persistent_hits,
             "evictions": self.evictions,
+            "delta_patches": self.delta_patches,
         }
 
 
@@ -284,16 +299,22 @@ class QuerySession:
         naive_budget: float = 20_000.0,
         cache_dir: str | os.PathLike | None = None,
         answer_cache_size: int = 1024,
+        cache_max_bytes: int | None = None,
     ):
         if answer_cache_size < 1:
             raise ValueError("answer_cache_size must be at least 1")
         self.db = db
         self.naive_budget = naive_budget
         self.stats = SessionStats()
-        self.cache = ReductionCache(cache_dir) if cache_dir is not None else None
+        self.cache = (
+            ReductionCache(cache_dir, max_bytes=cache_max_bytes)
+            if cache_dir is not None
+            else None
+        )
         self.answer_cache_size = answer_cache_size
         self._stamp = _quick_stamp(db)
         self._digests = database_digests(db)
+        self._db_version = getattr(db, "version", 0)
         # every store maps key -> (artifact, relation names it depends on)
         self._reductions: dict[tuple, tuple[ForwardReductionResult, frozenset[str]]] = {}
         self._disjoint: dict[tuple, tuple[ForwardReductionResult, frozenset[str]]] = {}
@@ -328,6 +349,7 @@ class QuerySession:
         self._answers.clear()
         self._stamp = _quick_stamp(self.db)
         self._digests = database_digests(self.db)
+        self._db_version = getattr(self.db, "version", self._db_version)
         self.stats.invalidations += 1
 
     def invalidate_relations(self, changed: frozenset[str] | set[str]) -> None:
@@ -352,17 +374,136 @@ class QuerySession:
             return  # checked once at batch entry; a batch call is atomic
         stamp = _quick_stamp(self.db)
         if stamp == self._stamp:
-            return  # hot path: one hash() fold, no digest recompute
-        self._stamp = stamp
+            # hot path: one hash() fold, no digest recompute.  Contents
+            # are what the caches reflect, so any log entries since the
+            # last sync were net-zero — fast-forward past them.
+            self._db_version = getattr(self.db, "version", self._db_version)
+            return
         digests = database_digests(self.db)
         changed = {
             name
             for name in set(digests) | set(self._digests)
             if digests.get(name) != self._digests.get(name)
         }
+        patch, rebuild = self._split_changes(changed, stamp)
+        self._stamp = stamp
         self._digests = digests
-        if changed:
+        self._db_version = getattr(self.db, "version", self._db_version)
+        if not changed:
+            return
+        if patch:
+            self._patch_or_drop(changed, patch, rebuild, digests)
+        else:
             self.invalidate_relations(changed)
+
+    def _split_changes(
+        self, changed: set[str], new_stamp: dict[str, tuple]
+    ) -> tuple[dict[str, list[Delta]], set[str]]:
+        """Partition the changed relations into *patchable* (the change
+        log fully explains the observed content change with tuple-level
+        deltas) and *rebuild* (whole-relation deltas, direct mutations
+        bypassing the log, or a log trimmed past our last sync)."""
+        changes = getattr(self.db, "changes_since", None)
+        deltas = changes(self._db_version) if changes is not None else None
+        if deltas is None:
+            return {}, set(changed)
+        by_relation: dict[str, list[Delta]] = {}
+        for delta in deltas:
+            by_relation.setdefault(delta.relation, []).append(delta)
+        patch: dict[str, list[Delta]] = {}
+        rebuild: set[str] = set()
+        for name in changed:
+            relation_deltas = by_relation.get(name)
+            if (
+                not relation_deltas
+                or any(not d.is_tuple_level for d in relation_deltas)
+                or not self._log_explains(name, relation_deltas, new_stamp)
+            ):
+                rebuild.add(name)
+            else:
+                patch[name] = relation_deltas
+        return patch, rebuild
+
+    def _log_explains(
+        self, name: str, deltas: list[Delta], new_stamp: dict[str, tuple]
+    ) -> bool:
+        """Verify that replaying ``deltas`` over the relation's last
+        synced stamp lands exactly on its current stamp — the integrity
+        check that catches direct ``relation.tuples`` mutations made
+        alongside logged ones (the stamp algebra would then not add up
+        and the relation falls back to a rebuild)."""
+        old = self._stamp.get(name)
+        new = new_stamp.get(name)
+        if old is None or new is None:
+            return False
+        schema, count, acc_sum, acc_xor = old
+        if new[0] != schema:
+            return False
+        for delta in deltas:
+            h = hash(delta.tuple)
+            if delta.kind == "insert":
+                count += 1
+                acc_sum = (acc_sum + h) & _STAMP_MASK
+            else:
+                count -= 1
+                acc_sum = (acc_sum - h) & _STAMP_MASK
+            acc_xor ^= h
+        return (schema, count, acc_sum, acc_xor) == new
+
+    def _patch_or_drop(
+        self,
+        changed: set[str],
+        patch: dict[str, list[Delta]],
+        rebuild: set[str],
+        digests: dict[str, str],
+    ) -> None:
+        """The delta-maintenance core: cached reductions whose touched
+        relations all have verified tuple-level deltas are patched in
+        place (and re-persisted under the post-delta digests, so a
+        restarted worker stays warm); everything else touching a changed
+        relation is dropped.  Answers and plans for touched queries
+        always drop — patching keeps the *reduction* warm, the (cheap)
+        disjunct evaluation still re-runs."""
+        stale: list[tuple] = []
+        for key, (result, deps) in self._reductions.items():
+            touched = deps & changed
+            if not touched:
+                continue
+            if touched & rebuild or not result.supports_patching():
+                stale.append(key)
+                continue
+            deltas = sorted(
+                (d for name in touched for d in patch[name]),
+                key=lambda d: d.version,
+            )
+            try:
+                for delta in deltas:
+                    result.apply_delta(delta)
+                    self.stats.delta_patches += 1
+            except DomainChanged:
+                stale.append(key)
+                continue
+            if self.cache is not None:
+                # key shapes: ("exact", qck, disjoint, provenance) and
+                # (form.key, disjoint, provenance) — flags are trailing
+                self.cache.put(
+                    reduction_key(
+                        result.original, digests, key[-2], key[-1], "plain"
+                    ),
+                    result,
+                )
+        for key in stale:
+            del self._reductions[key]
+        # the disjoint-shifted pipeline reduces over the G.1 shifted
+        # database, whose epsilon depends on every interval — never
+        # patched, always rebuilt
+        for store in (self._disjoint, self._plans, self._answers):
+            dead = [
+                key for key, (_, deps) in store.items() if deps & changed
+            ]
+            for key in dead:
+                del store[key]
+        self.stats.invalidations += 1
 
     # ------------------------------------------------------------------
     # cached artifacts

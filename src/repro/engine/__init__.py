@@ -5,7 +5,7 @@ algorithm for acyclic queries, and hypertree-decomposition evaluation —
 the substrate the forward reduction targets.
 """
 
-from .relation import Database, Relation, relation_from_mapping
+from .relation import Database, Delta, Relation, relation_from_mapping
 from .generic_join import (
     JoinAtom,
     default_variable_order,
@@ -37,6 +37,7 @@ from .ej import (
 
 __all__ = [
     "Database",
+    "Delta",
     "Relation",
     "relation_from_mapping",
     "JoinAtom",

@@ -7,10 +7,38 @@ relations, :class:`~repro.intervals.Interval` objects for IJ relations.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Iterable, Mapping, Sequence
 
 Value = Hashable
 Tuple_ = tuple
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One recorded database mutation.
+
+    ``kind`` is one of
+
+    * ``"insert"`` / ``"delete"`` — a single-tuple change (``tuple`` is
+      the affected tuple); these are the *patchable* kinds consumers can
+      apply to derived artifacts without recomputing them;
+    * ``"add"`` / ``"replace"`` / ``"remove"`` — a whole-relation change
+      (``tuple`` is ``None``); artifacts over the relation must be
+      rebuilt.
+
+    ``version`` is the database's monotone version counter *after* the
+    mutation; the change log orders deltas by it.
+    """
+
+    version: int
+    kind: str
+    relation: str
+    tuple: tuple | None = None
+
+    @property
+    def is_tuple_level(self) -> bool:
+        return self.kind in ("insert", "delete")
 
 
 class Relation:
@@ -125,17 +153,112 @@ class Relation:
 
 
 class Database:
-    """A named collection of relations."""
+    """A named collection of relations, with a mutation change log.
+
+    Every mutation made through the public API — :meth:`add`,
+    :meth:`insert`, :meth:`delete`, :meth:`replace`, :meth:`remove` —
+    bumps a monotone :attr:`version` counter and appends a
+    :class:`Delta` to a bounded change log, so consumers that cache
+    artifacts derived from the data (e.g.
+    :class:`~repro.core.session.QuerySession`) can see *what* changed
+    since a version they remember, not just *that* something changed,
+    and patch instead of rebuilding.  Mutating ``relation.tuples``
+    directly still works but bypasses the log; consumers detect such
+    changes by content and fall back to a full rebuild.
+    """
+
+    #: Retained change-log length.  Once exceeded, the oldest deltas are
+    #: dropped and :meth:`changes_since` reports the log as incomplete
+    #: (``None``) for versions that precede the retained window.
+    CHANGE_LOG_MAX = 10_000
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: dict[str, Relation] = {}
+        self._version = 0
+        self._log: list[Delta] = []
+        self._log_floor = 0  # changes_since(v) is complete iff v >= floor
         for r in relations:
             self.add(r)
+
+    # ------------------------------------------------------------------
+    # the change log
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: bumped by every logged mutation."""
+        return self._version
+
+    def changes_since(self, version: int) -> list[Delta] | None:
+        """The deltas applied after ``version``, oldest first — or
+        ``None`` when the log has been trimmed past ``version`` and can
+        no longer account for every change (callers must then fall back
+        to content-based invalidation)."""
+        if version >= self._version:
+            return []
+        if version < self._log_floor:
+            return None
+        return [d for d in self._log if d.version > version]
+
+    def _record(self, kind: str, relation: str, t: tuple | None = None) -> Delta:
+        self._version += 1
+        delta = Delta(self._version, kind, relation, t)
+        self._log.append(delta)
+        if len(self._log) > self.CHANGE_LOG_MAX:
+            del self._log[: len(self._log) - self.CHANGE_LOG_MAX]
+            self._log_floor = self._log[0].version - 1
+        return delta
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
 
     def add(self, relation: Relation) -> None:
         if relation.name in self._relations:
             raise ValueError(f"duplicate relation name {relation.name}")
         self._relations[relation.name] = relation
+        self._record("add", relation.name)
+
+    def insert(self, name: str, t: Sequence[Value]) -> Delta | None:
+        """Insert one tuple into the named relation; returns the logged
+        :class:`Delta`, or ``None`` when the tuple was already present
+        (set semantics — a no-op is not logged)."""
+        relation = self._relations[name]
+        tt = tuple(t)
+        if len(tt) != relation.arity:
+            raise ValueError(
+                f"tuple {tt} does not match schema {relation.schema}"
+            )
+        if tt in relation.tuples:
+            return None
+        relation.tuples.add(tt)
+        return self._record("insert", name, tt)
+
+    def delete(self, name: str, t: Sequence[Value]) -> Delta | None:
+        """Delete one tuple from the named relation; returns the logged
+        :class:`Delta`, or ``None`` when the tuple was absent."""
+        relation = self._relations[name]
+        tt = tuple(t)
+        if tt not in relation.tuples:
+            return None
+        relation.tuples.discard(tt)
+        return self._record("delete", name, tt)
+
+    def replace(self, relation: Relation) -> Delta:
+        """Replace the same-named relation wholesale (schema may
+        change).  The relation must already exist — use :meth:`add` for
+        new names."""
+        if relation.name not in self._relations:
+            raise KeyError(relation.name)
+        self._relations[relation.name] = relation
+        return self._record("replace", relation.name)
+
+    def remove(self, name: str) -> Delta:
+        """Drop a relation from the database entirely."""
+        if name not in self._relations:
+            raise KeyError(name)
+        del self._relations[name]
+        return self._record("remove", name)
 
     def __getitem__(self, name: str) -> Relation:
         return self._relations[name]

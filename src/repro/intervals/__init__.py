@@ -13,6 +13,8 @@ from .interval import (
     minimum_endpoint_gap,
 )
 from .segment_tree import (
+    IntervalLocation,
+    OutOfDomainError,
     Segment,
     SegmentTree,
     SegmentTreeNode,
@@ -46,6 +48,8 @@ __all__ = [
     "close_open_interval",
     "intersect_all",
     "minimum_endpoint_gap",
+    "IntervalLocation",
+    "OutOfDomainError",
     "Segment",
     "SegmentTree",
     "SegmentTreeNode",

@@ -29,6 +29,23 @@ NEG_INF = -math.inf
 POS_INF = math.inf
 
 
+class OutOfDomainError(ValueError):
+    """An interval's endpoints are not all in a segment tree's endpoint
+    domain: the tree built for the *new* interval set would have a
+    different shape, so node bitstrings cannot be reused and derived
+    artifacts must be rebuilt (see :meth:`SegmentTree.locate`)."""
+
+
+@dataclass(frozen=True)
+class IntervalLocation:
+    """Where a (possibly new) interval lives in an existing tree: its
+    canonical-partition nodes (the CP variant of Definition 4.9) and the
+    leaf of its left endpoint (the leaf variant)."""
+
+    canonical: tuple[str, ...]
+    leaf: str
+
+
 @dataclass(frozen=True)
 class Segment:
     """A segment of the real line with open/closed endpoint flags."""
@@ -114,6 +131,7 @@ class SegmentTree:
         for x in self._intervals:
             endpoints.append(x.left)
             endpoints.append(x.right)
+        self._endpoints = frozenset(endpoints)
         self._leaf_segments = elementary_segments(endpoints)
         self.root = _build_complete(self._leaf_segments, "")
         self._nodes: dict[str, SegmentTreeNode] = {}
@@ -190,6 +208,47 @@ class SegmentTree:
     def leaf_of_interval(self, x: Interval) -> str:
         """``leaf(x)``: the leaf containing the left endpoint of ``x``."""
         return self.leaf_of_point(x.left)
+
+    # ------------------------------------------------------------------
+    # locating new intervals against the existing endpoint domain
+    # ------------------------------------------------------------------
+
+    @property
+    def endpoints(self) -> frozenset:
+        """The endpoint domain the tree was built over: the set of all
+        left/right endpoints of its input intervals."""
+        return self._endpoints
+
+    def in_domain(self, x: Interval) -> bool:
+        """True iff both endpoints of ``x`` already occur in the tree's
+        endpoint domain.  Exactly then would rebuilding the tree with
+        ``x`` included produce the *identical* tree (same elementary
+        segments, same bitstrings), so ``x`` can be encoded against this
+        tree without a rebuild."""
+        return x.left in self._endpoints and x.right in self._endpoints
+
+    def locate(self, x: Interval) -> IntervalLocation:
+        """Locate a (possibly new) interval against this tree without
+        rebuilding it: its canonical-partition nodes and the leaf of its
+        left endpoint.
+
+        Raises :class:`OutOfDomainError` when an endpoint of ``x`` falls
+        outside the endpoint domain — the canonical partition would then
+        overshoot ``x`` (its maximal in-``x`` nodes no longer tile ``x``
+        exactly), so encodings derived from it would be wrong and the
+        caller must rebuild.
+        """
+        if not self.in_domain(x):
+            missing = [
+                p for p in (x.left, x.right) if p not in self._endpoints
+            ]
+            raise OutOfDomainError(
+                f"endpoint(s) {missing} of {x} are outside the segment "
+                f"tree's {len(self._endpoints)}-point endpoint domain"
+            )
+        return IntervalLocation(
+            tuple(self.canonical_partition(x)), self.leaf_of_interval(x)
+        )
 
     # ------------------------------------------------------------------
     # classical insert / stab (Algorithms 2 and 3)

@@ -1,10 +1,12 @@
 """Forward (IJ -> EJ) and backward (EJ -> IJ) reductions."""
 
 from .forward import (
+    DomainChanged,
     EncodedQuery,
     ForwardReducer,
     ForwardReductionResult,
     forward_reduce,
+    transform_tuple,
 )
 from .backward import (
     backward_database,
@@ -21,10 +23,12 @@ from .factored import (
 )
 
 __all__ = [
+    "DomainChanged",
     "EncodedQuery",
     "ForwardReducer",
     "ForwardReductionResult",
     "forward_reduce",
+    "transform_tuple",
     "backward_database",
     "backward_reduce",
     "bitstring_encode_database",

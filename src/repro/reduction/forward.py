@@ -27,9 +27,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import permutations, product
-from typing import Iterator
+from typing import Iterator, Mapping
 
-from ..engine.relation import Database, Relation
+from ..engine.relation import Database, Delta, Relation
 from ..intervals.bitstring import splits
 from ..intervals.interval import Interval
 from ..intervals.segment_tree import SegmentTree
@@ -38,6 +38,13 @@ from ..hypergraph.transform import part_vertex
 
 # variable name -> atom label -> 1-based permutation position
 PositionMap = dict[str, dict[str, int]]
+
+
+class DomainChanged(Exception):
+    """A delta cannot be applied to an existing reduction — the segment
+    trees' endpoint domains no longer describe the data (a new endpoint
+    appeared), the change is not tuple-level, or the artifact carries no
+    patch metadata.  Callers must re-run the full forward reduction."""
 
 
 @dataclass(frozen=True)
@@ -70,6 +77,78 @@ class EncodedQuery:
     positions: PositionMap
 
 
+def _interval_encodings(
+    tree: SegmentTree, k: int, value: Interval, i: int, nonempty_last: bool
+) -> list[tuple[str, ...]]:
+    """All ``(X1..Xi)`` bitstring tuples for one interval value against
+    one segment tree: CP-variant splits for ``i < k``, leaf-variant
+    splits for ``i = k`` (Definition 4.9), with the Appendix G
+    non-emptiness constraint applied when requested."""
+    if i < k:
+        nodes = tree.canonical_partition(value)
+    else:
+        nodes = [tree.leaf_of_interval(value)]
+    out: list[tuple[str, ...]] = []
+    for node in nodes:
+        for split in splits(node, i):
+            if nonempty_last and i > 1 and split[-1] == "":
+                continue
+            out.append(split)
+    return out
+
+
+def transform_tuple(
+    atom: Atom,
+    spec: _VariantSpec,
+    t: tuple,
+    trees: Mapping[str, SegmentTree],
+    k: Mapping[str, int],
+    tuple_id: int | None = None,
+) -> set[tuple]:
+    """The rows one input tuple contributes to one transformed relation
+    variant (the per-tuple body of Definition 4.9).
+
+    This is the single transform shared by the batch reduction loop
+    (:meth:`ForwardReducer.variant_relation`) and the delta-patching
+    path (:meth:`ForwardReductionResult.apply_delta`): both derive a
+    tuple's rows the same way, so a patched artifact is bit-identical
+    to what a fresh reduction over the mutated data would build
+    (endpoint domains permitting).
+
+    Distinct canonical-partition nodes and distinct splits never
+    concatenate to the same parts, so the returned rows are exactly the
+    tuple's derived rows with no within-tuple multiplicity.
+    """
+    parts = dict(spec.parts)
+    nonempty = set(spec.nonempty_last)
+    encodings: list[list[tuple[str, ...]]] = []
+    fixed: list = []
+    order: list[tuple[str, int]] = []  # (kind, payload index)
+    for v, value in zip(atom.variables, t):
+        if v.is_interval:
+            i = parts[v.name]
+            options = _interval_encodings(
+                trees[v.name], k[v.name], value, i, v.name in nonempty
+            )
+            encodings.append(options)
+            order.append(("interval", len(encodings) - 1))
+        else:
+            fixed.append(value)
+            order.append(("point", len(fixed) - 1))
+    rows: set[tuple] = set()
+    for choice in product(*encodings):
+        row: list = []
+        for kind, idx in order:
+            if kind == "interval":
+                row.extend(choice[idx])
+            else:
+                row.append(fixed[idx])
+        if spec.provenance and parts:
+            row.append(tuple_id)
+        rows.add(tuple(row))
+    return rows
+
+
 @dataclass
 class ForwardReductionResult:
     """Output of the full forward reduction (Theorem 4.13)."""
@@ -80,7 +159,19 @@ class ForwardReductionResult:
     segment_trees: dict[str, SegmentTree] = field(default_factory=dict)
     #: atom label -> input tuples in provenance-id order: the tuple at
     #: index ``i`` is the one the reduction tagged ``__id_<label> = i``.
+    #: Slots of tuples deleted by :meth:`apply_delta` hold ``None`` so
+    #: surviving provenance ids stay stable.
     tuple_order: dict[str, list[tuple]] = field(default_factory=dict)
+    #: atom label -> the transformed-relation variants built for it
+    #: (every distinct :class:`_VariantSpec` across all disjuncts) —
+    #: the patch metadata :meth:`apply_delta` walks.  Empty for results
+    #: of encodings that do not support patching (e.g. factored).
+    atom_variants: dict[str, tuple] = field(default_factory=dict)
+    #: variant relation name -> derived row -> number of distinct input
+    #: tuples deriving it.  Needed to delete safely under set semantics:
+    #: a derived row disappears only when its last deriving input tuple
+    #: does.
+    variant_counts: dict[str, dict[tuple, int]] = field(default_factory=dict)
 
     @property
     def ej_queries(self) -> list[Query]:
@@ -98,6 +189,149 @@ class ForwardReductionResult:
         if original_db.size == 0:
             return 0.0
         return self.database.size / original_db.size
+
+    # ------------------------------------------------------------------
+    # delta maintenance
+    # ------------------------------------------------------------------
+
+    def supports_patching(self) -> bool:
+        """True when this artifact carries the metadata
+        :meth:`apply_delta` needs (built by :meth:`ForwardReducer.reduce`;
+        factored results and pre-delta artifacts do not)."""
+        return bool(self.atom_variants)
+
+    def apply_delta(self, delta: Delta) -> None:
+        """Patch the transformed database in place for one tuple-level
+        mutation of a source relation, instead of re-running Algorithm 1.
+
+        The delta must be expressed over the *same database* this
+        reduction was computed from (in particular, not over the G.1
+        shifted copy of a ``disjoint-shifted`` pipeline: the shift
+        epsilon depends on every interval, so those artifacts are
+        rebuilt, not patched).  For an **insert** whose interval
+        endpoints already lie in the segment trees' endpoint domains,
+        the trees a fresh reduction would build are *identical* to the
+        stored ones, so appending the tuple's derived rows (per variant,
+        via :func:`transform_tuple`) reproduces the fresh reduction
+        exactly.  For a **delete**, the stored trees remain valid
+        (their endpoint domain is a superset of the remaining
+        intervals'), so removing the tuple's derived rows — refcounted
+        in :attr:`variant_counts`, since set semantics may share rows
+        between input tuples — yields a correct, if not bit-identical,
+        reduction.  Provenance ids stay stable: inserts append to
+        :attr:`tuple_order`, deletes leave a ``None`` sentinel.
+
+        Raises :class:`DomainChanged` when a full re-reduction is
+        required: a whole-relation delta (``add``/``replace``/
+        ``remove``), an insert with an endpoint outside a tree's
+        domain, or an artifact without patch metadata.  A delta whose
+        relation is not referenced by the query is a no-op.
+        """
+        if delta.relation not in self.source_relations:
+            return
+        if not delta.is_tuple_level or delta.tuple is None:
+            raise DomainChanged(
+                f"{delta.kind!r} delta on {delta.relation!r} is not a "
+                f"tuple-level change"
+            )
+        if not self.supports_patching():
+            raise DomainChanged(
+                "this reduction carries no patch metadata "
+                "(factored encoding or pre-delta artifact)"
+            )
+        atoms = [
+            a for a in self.original.atoms if a.relation == delta.relation
+        ]
+        t = delta.tuple
+        for atom in atoms:
+            if len(t) != len(atom.variables):
+                raise DomainChanged(
+                    f"tuple {t} does not match the arity of atom "
+                    f"{atom.label}"
+                )
+        k = {
+            v.name: len(self.original.atoms_containing(v.name))
+            for v in self.original.interval_variables
+        }
+        if delta.kind == "insert":
+            for atom in atoms:
+                for v, value in zip(atom.variables, t):
+                    if v.is_interval and not self.segment_trees[
+                        v.name
+                    ].in_domain(value):
+                        raise DomainChanged(
+                            f"endpoint of {value} falls outside the "
+                            f"[{v.name}] segment tree's endpoint domain"
+                        )
+        self._patch(atoms, t, k, inserting=delta.kind == "insert")
+
+    def _patch(
+        self,
+        atoms: list[Atom],
+        t: tuple,
+        k: Mapping[str, int],
+        inserting: bool,
+    ) -> None:
+        # assign/locate the tuple's provenance id per atom label; order
+        # lists are shared between self-join atoms of one relation, so
+        # adjust each underlying list exactly once
+        ids: dict[str, int] = {}
+        adjusted: set[int] = set()
+        for atom in atoms:
+            order = self.tuple_order[atom.label]
+            if inserting:
+                if id(order) not in adjusted:
+                    order.append(t)
+                    adjusted.add(id(order))
+                ids[atom.label] = len(order) - 1
+            else:
+                try:
+                    ids[atom.label] = order.index(t)
+                except ValueError:
+                    raise DomainChanged(
+                        f"tuple {t} is unknown to this reduction's "
+                        f"provenance order for atom {atom.label}"
+                    ) from None
+        for atom in atoms:
+            for spec in self.atom_variants[atom.label]:
+                name = spec.name()
+                relation = self.database[name]
+                if not spec.parts:
+                    # point-only variant: a verbatim copy of the source
+                    if inserting:
+                        relation.tuples.add(t)
+                    else:
+                        relation.tuples.discard(t)
+                    continue
+                counts = self.variant_counts.get(name)
+                if counts is None:
+                    raise DomainChanged(
+                        f"variant {name} has no derived-row refcounts"
+                    )
+                rows = transform_tuple(
+                    atom, spec, t, self.segment_trees, k, ids[atom.label]
+                )
+                if inserting:
+                    for row in rows:
+                        count = counts.get(row, 0) + 1
+                        counts[row] = count
+                        if count == 1:
+                            relation.tuples.add(row)
+                else:
+                    for row in rows:
+                        count = counts.get(row, 0) - 1
+                        if count <= 0:
+                            counts.pop(row, None)
+                            relation.tuples.discard(row)
+                        else:
+                            counts[row] = count
+        if not inserting:
+            cleared: set[int] = set()
+            for atom in atoms:
+                order = self.tuple_order[atom.label]
+                if id(order) not in cleared:
+                    order[ids[atom.label]] = None
+                    cleared.add(id(order))
 
 
 class ForwardReducer:
@@ -127,6 +361,8 @@ class ForwardReducer:
                     intervals.append(t[idx])
             self.trees[x] = SegmentTree(intervals)
         self._variants: dict[_VariantSpec, Relation] = {}
+        self._variant_counts: dict[str, dict[tuple, int]] = {}
+        self._atom_variants: dict[str, dict[_VariantSpec, None]] = {}
         self._tuple_order: dict[str, list[tuple]] = {}
 
     def relation_order(self, relation_name: str) -> list[tuple]:
@@ -181,6 +417,9 @@ class ForwardReducer:
             tuple(sorted(nonempty)),
             self.provenance,
         )
+        # remember every variant an atom is encoded with across all
+        # disjuncts: the patch metadata apply_delta later walks
+        self._atom_variants.setdefault(atom.label, {}).setdefault(spec)
         if self.provenance and parts:
             new_vars.append(pvar(f"__id_{atom.label}"))
         return tuple(new_vars), spec
@@ -219,7 +458,6 @@ class ForwardReducer:
         if spec in self._variants:
             return self._variants[spec]
         parts = dict(spec.parts)
-        nonempty = set(spec.nonempty_last)
         schema: list[str] = []
         for v in atom.variables:
             if v.is_interval:
@@ -229,35 +467,22 @@ class ForwardReducer:
                 schema.append(v.name)
         if spec.provenance and parts:
             schema.append(f"__id_{atom.label}")
-        tuples: set[tuple] = set()
+        counts: dict[tuple, int] = {}
         for tuple_id, t in enumerate(self.relation_order(atom.relation)):
-            encodings: list[list[tuple[str, ...]]] = []
-            fixed: list = []
-            order: list[tuple[str, int]] = []  # (kind, payload)
-            for v, value in zip(atom.variables, t):
-                if v.is_interval:
-                    i = parts[v.name]
-                    options = self._encodings(
-                        v.name, value, i, v.name in nonempty
-                    )
-                    encodings.append(options)
-                    order.append(("interval", len(encodings) - 1))
-                else:
-                    fixed.append(value)
-                    order.append(("point", len(fixed) - 1))
-            for choice in product(*encodings):
-                row: list = []
-                for kind, idx in order:
-                    if kind == "interval":
-                        row.extend(choice[idx])
-                    else:
-                        row.append(fixed[idx])
-                if spec.provenance and parts:
-                    row.append(tuple_id)
-                tuples.add(tuple(row))
-        result = Relation(spec.name(), schema, tuples)
+            for row in self.transform_tuple(atom, spec, t, tuple_id):
+                counts[row] = counts.get(row, 0) + 1
+        result = Relation(spec.name(), schema, set(counts))
         self._variants[spec] = result
+        self._variant_counts[spec.name()] = counts
         return result
+
+    def transform_tuple(
+        self, atom: Atom, spec: _VariantSpec, t: tuple, tuple_id: int
+    ) -> set[tuple]:
+        """The rows one input tuple contributes to one variant — the
+        per-tuple transform shared with the delta-patching path (see
+        the module-level :func:`transform_tuple`)."""
+        return transform_tuple(atom, spec, t, self.trees, self.k, tuple_id)
 
     def _encodings(
         self, x: str, value: Interval, i: int, nonempty_last: bool
@@ -265,19 +490,9 @@ class ForwardReducer:
         """All ``(X1..Xi)`` bitstring tuples for one interval value:
         CP-variant splits for ``i < k``, leaf-variant splits for
         ``i = k`` (Definition 4.9)."""
-        tree = self.trees[x]
-        k = self.k[x]
-        if i < k:
-            nodes = tree.canonical_partition(value)
-        else:
-            nodes = [tree.leaf_of_interval(value)]
-        out: list[tuple[str, ...]] = []
-        for node in nodes:
-            for split in splits(node, i):
-                if nonempty_last and i > 1 and split[-1] == "":
-                    continue
-                out.append(split)
-        return out
+        return _interval_encodings(
+            self.trees[x], self.k[x], value, i, nonempty_last
+        )
 
     # ------------------------------------------------------------------
     # full reduction
@@ -310,8 +525,18 @@ class ForwardReducer:
             atom.label: self.relation_order(atom.relation)
             for atom in self.query.atoms
         }
+        atom_variants = {
+            label: tuple(specs)
+            for label, specs in self._atom_variants.items()
+        }
         return ForwardReductionResult(
-            self.query, encoded, database, dict(self.trees), tuple_order
+            self.query,
+            encoded,
+            database,
+            dict(self.trees),
+            tuple_order,
+            atom_variants,
+            self._variant_counts,
         )
 
 

@@ -70,6 +70,18 @@ class TestWorkflow:
         assert "benchmarks/bench_*.py" in runs
         assert "--quick" in runs
 
+    def test_bench_smoke_uploads_json_results(self, workflow):
+        steps = workflow["jobs"]["bench-smoke"]["steps"]
+        uploads = [
+            step
+            for step in steps
+            if str(step.get("uses", "")).startswith(
+                "actions/upload-artifact@"
+            )
+        ]
+        assert uploads
+        assert "benchmarks/results" in uploads[0]["with"]["path"]
+
     def test_every_job_checks_out_and_sets_up_python(self, workflow):
         for name, job in workflow["jobs"].items():
             uses = [step.get("uses", "") for step in job["steps"]]

@@ -1,0 +1,594 @@
+"""Delta maintenance: mutations that patch reductions instead of
+rebuilding them.
+
+Covers the whole stack, bottom-up:
+
+* the :class:`~repro.engine.relation.Database` mutation API and its
+  bounded change log (:class:`~repro.engine.relation.Delta`);
+* :meth:`~repro.intervals.segment_tree.SegmentTree.locate` — placing a
+  *new* interval against an existing endpoint domain;
+* :meth:`~repro.reduction.forward.ForwardReductionResult.apply_delta` —
+  tuple-level patches of the transformed database, checked
+  differentially against a fresh reduction;
+* the :class:`~repro.core.session.QuerySession` integration — in-domain
+  deltas patch cached reductions in place (``stats.delta_patches``),
+  everything else falls back to the digest-diff rebuild;
+* :meth:`~repro.core.reduction_cache.ReductionCache.prune` and the
+  ``--cache-max-bytes`` CLI wiring.
+"""
+
+import random
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core import (
+    QuerySession,
+    ReductionCache,
+    naive_count,
+    naive_evaluate,
+    reduction_key,
+)
+from repro.core.reduction_cache import database_digests
+from repro.engine import Database, Delta, Relation
+from repro.intervals import Interval, OutOfDomainError, SegmentTree
+from repro.queries import parse_query
+from repro.reduction import (
+    DomainChanged,
+    forward_reduce,
+    forward_reduce_factored,
+)
+from repro.workloads import random_database
+
+TRIANGLE = "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])"
+
+
+def iv(lo, hi):
+    return Interval(lo, hi)
+
+
+# ----------------------------------------------------------------------
+# the Database mutation API and change log
+# ----------------------------------------------------------------------
+
+
+class TestDatabaseMutationAPI:
+    def make(self):
+        return Database(
+            [Relation("R", ("A", "B"), [(iv(0, 2), iv(1, 3))])]
+        )
+
+    def test_insert_returns_a_versioned_delta(self):
+        db = self.make()
+        before = db.version
+        delta = db.insert("R", (iv(4, 5), iv(4, 6)))
+        assert isinstance(delta, Delta)
+        assert delta.kind == "insert" and delta.relation == "R"
+        assert delta.tuple == (iv(4, 5), iv(4, 6))
+        assert delta.is_tuple_level
+        assert delta.version == db.version == before + 1
+        assert (iv(4, 5), iv(4, 6)) in db["R"]
+
+    def test_duplicate_insert_is_an_unlogged_noop(self):
+        db = self.make()
+        before = db.version
+        assert db.insert("R", (iv(0, 2), iv(1, 3))) is None
+        assert db.version == before
+        assert len(db["R"]) == 1
+
+    def test_insert_validates_arity(self):
+        db = self.make()
+        with pytest.raises(ValueError):
+            db.insert("R", (iv(0, 1),))
+
+    def test_delete_and_absent_delete(self):
+        db = self.make()
+        delta = db.delete("R", (iv(0, 2), iv(1, 3)))
+        assert delta.kind == "delete" and delta.is_tuple_level
+        assert len(db["R"]) == 0
+        assert db.delete("R", (iv(0, 2), iv(1, 3))) is None
+
+    def test_replace_swaps_the_relation_wholesale(self):
+        db = self.make()
+        delta = db.replace(Relation("R", ("A", "B"), [(iv(9, 9), iv(9, 9))]))
+        assert delta.kind == "replace" and not delta.is_tuple_level
+        assert db["R"].tuples == {(iv(9, 9), iv(9, 9))}
+        with pytest.raises(KeyError):
+            db.replace(Relation("Z", ("A",), []))
+
+    def test_remove_drops_the_relation(self):
+        db = self.make()
+        delta = db.remove("R")
+        assert delta.kind == "remove"
+        assert "R" not in db
+        with pytest.raises(KeyError):
+            db.remove("R")
+
+    def test_changes_since_replays_in_order(self):
+        db = self.make()
+        v0 = db.version
+        d1 = db.insert("R", (iv(4, 5), iv(4, 5)))
+        d2 = db.delete("R", (iv(0, 2), iv(1, 3)))
+        assert db.changes_since(v0) == [d1, d2]
+        assert db.changes_since(d1.version) == [d2]
+        assert db.changes_since(db.version) == []
+
+    def test_trimmed_log_reports_incomplete(self):
+        db = self.make()
+        db.CHANGE_LOG_MAX = 3
+        v0 = db.version
+        for i in range(6):
+            db.insert("R", (iv(10 + i, 11 + i), iv(10 + i, 11 + i)))
+        assert db.changes_since(v0) is None  # trimmed past v0
+        recent = db.changes_since(db.version - 2)
+        assert recent is not None and len(recent) == 2
+
+
+# ----------------------------------------------------------------------
+# locating new intervals in an existing segment tree
+# ----------------------------------------------------------------------
+
+
+class TestSegmentTreeLocate:
+    def make(self):
+        return SegmentTree([iv(0, 4), iv(2, 6), iv(5, 9)])
+
+    def test_endpoint_domain(self):
+        tree = self.make()
+        assert tree.endpoints == frozenset({0, 4, 2, 6, 5, 9})
+        assert tree.in_domain(iv(2, 5))
+        assert not tree.in_domain(iv(2, 7))
+        assert not tree.in_domain(iv(-1, 4))
+
+    def test_locate_matches_the_build_time_paths(self):
+        tree = self.make()
+        x = iv(2, 9)  # new interval, both endpoints in the domain
+        location = tree.locate(x)
+        assert list(location.canonical) == tree.canonical_partition(x)
+        assert location.leaf == tree.leaf_of_interval(x)
+        # the canonical partition tiles x exactly: every segment inside
+        segments = [tree.seg(b) for b in location.canonical]
+        assert all(s.within_interval(x) for s in segments)
+        assert min(s.lo for s in segments) == x.left
+        assert max(s.hi for s in segments) == x.right
+
+    def test_out_of_domain_reports_cleanly(self):
+        tree = self.make()
+        with pytest.raises(OutOfDomainError) as error:
+            tree.locate(iv(2, 7))
+        assert "7" in str(error.value)
+        assert isinstance(error.value, ValueError)
+
+
+# ----------------------------------------------------------------------
+# patching a reduction result differentially against a fresh reduce
+# ----------------------------------------------------------------------
+
+
+def _random_db(query, rng, n=20):
+    def interval():
+        lo = rng.randint(0, 25)
+        return iv(lo, lo + rng.randint(0, 6))
+
+    db = Database()
+    for atom in query.atoms:
+        rows = {
+            tuple(interval() for _ in atom.variables) for _ in range(n)
+        }
+        db.add(Relation(atom.relation, atom.variable_names, rows))
+    return db
+
+
+def _in_domain_tuple(result, relation, rng):
+    """A new tuple for ``relation`` whose interval endpoints all lie in
+    the reduction's segment-tree domains.  Works off the reduction's
+    *own* query (which may be the canonical renaming), so it is usable
+    against session-cached artifacts too."""
+    atom = next(
+        a for a in result.original.atoms if a.relation == relation
+    )
+    row = []
+    for v in atom.variables:
+        points = sorted(result.segment_trees[v.name].endpoints)
+        lo, hi = sorted(rng.sample(points, 2))
+        row.append(iv(lo, hi))
+    return tuple(row)
+
+
+class TestApplyDelta:
+    @pytest.mark.parametrize("provenance", [False, True])
+    def test_insert_then_delete_round_trips(self, provenance):
+        rng = random.Random(3)
+        q = parse_query(TRIANGLE)
+        db = _random_db(q, rng)
+        for trial in range(8):
+            result = forward_reduce(
+                q, db, disjoint=provenance, provenance=provenance
+            )
+            name = q.atoms[trial % 3].relation
+            t = _in_domain_tuple(result, name, rng)
+            delta = db.insert(name, t)
+            if delta is None:
+                continue
+            result.apply_delta(delta)
+            fresh = forward_reduce(
+                q, db, disjoint=provenance, provenance=provenance
+            )
+            for rel in fresh.database.relation_names:
+                patched, expected = result.database[rel], fresh.database[rel]
+                # provenance ids may be assigned differently; compare
+                # the id-free projection
+                keep = [
+                    c for c in expected.schema if not c.startswith("__id_")
+                ]
+                assert (
+                    patched.project(keep).tuples
+                    == expected.project(keep).tuples
+                ), (provenance, trial, rel)
+            result.apply_delta(db.delete(name, t))
+            back = forward_reduce(
+                q, db, disjoint=provenance, provenance=provenance
+            )
+            for rel in back.database.relation_names:
+                patched, expected = result.database[rel], back.database[rel]
+                keep = [
+                    c for c in expected.schema if not c.startswith("__id_")
+                ]
+                assert (
+                    patched.project(keep).tuples
+                    == expected.project(keep).tuples
+                ), ("delete", provenance, trial, rel)
+
+    def test_deleting_one_of_two_row_sharing_tuples_keeps_shared_rows(self):
+        """Set semantics: two input tuples can derive the same
+        transformed row; deleting one must decrement the refcount, not
+        remove the other's row (and a later rebuild-free evaluation
+        must still be correct)."""
+        q = parse_query("R([A]) \u2227 S([A])")
+        db = Database(
+            [
+                Relation("R", ("A",), [(iv(0, 1),), (iv(0, 3),)]),
+                Relation("S", ("A",), [(iv(0, 8),), (iv(2, 5),)]),
+            ]
+        )
+        result = forward_reduce(q, db)
+        shared = {
+            (name, row)
+            for name, counts in result.variant_counts.items()
+            if name.startswith("R~")
+            for row, count in counts.items()
+            if count >= 2
+        }
+        assert shared, "instance must actually share derived rows"
+        result.apply_delta(db.delete("R", (iv(0, 1),)))
+        for name, row in shared:
+            assert row in result.database[name].tuples, (name, row)
+            assert result.variant_counts[name][row] == 1
+        from repro.core import evaluate_disjunction
+
+        assert evaluate_disjunction(result) == naive_evaluate(q, db)
+        # deleting the second tuple finally clears the shared rows
+        result.apply_delta(db.delete("R", (iv(0, 3),)))
+        for name, row in shared:
+            assert row not in result.database[name].tuples, (name, row)
+        assert evaluate_disjunction(result) == naive_evaluate(q, db)
+
+    def test_point_variable_atoms_patch_their_copies(self):
+        q = parse_query("R([A], P) ∧ S([A], P) ∧ U(P, W)")
+        rng = random.Random(11)
+        db = Database()
+        for atom in q.atoms:
+            rows = set()
+            for _ in range(8):
+                row = []
+                for v in atom.variables:
+                    if v.is_interval:
+                        lo = rng.randint(0, 9)
+                        row.append(iv(lo, lo + rng.randint(0, 3)))
+                    else:
+                        row.append(rng.randint(0, 3))
+                rows.add(tuple(row))
+            db.add(Relation(atom.relation, atom.variable_names, rows))
+        result = forward_reduce(q, db)
+        delta = db.insert("U", (1, 99))  # point-only atom
+        result.apply_delta(delta)
+        fresh = forward_reduce(q, db)
+        for rel in fresh.database.relation_names:
+            assert result.database[rel].tuples == fresh.database[rel].tuples
+
+    def test_evaluation_agrees_after_patch(self):
+        rng = random.Random(7)
+        q = parse_query(TRIANGLE)
+        db = _random_db(q, rng, n=12)
+        result = forward_reduce(q, db)
+        from repro.core import evaluate_disjunction
+
+        for _ in range(6):
+            t = _in_domain_tuple(result, "R", rng)
+            delta = db.insert("R", t) or db.delete("R", t)
+            result.apply_delta(delta)
+            assert evaluate_disjunction(result) == naive_evaluate(q, db)
+
+    def test_out_of_domain_insert_raises_domain_changed(self):
+        q = parse_query(TRIANGLE)
+        db = _random_db(q, random.Random(1))
+        result = forward_reduce(q, db)
+        delta = db.insert("R", (iv(-500.5, -499.5), iv(0, 1)))
+        with pytest.raises(DomainChanged):
+            result.apply_delta(delta)
+
+    def test_whole_relation_deltas_raise(self):
+        q = parse_query(TRIANGLE)
+        db = _random_db(q, random.Random(2))
+        result = forward_reduce(q, db)
+        delta = db.replace(Relation("R", ("A", "B"), []))
+        with pytest.raises(DomainChanged):
+            result.apply_delta(delta)
+
+    def test_unreferenced_relation_is_a_noop(self):
+        q = parse_query(TRIANGLE)
+        db = _random_db(q, random.Random(4))
+        db.add(Relation("Z", ("A",), [(iv(0, 1),)]))
+        result = forward_reduce(q, db)
+        sizes = {
+            name: len(result.database[name])
+            for name in result.database.relation_names
+        }
+        result.apply_delta(db.insert("Z", (iv(5, 6),)))
+        assert sizes == {
+            name: len(result.database[name])
+            for name in result.database.relation_names
+        }
+
+    def test_factored_results_do_not_support_patching(self):
+        q = parse_query(TRIANGLE)
+        db = _random_db(q, random.Random(5))
+        result = forward_reduce_factored(q, db)
+        assert not result.supports_patching()
+        delta = db.insert("R", (iv(0, 1), iv(0, 1)))
+        with pytest.raises(DomainChanged):
+            result.apply_delta(delta)
+
+
+# ----------------------------------------------------------------------
+# the session: patch instead of rebuild
+# ----------------------------------------------------------------------
+
+
+class TestSessionDeltaMaintenance:
+    def warm_session(self, seed=7, n=30, **kwargs):
+        q = parse_query(TRIANGLE)
+        db = random_database(q, n, seed=seed)
+        session = QuerySession(db, **kwargs)
+        session.evaluate(q, strategy="reduction")
+        return q, db, session
+
+    def in_domain_tuple(self, session, q, rng=None):
+        rng = rng or random.Random(0)
+        result = session._reductions[
+            next(iter(session._reductions))
+        ][0]
+        return _in_domain_tuple(result, "R", rng)
+
+    def test_in_domain_insert_patches_without_reducing(self):
+        """The acceptance criterion: a warm session absorbs an
+        in-domain single-tuple insert with zero forward reductions."""
+        q, db, session = self.warm_session()
+        before = session.stats.reductions
+        t = self.in_domain_tuple(session, q)
+        assert db.insert("R", t) is not None
+        assert session.evaluate(q, strategy="reduction") == naive_evaluate(
+            q, db
+        )
+        assert session.stats.reductions == before, session.stats.as_dict()
+        assert session.stats.delta_patches > 0, session.stats.as_dict()
+
+    def test_in_domain_delete_patches_without_reducing(self):
+        q, db, session = self.warm_session()
+        victim = next(iter(db["R"].tuples))
+        before = session.stats.reductions
+        assert db.delete("R", victim) is not None
+        assert session.evaluate(q, strategy="reduction") == naive_evaluate(
+            q, db
+        )
+        assert session.count(q) == naive_count(q, db)
+        assert session.stats.reductions == before + 1  # disjoint rebuild only
+        assert session.stats.delta_patches > 0
+
+    def test_out_of_domain_insert_falls_back_to_rebuild(self):
+        q, db, session = self.warm_session()
+        before = session.stats.reductions
+        db.insert("R", (iv(-9999.5, -9998.5), iv(-9999.5, -9998.5)))
+        assert session.evaluate(q, strategy="reduction") == naive_evaluate(
+            q, db
+        )
+        assert session.stats.reductions == before + 1
+
+    def test_direct_mutation_bypassing_the_log_rebuilds(self):
+        q, db, session = self.warm_session()
+        before = session.stats.reductions
+        t = self.in_domain_tuple(session, q)
+        db["R"].tuples.add(t)  # no delta logged
+        assert session.evaluate(q, strategy="reduction") == naive_evaluate(
+            q, db
+        )
+        assert session.stats.reductions == before + 1
+        assert session.stats.delta_patches == 0
+
+    def test_mixed_logged_and_direct_mutation_rebuilds(self):
+        """The stamp algebra must catch a logged insert *plus* a direct
+        unlogged mutation of the same relation between two reads."""
+        q, db, session = self.warm_session()
+        before = session.stats.reductions
+        t = self.in_domain_tuple(session, q)
+        assert db.insert("R", t) is not None
+        direct = self.in_domain_tuple(session, q, random.Random(99))
+        db["R"].tuples.discard(direct)  # may or may not be present
+        db["R"].tuples.add((iv(0.25, 0.75), iv(0.25, 0.75)))
+        assert session.evaluate(q, strategy="reduction") == naive_evaluate(
+            q, db
+        )
+        assert session.stats.reductions == before + 1
+        assert session.stats.delta_patches == 0
+
+    def test_untouched_queries_stay_warm_while_others_patch(self):
+        q = parse_query(TRIANGLE)
+        other = parse_query("Qo := U([X],[Y]) ∧ V([Y],[Z])")
+        db = random_database(q, 20, seed=3)
+        for relation in random_database(other, 10, seed=4):
+            db.add(relation)
+        session = QuerySession(db)
+        session.evaluate(q, strategy="reduction")
+        session.evaluate(other, strategy="reduction")
+        # patch the triangle's R; the other query's artifacts survive
+        result = next(
+            entry[0]
+            for entry in session._reductions.values()
+            if "R" in entry[1]
+        )
+        t = _in_domain_tuple(result, "R", random.Random(0))
+        assert db.insert("R", t) is not None
+        hits_before = session.stats.hits
+        assert session.evaluate(other, strategy="reduction") == (
+            naive_evaluate(other, db)
+        )
+        assert session.stats.hits == hits_before + 1  # served from cache
+
+    def test_answers_for_touched_queries_drop_but_reduction_survives(self):
+        q, db, session = self.warm_session()
+        misses = session.stats.misses
+        t = self.in_domain_tuple(session, q)
+        assert db.insert("R", t) is not None
+        session.evaluate(q, strategy="reduction")
+        # the answer was recomputed (cache dropped) over the patched
+        # reduction (no new reduction)
+        assert session.stats.misses == misses + 1
+
+    def test_patched_reduction_is_persisted_for_restarts(self, tmp_path):
+        q, db, session = self.warm_session(cache_dir=tmp_path)
+        t = self.in_domain_tuple(session, q)
+        assert db.insert("R", t) is not None
+        answer = session.evaluate(q, strategy="reduction")
+        warm = QuerySession(db, cache_dir=tmp_path)
+        assert warm.evaluate(q, strategy="reduction") == answer
+        assert warm.stats.reductions == 0, warm.stats.as_dict()
+        assert warm.stats.persistent_hits >= 1
+
+    def test_many_interleaved_api_mutations_stay_correct(self):
+        rng = random.Random(13)
+        q = parse_query(TRIANGLE)
+        db = random_database(q, 15, seed=6)
+        session = QuerySession(db)
+        session.evaluate(q, strategy="reduction")  # warm the reduction
+        inserted: list[tuple[str, tuple]] = []
+        for step in range(12):
+            name = rng.choice(["R", "S", "T"])
+            if inserted and rng.random() < 0.4:
+                name, t = inserted.pop(rng.randrange(len(inserted)))
+                db.delete(name, t)
+            else:
+                result = session._reductions[
+                    next(iter(session._reductions))
+                ][0]
+                t = _in_domain_tuple(result, name, rng)
+                if db.insert(name, t) is not None:
+                    inserted.append((name, t))
+            assert session.evaluate(
+                q, strategy="reduction"
+            ) == naive_evaluate(q, db), step
+            assert session.count(q) == naive_count(q, db), step
+        assert session.stats.delta_patches > 0
+
+
+# ----------------------------------------------------------------------
+# persistent-cache hygiene: prune under a byte cap
+# ----------------------------------------------------------------------
+
+
+class TestPrune:
+    def fill(self, cache, n=4):
+        q = parse_query("R([A],[B]) ∧ S([B],[C])")
+        keys = []
+        for seed in range(n):
+            db = random_database(q, 6, seed=seed)
+            key = reduction_key(q, database_digests(db))
+            cache.put(key, forward_reduce(q, db))
+            keys.append(key)
+        return keys
+
+    def test_prune_evicts_least_recently_used_first(self, tmp_path):
+        import os
+        import time
+
+        cache = ReductionCache(tmp_path)
+        keys = self.fill(cache)
+        # age the first two entries, then touch the first via a hit
+        now = time.time()
+        for i, key in enumerate(keys):
+            os.utime(cache._path(key), (now - 100 + i, now - 100 + i))
+        assert cache.get(keys[0]) is not None  # refreshes its mtime
+        per_entry = cache.size_bytes() // len(keys)
+        removed = cache.prune(cache.size_bytes() - per_entry)
+        assert removed >= 1
+        assert cache.get(keys[0]) is not None  # recently used: kept
+        assert cache.get(keys[1]) is None  # oldest untouched: evicted
+        assert cache.stats()["pruned"] == removed
+
+    def test_prune_to_zero_clears_the_store(self, tmp_path):
+        cache = ReductionCache(tmp_path)
+        self.fill(cache, n=2)
+        cache.prune(0)
+        assert len(cache) == 0
+        assert cache.size_bytes() == 0
+
+    def test_max_bytes_auto_prunes_on_put(self, tmp_path):
+        probe = ReductionCache(tmp_path / "probe")
+        self.fill(probe, n=1)
+        per_entry = probe.size_bytes()
+        cache = ReductionCache(
+            tmp_path / "capped", max_bytes=int(per_entry * 2.5)
+        )
+        self.fill(cache, n=4)
+        assert cache.size_bytes() <= per_entry * 2.5
+        assert len(cache) < 4
+        assert cache.stats()["pruned"] >= 1
+
+    def test_session_wires_the_cap_through(self, tmp_path):
+        q = parse_query(TRIANGLE)
+        db = random_database(q, 8, seed=1)
+        session = QuerySession(
+            db, cache_dir=tmp_path, cache_max_bytes=10_000_000
+        )
+        session.evaluate(q, strategy="reduction")
+        assert session.cache.max_bytes == 10_000_000
+        assert len(session.cache) >= 1
+
+    def test_negative_cap_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReductionCache(tmp_path, max_bytes=-1)
+
+
+class TestCacheMaxBytesCLI:
+    def test_flag_requires_cache_dir(self, capsys):
+        code = cli_main(
+            ["evaluate", "R([A],[B])", "--cache-max-bytes", "1000"]
+        )
+        assert code == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_flag_caps_the_directory(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "evaluate",
+                "R([A],[B]) ∧ S([B],[C])",
+                "--n",
+                "6",
+                "--cache-dir",
+                str(tmp_path),
+                "--cache-max-bytes",
+                "200000000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pruned" in out

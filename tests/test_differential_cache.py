@@ -15,7 +15,18 @@ sequences, and after every mutation every engine must agree —
 
 Any stale-cache bug — a mutation missed by the digest diff, an
 over-narrow incremental invalidation, a persistent entry served for the
-wrong database contents — surfaces here as a cross-engine disagreement.
+wrong database contents, a mis-applied delta patch — surfaces here as a
+cross-engine disagreement.
+
+Mutations are interleaved through two channels on purpose: the
+:class:`Database` mutation API (``insert``/``delete``, which logs
+:class:`~repro.engine.relation.Delta` records the session can *patch*
+cached reductions with — the generator's small integer endpoint grid
+makes in-domain deltas common, while fresh endpoints exercise the
+``DomainChanged`` rebuild fallback) and direct ``relation.tuples``
+mutation (bypassing the log, forcing the digest-diff rebuild path and
+the stamp-algebra integrity check that guards against trusting a log
+that does not fully explain an observed change).
 
 CI runs this module across a seed matrix: ``REPRO_FUZZ_SEED`` selects a
 disjoint family of scenario seeds, so every matrix cell explores
@@ -130,18 +141,31 @@ def build_database(
 
 
 def mutate(rng: random.Random, db: Database, patterns: dict[str, Atom]) -> str:
-    """Insert or delete one tuple of one relation; returns its name."""
+    """Insert or delete one tuple of one relation; returns its name.
+
+    70% of mutations go through the logged :meth:`Database.insert` /
+    :meth:`Database.delete` API (the delta-patch path), the rest mutate
+    ``relation.tuples`` directly (the rebuild path).  A step may chain
+    several mutations so one session sync sees multi-delta logs.
+    """
     name = rng.choice(sorted(patterns))
     relation = db[name]
     grow = len(relation.tuples) < MAX_RELATION_SIZE and (
         not relation.tuples or rng.random() < 0.6
     )
+    logged = rng.random() < 0.7
     if grow:
-        relation.tuples.add(random_tuple(rng, patterns[name]))
+        t = random_tuple(rng, patterns[name])
+        if logged:
+            db.insert(name, t)
+        else:
+            relation.tuples.add(t)
     else:
-        relation.tuples.discard(
-            rng.choice(sorted(relation.tuples, key=repr))
-        )
+        t = rng.choice(sorted(relation.tuples, key=repr))
+        if logged:
+            db.delete(name, t)
+        else:
+            relation.tuples.discard(t)
     return name
 
 
@@ -176,7 +200,7 @@ def check_agreement(
         )
 
 
-def run_scenario(seed: int, cache_dir=None) -> None:
+def run_scenario(seed: int, cache_dir=None) -> QuerySession:
     rng = random.Random(seed)
     queries = random_queries(rng)
     db, patterns = build_database(rng, queries)
@@ -188,9 +212,16 @@ def run_scenario(seed: int, cache_dir=None) -> None:
         label = f"seed={seed} step={step}"
         roll = rng.random()
         if roll < 0.45:
-            name = mutate(rng, db, patterns)
-            mutations += 1
-            check_agreement(queries, db, session, f"{label} mutated={name}")
+            # possibly several mutations before the next read, so one
+            # session sync must replay a multi-delta log
+            names = [
+                mutate(rng, db, patterns)
+                for _ in range(rng.randint(1, 2))
+            ]
+            mutations += len(names)
+            check_agreement(
+                queries, db, session, f"{label} mutated={names}"
+            )
         elif roll < 0.75:
             # warm-path reads: cached answers must match the oracle too
             query = rng.choice(queries)
@@ -213,6 +244,7 @@ def run_scenario(seed: int, cache_dir=None) -> None:
         check_agreement(queries, db, warm, f"seed={seed} warm")
         assert warm.stats.reductions == 0, warm.stats.as_dict()
         assert warm.stats.persistent_hits > 0, warm.stats.as_dict()
+    return session
 
 
 # ----------------------------------------------------------------------
@@ -227,6 +259,20 @@ def test_interleaved_mutations_keep_engines_agreeing(index):
 
 def test_interleaved_mutations_with_persistent_cache(tmp_path):
     run_scenario(scenario_seed(SCENARIOS), cache_dir=tmp_path)
+
+
+def test_fuzz_exercises_the_delta_patch_path():
+    """The mutation API plus the small integer endpoint grid must make
+    in-domain logged deltas common enough that the sessions genuinely
+    fuzz the patch path (not only the rebuild fallback)."""
+    patched = 0
+    rebuilt = 0
+    for index in range(SCENARIOS):
+        stats = run_scenario(scenario_seed(index)).stats
+        patched += stats.delta_patches
+        rebuilt += stats.invalidations
+    assert patched > 0, (patched, rebuilt)
+    assert rebuilt > 0, (patched, rebuilt)
 
 
 def test_distinct_matrix_cells_explore_distinct_scenarios():

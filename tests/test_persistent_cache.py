@@ -175,7 +175,9 @@ class TestStore:
         assert loaded.tuple_order == result.tuple_order
         assert loaded.source_relations == {"R", "S"}
         assert len(cache) == 1
-        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "stores": 1, "pruned": 0
+        }
 
     def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
         query = parse_query("R([A],[B]) ∧ S([B],[C])")
