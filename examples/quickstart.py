@@ -16,9 +16,15 @@ Walks through the paper's running example, the triangle query
 6. mutation — the delta-maintenance layer: single-tuple inserts and
    deletes made through the ``Database`` mutation API patch the cached
    reduction in place (zero re-reductions) whenever the new interval's
-   endpoints already lie in the segment trees' endpoint domains.
+   endpoints already lie in the segment trees' endpoint domains;
+7. serving — the concurrent service (``repro.service``): a process
+   pool of session-owning workers behind an asyncio JSON-lines server
+   with admission control, driven here by the bundled load generator.
+   The same thing is available on the command line as ``repro serve``
+   and ``repro loadgen``.
 """
 
+import asyncio
 import random
 import tempfile
 import time
@@ -173,6 +179,48 @@ def main() -> None:
     )
     assert session.stats.reductions == before + 1
     db.delete("R", (Interval(-1e6, -1e6 + 1), Interval(0.0, 1.0)))
+    print()
+
+    print("=" * 64)
+    print("7. Serving: a worker pool, an asyncio server, a load test")
+    print("=" * 64)
+    from repro.service import (
+        ServiceServer,
+        WorkerPool,
+        generate_requests,
+        run_load,
+    )
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        # 2 worker processes, each owning a QuerySession over the
+        # *shared* persistent cache; isomorphic queries are routed to
+        # the same worker, so each reduction happens once cluster-wide
+        pool = WorkerPool(db, workers=2, cache_dir=cache_dir)
+        server = ServiceServer(pool, max_inflight=32)
+
+        async def serve_and_load():
+            host, port = await server.start()
+            print(f"serving on {host}:{port} (2 workers)")
+            requests = generate_requests(
+                [query], 40, seed=0, variants_per_query=8,
+                count_fraction=0.1,
+            )
+            try:
+                return await run_load(
+                    host, port, requests, mode="closed", concurrency=4
+                )
+            finally:
+                await server.stop()
+
+        report = asyncio.run(serve_and_load())
+        print(report.summary())
+        stats = pool.close()
+        print(
+            f"pool lifetime stats: {stats['aggregate']['reductions']} "
+            f"reductions for {report.ok} requests "
+            f"(isomorphism groups share; the persistent cache would "
+            f"hand them to a restarted pool for free)"
+        )
 
 
 if __name__ == "__main__":

@@ -21,11 +21,23 @@ Commands
 
 ``catalog``
     One-line analyses of the paper's named queries.
+
+``serve "<query>" [...more queries] --workers 4 --cache-dir DIR --port 0``
+    Start the concurrent query service (:mod:`repro.service`): a
+    process pool of session-owning workers behind an asyncio JSON-lines
+    front-end with admission control.  The queries define the schema;
+    the synthetic database is generated exactly as for ``evaluate``.
+
+``loadgen "<query>" --host H --port P --requests 200 --mode closed``
+    Replay an isomorphism-heavy open/closed-loop workload against a
+    running server and report throughput and latency percentiles.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import sys
 import time
 from typing import Sequence
@@ -109,6 +121,89 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("catalog", help="tour the paper's named queries")
+
+    p_serve = sub.add_parser(
+        "serve", help="start the concurrent query service"
+    )
+    p_serve.add_argument(
+        "query", nargs="+", help="queries defining the served schema"
+    )
+    p_serve.add_argument("--n", type=int, default=50, help="tuples per relation")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="random"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="worker processes"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 binds an ephemeral port, printed on startup)",
+    )
+    p_serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared persistent reduction cache for the worker pool",
+    )
+    p_serve.add_argument(
+        "--cache-max-bytes", type=int, default=None, metavar="BYTES"
+    )
+    p_serve.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admitted-but-unanswered request bound (backpressure above)",
+    )
+    p_serve.add_argument(
+        "--deadline-ms", type=float, default=30_000.0,
+        help="default per-request deadline",
+    )
+    p_serve.add_argument(
+        "--admission-min-intervals", type=int, default=0,
+        help=(
+            "answer-cache admission threshold: only answers whose "
+            "reduction reads at least this many input tuples are cached"
+        ),
+    )
+
+    p_load = sub.add_parser(
+        "loadgen", help="drive a running server with synthetic load"
+    )
+    p_load.add_argument(
+        "query", nargs="+",
+        help="base queries; requests are isomorphic variants of these",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, required=True)
+    p_load.add_argument("--requests", type=int, default=200)
+    p_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed"
+    )
+    p_load.add_argument(
+        "--concurrency", type=int, default=8,
+        help="virtual users (closed-loop mode)",
+    )
+    p_load.add_argument(
+        "--rate", type=float, default=100.0,
+        help="arrival rate in req/s (open-loop mode)",
+    )
+    p_load.add_argument(
+        "--connections", type=int, default=8,
+        help="pipelined connections (open-loop mode)",
+    )
+    p_load.add_argument(
+        "--variants", type=int, default=10,
+        help="isomorphic variants generated per base query",
+    )
+    p_load.add_argument("--count-fraction", type=float, default=0.0)
+    p_load.add_argument("--mutate-fraction", type=float, default=0.0)
+    p_load.add_argument("--seed", type=int, default=0)
+    p_load.add_argument(
+        "--domain", type=float, default=1000.0,
+        help="value domain for generated mutation tuples",
+    )
+    p_load.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the full report as JSON",
+    )
     return parser
 
 
@@ -251,11 +346,118 @@ def cmd_catalog(_: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceServer, WorkerPool
+
+    queries = [parse_query(text) for text in args.query]
+    if args.cache_max_bytes is not None:
+        if args.cache_dir is None:
+            print(
+                "error: --cache-max-bytes requires --cache-dir",
+                file=sys.stderr,
+            )
+            return 2
+        if args.cache_max_bytes < 0:
+            print(
+                "error: --cache-max-bytes must be non-negative",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        db = _evaluation_database(queries, args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        pool = WorkerPool(
+            db,
+            workers=args.workers,
+            cache_dir=args.cache_dir,
+            cache_max_bytes=args.cache_max_bytes,
+            answer_admission_min_intervals=args.admission_min_intervals,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    server = ServiceServer(
+        pool,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+    )
+
+    async def serve() -> None:
+        host, port = await server.start()
+        print(
+            f"repro.service listening on {host}:{port} "
+            f"({args.workers} workers, |D| = {db.size} tuples, "
+            f"cache_dir = {args.cache_dir})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        report = pool.close()
+        print(
+            "final worker stats: "
+            + json.dumps(report["aggregate"], sort_keys=True),
+            flush=True,
+        )
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service import generate_requests, run_load
+
+    base_queries = [parse_query(text) for text in args.query]
+    requests = generate_requests(
+        base_queries,
+        args.requests,
+        seed=args.seed,
+        variants_per_query=args.variants,
+        count_fraction=args.count_fraction,
+        mutate_fraction=args.mutate_fraction,
+        domain=args.domain,
+    )
+    try:
+        report = asyncio.run(
+            run_load(
+                args.host,
+                args.port,
+                requests,
+                mode=args.mode,
+                concurrency=args.concurrency,
+                rate=args.rate,
+                connections=args.connections,
+            )
+        )
+    except ConnectionRefusedError:
+        print(
+            f"error: no server at {args.host}:{args.port} "
+            f"(start one with `repro serve`)",
+            file=sys.stderr,
+        )
+        return 2
+    print(report.summary())
+    if args.out is not None:
+        with open(args.out, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"report written to {args.out}")
+    return 0
+
+
 COMMANDS = {
     "analyze": cmd_analyze,
     "evaluate": cmd_evaluate,
     "reduce": cmd_reduce,
     "catalog": cmd_catalog,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
 }
 
 

@@ -44,7 +44,9 @@ from ..reduction.forward import ForwardReductionResult
 #: reduction change incompatibly; old entries are then simply misses.
 #: Version 2: results carry delta-maintenance metadata (``atom_variants``,
 #: ``variant_counts``, segment-tree endpoint domains).
-FORMAT_VERSION = 2
+#: Version 3: the result pickle is framed as opaque bytes next to its
+#: SHA-256 integrity digest, verified on load.
+FORMAT_VERSION = 3
 
 
 # ----------------------------------------------------------------------
@@ -175,6 +177,14 @@ class ReductionCache:
     recently-*used* entries first (each hit touches the entry's mtime,
     so mtime order is LRU order).  :meth:`prune` is also callable
     directly for out-of-band garbage collection.
+
+    Concurrency: many processes may share one directory — workers of a
+    :class:`~repro.service.pool.WorkerPool`, restarted CLIs, a pruning
+    janitor.  Every filesystem step therefore tolerates entries deleted
+    out from under it (a concurrent prune) and verifies an integrity
+    digest on load (SHA-256 of the pickled result, stored next to it),
+    so a torn or tampered entry degrades to a plain miss rather than an
+    unpickle error surfacing mid-query.
     """
 
     def __init__(
@@ -202,20 +212,31 @@ class ReductionCache:
 
     def get(self, key: str) -> ForwardReductionResult | None:
         """The stored reduction for ``key``, or ``None``.  Any failure —
-        missing file, truncated write from a crashed worker, pickle from
+        missing file, truncated write from a crashed worker, a payload
+        whose integrity digest does not match its bytes, pickle from
         an incompatible version — is a plain miss, never an error."""
         path = self._path(key)
         try:
             with path.open("rb") as handle:
-                payload = pickle.load(handle)
+                envelope = pickle.load(handle)
         except Exception:
             self.misses += 1
             return None
         if (
-            not isinstance(payload, dict)
-            or payload.get("version") != FORMAT_VERSION
-            or not isinstance(payload.get("result"), ForwardReductionResult)
+            not isinstance(envelope, dict)
+            or envelope.get("version") != FORMAT_VERSION
+            or not isinstance(envelope.get("payload"), bytes)
+            or envelope.get("sha256")
+            != hashlib.sha256(envelope["payload"]).hexdigest()
         ):
+            self.misses += 1
+            return None
+        try:
+            result = pickle.loads(envelope["payload"])
+        except Exception:  # pragma: no cover - digest already vouched
+            self.misses += 1
+            return None
+        if not isinstance(result, ForwardReductionResult):
             self.misses += 1
             return None
         try:
@@ -223,27 +244,41 @@ class ReductionCache:
         except OSError:
             pass
         self.hits += 1
-        return payload["result"]
+        return result
 
     def put(self, key: str, result: ForwardReductionResult) -> None:
         """Store ``result`` under ``key`` atomically (write to a temp
-        file in the same directory, then rename over the target)."""
+        file in the same directory, then rename over the target).  The
+        result pickle is framed as opaque bytes next to its SHA-256, so
+        readers verify integrity before unpickling the heavy payload.
+        Losing a race against a concurrent prune of the same directory
+        is silently absorbed — the cache is best-effort by contract."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         try:
             replaced = path.stat().st_size
-        except OSError:
+        except OSError:  # includes FileNotFoundError: pruned or fresh
             replaced = 0
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "version": FORMAT_VERSION,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(
-                    {"version": FORMAT_VERSION, "result": result},
-                    handle,
-                    protocol=pickle.HIGHEST_PROTOCOL,
-                )
+                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
             written = os.stat(tmp).st_size
             os.replace(tmp, path)
+        except FileNotFoundError:
+            # the temp file (or the shard directory itself) vanished —
+            # a concurrent pruner or cleaner won the race; drop the store
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return
         except BaseException:
             try:
                 os.unlink(tmp)

@@ -257,6 +257,7 @@ class SessionStats:
     persistent_hits: int = 0   # reductions loaded from the on-disk cache
     evictions: int = 0         # answer-cache entries dropped by the LRU bound
     delta_patches: int = 0     # deltas applied to cached reductions in place
+    admission_rejects: int = 0  # answers denied a cache slot (too cheap)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -267,6 +268,7 @@ class SessionStats:
             "persistent_hits": self.persistent_hits,
             "evictions": self.evictions,
             "delta_patches": self.delta_patches,
+            "admission_rejects": self.admission_rejects,
         }
 
 
@@ -290,7 +292,10 @@ class QuerySession:
 
     The answer cache is LRU-bounded at ``answer_cache_size`` entries
     (reductions and plans are far fewer — one per canonical form — and
-    stay unbounded).
+    stay unbounded), and admission is cost-aware:
+    ``answer_admission_min_intervals`` denies slots to answers whose
+    reduction reads fewer input tuples than the threshold, so a mixed
+    workload's cheap queries cannot evict its expensive ones.
     """
 
     def __init__(
@@ -300,11 +305,17 @@ class QuerySession:
         cache_dir: str | os.PathLike | None = None,
         answer_cache_size: int = 1024,
         cache_max_bytes: int | None = None,
+        answer_admission_min_intervals: int = 0,
     ):
         if answer_cache_size < 1:
             raise ValueError("answer_cache_size must be at least 1")
+        if answer_admission_min_intervals < 0:
+            raise ValueError(
+                "answer_admission_min_intervals must be non-negative"
+            )
         self.db = db
         self.naive_budget = naive_budget
+        self.answer_admission_min_intervals = answer_admission_min_intervals
         self.stats = SessionStats()
         self.cache = (
             ReductionCache(cache_dir, max_bytes=cache_max_bytes)
@@ -608,7 +619,29 @@ class QuerySession:
         self._answers.move_to_end(key)
         return entry[0]
 
+    def _admit_answer(self, deps: frozenset[str]) -> bool:
+        """Cost-aware admission: an answer earns a cache slot only when
+        recomputing it is expensive — i.e. the reduction behind it reads
+        at least ``answer_admission_min_intervals`` input tuples (the
+        reduction runs in ``O(N polylog N)`` of exactly this ``N``).
+        Cheap answers are recomputed on demand instead of evicting
+        expensive ones; rejections are counted in
+        ``stats.admission_rejects``.  The default threshold of 0 admits
+        everything."""
+        threshold = self.answer_admission_min_intervals
+        if threshold <= 0:
+            return True
+        cost = sum(
+            len(self.db[name].tuples) for name in deps if name in self.db
+        )
+        if cost >= threshold:
+            return True
+        self.stats.admission_rejects += 1
+        return False
+
     def _answer_put(self, key: tuple, value, deps: frozenset[str]) -> None:
+        if not self._admit_answer(deps):
+            return
         if key in self._answers:
             self._answers.move_to_end(key)
         else:

@@ -1,0 +1,68 @@
+"""repro.service — concurrent query serving over the cached substrate.
+
+The sessions-and-caching layers (PR 1–3) made the forward reduction an
+amortised, content-addressed, delta-patchable artifact; this package is
+the first consumer that turns that substrate into a *service*:
+
+* :mod:`repro.service.pool` — a :class:`WorkerPool` that fans batched
+  query workloads out across N worker processes, each owning a
+  :class:`~repro.core.session.QuerySession` over the *shared* persistent
+  reduction cache.  Work is partitioned by canonical-query group, so
+  isomorphic queries land on the same worker and each reduction is
+  computed once cluster-wide;
+* :mod:`repro.service.server` — an asyncio front-end speaking a small
+  line-delimited JSON protocol (``evaluate``, ``count``,
+  ``evaluate_many``, ``mutate``, ``stats``) with admission control: a
+  bounded in-flight window, per-request deadlines, and typed
+  backpressure responses.  Mutations go through the logged
+  :class:`~repro.engine.relation.Database` delta API, so warm workers
+  patch cached reductions instead of rebuilding them;
+* :mod:`repro.service.client` — blocking and asyncio clients for the
+  wire protocol;
+* :mod:`repro.service.loadgen` — an open/closed-loop load harness that
+  replays :mod:`repro.workloads`-generated request mixes against a
+  server and reports throughput and latency percentiles.
+
+``repro serve`` and ``repro loadgen`` expose the server and the load
+harness on the command line.
+"""
+
+from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .loadgen import LoadReport, generate_requests, run_load
+from .pool import PoolClosed, WorkerCrash, WorkerPool
+from .protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_SHUTTING_DOWN,
+    decode_tuple,
+    encode_tuple,
+    error_response,
+    ok_response,
+    query_text,
+)
+from .server import ServiceServer
+
+__all__ = [
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceError",
+    "LoadReport",
+    "generate_requests",
+    "run_load",
+    "PoolClosed",
+    "WorkerCrash",
+    "WorkerPool",
+    "ERROR_BAD_REQUEST",
+    "ERROR_DEADLINE",
+    "ERROR_INTERNAL",
+    "ERROR_OVERLOADED",
+    "ERROR_SHUTTING_DOWN",
+    "decode_tuple",
+    "encode_tuple",
+    "error_response",
+    "ok_response",
+    "query_text",
+    "ServiceServer",
+]

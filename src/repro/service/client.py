@@ -1,0 +1,217 @@
+"""Clients for the service wire protocol.
+
+:class:`ServiceClient` is the blocking client — one socket, one request
+at a time — for scripts, tests and the CLI.  :class:`AsyncServiceClient`
+is the asyncio client the load generator uses; it pipelines: many
+requests may be in flight on one connection, matched back to their
+futures by request ``id``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+from typing import Any, Sequence
+
+from . import protocol
+
+__all__ = ["AsyncServiceClient", "ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A typed error response from the server."""
+
+    def __init__(self, error: dict):
+        super().__init__(f"{error.get('code')}: {error.get('message')}")
+        self.code = error.get("code")
+        self.message = error.get("message")
+        self.details = error
+
+
+def _unwrap(response: dict) -> Any:
+    if response.get("ok"):
+        return response["result"]
+    raise ServiceError(response.get("error") or {"code": "internal"})
+
+
+class ServiceClient:
+    """Blocking line-protocol client."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._ids = itertools.count(1)
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def request(self, op: str, **fields: Any) -> dict:
+        """Send one request, return the raw response dict."""
+        message = {"id": next(self._ids), "op": op, **fields}
+        self._file.write(protocol.dump_line(message))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.parse_line(line)
+
+    def evaluate(self, query: str, **fields: Any) -> bool:
+        return bool(_unwrap(self.request("evaluate", query=query, **fields)))
+
+    def count(self, query: str, **fields: Any) -> int:
+        return int(_unwrap(self.request("count", query=query, **fields)))
+
+    def evaluate_many(
+        self, queries: Sequence[str], **fields: Any
+    ) -> list[bool]:
+        return list(
+            _unwrap(self.request("evaluate_many", queries=list(queries), **fields))
+        )
+
+    def mutate(
+        self, kind: str, relation: str, values: Sequence[Any], **fields: Any
+    ) -> dict:
+        return _unwrap(
+            self.request(
+                "mutate",
+                kind=kind,
+                relation=relation,
+                tuple=protocol.encode_tuple(values),
+                **fields,
+            )
+        )
+
+    def stats(self) -> dict:
+        return _unwrap(self.request("stats"))
+
+
+class AsyncServiceClient:
+    """Pipelining asyncio client: requests resolve out of order, matched
+    by id.  Open with :meth:`connect`, or use as an async context
+    manager."""
+
+    def __init__(self, host: str, port: int, max_line_bytes: int = 1 << 20):
+        self.host = host
+        self.port = port
+        self.max_line_bytes = max_line_bytes
+        self._ids = itertools.count(1)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[Any, asyncio.Future] = {}
+        self._read_task: asyncio.Task | None = None
+
+    async def connect(self) -> "AsyncServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=self.max_line_bytes
+        )
+        self._read_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("client closed"))
+        self._pending.clear()
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                response = protocol.parse_line(line)
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # pragma: no cover - connection teardown
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+            return
+        # EOF: fail whatever is still pending
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    ConnectionError("server closed the connection")
+                )
+        self._pending.clear()
+
+    async def request(self, op: str, **fields: Any) -> dict:
+        """Send one request; awaitable response dict (out-of-order
+        safe)."""
+        assert self._writer is not None, "call connect() first"
+        request_id = next(self._ids)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(
+            protocol.dump_line({"id": request_id, "op": op, **fields})
+        )
+        await self._writer.drain()
+        return await future
+
+    async def evaluate(self, query: str, **fields: Any) -> bool:
+        return bool(_unwrap(await self.request("evaluate", query=query, **fields)))
+
+    async def count(self, query: str, **fields: Any) -> int:
+        return int(_unwrap(await self.request("count", query=query, **fields)))
+
+    async def evaluate_many(
+        self, queries: Sequence[str], **fields: Any
+    ) -> list[bool]:
+        return list(
+            _unwrap(
+                await self.request(
+                    "evaluate_many", queries=list(queries), **fields
+                )
+            )
+        )
+
+    async def mutate(
+        self, kind: str, relation: str, values: Sequence[Any], **fields: Any
+    ) -> dict:
+        return _unwrap(
+            await self.request(
+                "mutate",
+                kind=kind,
+                relation=relation,
+                tuple=protocol.encode_tuple(values),
+                **fields,
+            )
+        )
+
+    async def stats(self) -> dict:
+        return _unwrap(await self.request("stats"))

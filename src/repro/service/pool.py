@@ -1,0 +1,593 @@
+"""The process-pool executor behind the service: N workers, one shared
+persistent reduction cache, canonical-group routing.
+
+Each worker process owns a full copy of the database and a
+:class:`~repro.core.session.QuerySession` over the *shared*
+``cache_dir``, so the expensive artifacts — forward reductions — are
+computed **once cluster-wide**: queries are routed by their canonical
+form (a stable digest of the canonicalized structure), isomorphic
+queries therefore land on the same worker, and whatever that worker
+reduces is persisted content-addressed for every other worker and every
+future restart.  A restarted pool over unchanged data performs zero
+forward reductions.
+
+Mutations broadcast to every worker through the logged
+:class:`~repro.engine.relation.Database` delta API, so each warm worker
+patches its cached reductions in place (PR 3) instead of rebuilding.
+Tuple-level mutations are idempotent under set semantics (a replayed
+insert/delete is a no-op), which is what makes crash-resubmission safe.
+
+Failure model: workers are monitored through their result pipes.  A
+worker that dies mid-task (crash, OOM-kill) is detected by EOF; its
+outstanding ``evaluate``/``count`` tasks are resubmitted to surviving
+workers — every future resolves exactly once, with no lost or duplicated
+answers — while its share of future routing is redistributed.  When the
+last worker dies, outstanding futures fail with :class:`WorkerCrash`.
+
+The pool uses the ``spawn`` start method by default: it is safe in
+threaded parents (the asyncio server, the collector) and exercises the
+cross-process stability of the content-addressed cache for real — a
+spawned worker shares no interpreter state, only the cache directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import threading
+from concurrent.futures import Future, InvalidStateError
+from multiprocessing.connection import Connection, wait as connection_wait
+from typing import Any, Literal, Sequence
+
+from ..core.session import QuerySession, canonical_form
+from ..engine.relation import Database
+from ..queries.query import Query
+
+__all__ = ["PoolClosed", "WorkerCrash", "WorkerPool"]
+
+
+class WorkerCrash(RuntimeError):
+    """Every worker died before the task could complete."""
+
+
+def _resolve(future: Future, value=None, error: BaseException | None = None) -> None:
+    """Resolve a future exactly once, tolerating a concurrent
+    cancellation (a deadline miss cancels through ``wrap_future`` from
+    the event-loop thread while the collector resolves from its own) —
+    the late result is simply dropped, and the collector must never die
+    to an ``InvalidStateError``."""
+    if future.done():
+        return
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(value)
+    except InvalidStateError:
+        pass
+
+
+class PoolClosed(RuntimeError):
+    """The pool no longer accepts work."""
+
+
+def _route_digest(key: object) -> int:
+    """A stable integer digest of a canonical-form key, the routing
+    hash.  ``hash()`` would be salted per process; this must agree
+    between a pool and its restarted successor so warm workers see the
+    same groups again."""
+    raw = hashlib.sha256(repr(key).encode()).digest()
+    return int.from_bytes(raw[:8], "big")
+
+
+# ----------------------------------------------------------------------
+# the worker process
+# ----------------------------------------------------------------------
+
+
+def _worker_execute(
+    session: QuerySession, db: Database, op: str, payload: dict
+) -> Any:
+    if op == "evaluate":
+        return bool(
+            session.evaluate(payload["query"], strategy=payload["strategy"])
+        )
+    if op == "count":
+        return int(session.count(payload["query"]))
+    if op == "mutate":
+        kind, relation, t = (
+            payload["kind"],
+            payload["relation"],
+            payload["tuple"],
+        )
+        if kind == "insert":
+            delta = db.insert(relation, t)
+        elif kind == "delete":
+            delta = db.delete(relation, t)
+        else:
+            raise ValueError(f"unknown mutation kind {kind!r}")
+        return {"applied": delta is not None, "version": db.version}
+    if op == "stats":
+        return _worker_stats(session)
+    raise ValueError(f"unknown op {op!r}")
+
+
+def _worker_stats(session: QuerySession) -> dict:
+    return {
+        "pid": os.getpid(),
+        "session": session.stats.as_dict(),
+        "cache": session.cache.stats() if session.cache is not None else None,
+    }
+
+
+def _worker_main(
+    worker_id: int,
+    db: Database,
+    options: dict,
+    tasks,
+    results: Connection,
+) -> None:
+    """One worker: a session-owning loop over the task queue.  ``None``
+    is the graceful-shutdown sentinel; the final message on the result
+    pipe is ``("exit", ...)`` carrying the session's lifetime stats."""
+    session = QuerySession(
+        db,
+        cache_dir=options.get("cache_dir"),
+        answer_cache_size=options.get("answer_cache_size", 1024),
+        cache_max_bytes=options.get("cache_max_bytes"),
+        answer_admission_min_intervals=options.get(
+            "answer_admission_min_intervals", 0
+        ),
+    )
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                results.send(("exit", worker_id, None, _worker_stats(session)))
+                return
+            task_id, op, payload = task
+            try:
+                value = _worker_execute(session, db, op, payload)
+            except Exception as error:
+                results.send(
+                    (
+                        "error",
+                        worker_id,
+                        task_id,
+                        f"{type(error).__name__}: {error}",
+                    )
+                )
+            else:
+                results.send(("ok", worker_id, task_id, value))
+    finally:
+        results.close()
+
+
+# ----------------------------------------------------------------------
+# the pool
+# ----------------------------------------------------------------------
+
+
+class _Worker:
+    """Parent-side bookkeeping for one worker process."""
+
+    def __init__(self, index: int, process, tasks, conn: Connection):
+        self.index = index
+        self.process = process
+        self.tasks = tasks
+        self.conn = conn
+        self.alive = True
+        self.exited = False          # sent its graceful "exit" message
+        self.outstanding: dict[int, tuple[str, dict]] = {}
+        self.final_stats: dict | None = None
+
+
+class WorkerPool:
+    """Fan batched query workloads out across worker processes.
+
+    ``db`` is copied into every worker at start (and kept current in the
+    parent by replaying mutations, so diagnostics and future spawns see
+    the served contents).  ``cache_dir`` — strongly recommended — is the
+    shared persistent reduction cache that makes the pool's work
+    cluster-wide-amortised and restart-warm.
+
+    ``submit`` / ``evaluate`` / ``count`` return
+    :class:`concurrent.futures.Future`; ``evaluate_many`` and
+    ``count_many`` are the blocking batch interface mirroring
+    :meth:`~repro.core.session.QuerySession.evaluate_many`.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        workers: int = 4,
+        cache_dir: str | os.PathLike | None = None,
+        answer_cache_size: int = 1024,
+        cache_max_bytes: int | None = None,
+        answer_admission_min_intervals: int = 0,
+        strategy: str = "reduction",
+        start_method: Literal["spawn", "fork", "forkserver"] = "spawn",
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        # validate the forwarded session options here, in the parent:
+        # a bad value would otherwise kill every spawned worker at
+        # session construction and surface only as an opaque
+        # WorkerCrash on the first request
+        if answer_cache_size < 1:
+            raise ValueError("answer_cache_size must be at least 1")
+        if answer_admission_min_intervals < 0:
+            raise ValueError(
+                "answer_admission_min_intervals must be non-negative"
+            )
+        if cache_max_bytes is not None and cache_max_bytes < 0:
+            raise ValueError("cache_max_bytes must be non-negative")
+        self.db = db
+        self.strategy = strategy
+        self._options = {
+            "cache_dir": os.fspath(cache_dir) if cache_dir is not None else None,
+            "answer_cache_size": answer_cache_size,
+            "cache_max_bytes": cache_max_bytes,
+            "answer_admission_min_intervals": answer_admission_min_intervals,
+        }
+        self._ctx = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        self._task_ids = itertools.count(1)
+        self._futures: dict[int, Future] = {}
+        self._closed = False
+        self._all_exited = threading.Event()
+        self._workers: list[_Worker] = []
+        for index in range(workers):
+            self._workers.append(self._spawn(index))
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-pool-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, index: int) -> _Worker:
+        tasks = self._ctx.Queue()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self.db, self._options, tasks, child_conn),
+            name=f"repro-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        # parent must not hold the send end, or a dead worker would
+        # never EOF its pipe and crashes would go undetected
+        child_conn.close()
+        return _Worker(index, process, tasks, parent_conn)
+
+    def wait_ready(self, timeout: float = 120.0) -> "WorkerPool":
+        """Block until every worker has finished starting (imported the
+        package, unpickled its database copy, built its session) —
+        useful before timing steady-state throughput, since
+        ``__init__`` returns as soon as the processes are *launched*."""
+        self.stats_async().result(timeout=timeout)
+        return self
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def alive_workers(self) -> list[int]:
+        with self._lock:
+            return [w.index for w in self._workers if w.alive]
+
+    def close(self, timeout: float = 60.0) -> dict:
+        """Graceful shutdown: drain every queued task (the sentinel is
+        FIFO behind them), collect each worker's lifetime stats, join
+        the processes.  Returns ``{"workers": [...], "aggregate":
+        {...}}`` — the summed session counters across workers."""
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                for worker in self._workers:
+                    if worker.alive:
+                        worker.tasks.put(None)
+        self._all_exited.wait(timeout)
+        for worker in self._workers:
+            worker.process.join(timeout=timeout)
+            worker.tasks.close()
+            worker.tasks.cancel_join_thread()
+        self._collector.join(timeout=timeout)
+        return self._final_report()
+
+    def terminate(self) -> None:
+        """Hard stop: kill every worker.  Outstanding futures fail."""
+        with self._lock:
+            self._closed = True
+            workers = list(self._workers)
+        for worker in workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+        for worker in workers:
+            worker.process.join(timeout=10)
+        self._all_exited.wait(10)
+
+    def _final_report(self) -> dict:
+        with self._lock:
+            per_worker = [
+                {"worker": w.index, **(w.final_stats or {})}
+                for w in self._workers
+                if w.final_stats is not None
+            ]
+        return {
+            "workers": per_worker,
+            "aggregate": _sum_session_stats(per_worker),
+        }
+
+    # ------------------------------------------------------------------
+    # submission and routing
+    # ------------------------------------------------------------------
+
+    def _route(self, key: object, alive: Sequence[_Worker]) -> _Worker:
+        return alive[_route_digest(key) % len(alive)]
+
+    def _submit_to(
+        self, worker: _Worker, op: str, payload: dict, future: Future
+    ) -> None:
+        """Caller holds the lock."""
+        task_id = next(self._task_ids)
+        self._futures[task_id] = future
+        worker.outstanding[task_id] = (op, payload)
+        worker.tasks.put((task_id, op, payload))
+
+    def submit(self, op: str, query: Query, **payload: Any) -> Future:
+        """Submit one routed task (``evaluate`` or ``count``).  The
+        worker is chosen by the query's canonical form, so isomorphic
+        queries always share a worker — and hence its in-memory caches."""
+        form_key = canonical_form(query).key
+        payload = {"query": query, **payload}
+        if op == "evaluate":
+            payload.setdefault("strategy", self.strategy)
+        future: Future = Future()
+        with self._lock:
+            alive = [w for w in self._workers if w.alive]
+            if self._closed:
+                raise PoolClosed("pool is closed")
+            if not alive:
+                raise WorkerCrash("no alive workers")
+            self._submit_to(self._route(form_key, alive), op, payload, future)
+        return future
+
+    def evaluate(self, query: Query) -> Future:
+        """Future Boolean answer for ``query``."""
+        return self.submit("evaluate", query)
+
+    def count(self, query: Query) -> Future:
+        """Future exact witness count for ``query``."""
+        return self.submit("count", query)
+
+    def evaluate_many(self, queries: Sequence[Query]) -> list[bool]:
+        """Batch-evaluate: the batch is grouped by canonical form in the
+        parent, one task per group is routed to the group's worker, and
+        every member receives its group's answer.  Blocks until done."""
+        return self._many(queries, "evaluate")
+
+    def count_many(self, queries: Sequence[Query]) -> list[int]:
+        return self._many(queries, "count")
+
+    def submit_many(
+        self, queries: Sequence[Query], op: str = "evaluate"
+    ) -> Future:
+        """Non-blocking :meth:`evaluate_many`: one future resolving to
+        the full, order-preserving answer list (the async server awaits
+        this)."""
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(canonical_form(query).key, []).append(i)
+        futures = [
+            self.submit(op, queries[indices[0]]) for indices in groups.values()
+        ]
+        result: Future = Future()
+
+        def assemble(values: list) -> list:
+            answers: list = [None] * len(queries)
+            for indices, value in zip(groups.values(), values):
+                for i in indices:
+                    answers[i] = value
+            return answers
+
+        _gather(futures, result, assemble)
+        return result
+
+    def _many(self, queries: Sequence[Query], op: str) -> list:
+        return self.submit_many(queries, op).result()
+
+    # ------------------------------------------------------------------
+    # broadcasts: mutations and stats
+    # ------------------------------------------------------------------
+
+    def mutate(self, kind: str, relation: str, t: tuple) -> Future:
+        """Broadcast one tuple-level mutation to every worker through
+        the logged delta API (warm workers patch their cached reductions
+        instead of rebuilding).  The parent's copy is mutated first, so
+        the pool's view stays the served view.  Resolves to the list of
+        per-worker acks once all alive workers applied it."""
+        if kind not in ("insert", "delete"):
+            raise ValueError(f"unknown mutation kind {kind!r}")
+        payload = {"kind": kind, "relation": relation, "tuple": tuple(t)}
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("pool is closed")
+            alive = [w for w in self._workers if w.alive]
+            if not alive:
+                raise WorkerCrash("no alive workers")
+            if kind == "insert":
+                self.db.insert(relation, payload["tuple"])
+            else:
+                self.db.delete(relation, payload["tuple"])
+            futures: list[Future] = []
+            for worker in alive:
+                future: Future = Future()
+                self._submit_to(worker, "mutate", payload, future)
+                futures.append(future)
+        result: Future = Future()
+        _gather(futures, result, lambda acks: [a for a in acks if a is not None])
+        return result
+
+    def stats(self) -> dict:
+        """Blocking aggregate of live per-worker stats (see
+        :meth:`stats_async`)."""
+        return self.stats_async().result()
+
+    def stats_async(self) -> Future:
+        """Future ``{"workers": [...], "aggregate": {...}}`` from a
+        stats broadcast to every alive worker."""
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("pool is closed")
+            alive = [w for w in self._workers if w.alive]
+            if not alive:
+                raise WorkerCrash("no alive workers")
+            pairs: list[tuple[int, Future]] = []
+            for worker in alive:
+                future: Future = Future()
+                self._submit_to(worker, "stats", {}, future)
+                pairs.append((worker.index, future))
+        result: Future = Future()
+
+        def assemble(values: list) -> dict:
+            per_worker = [
+                {"worker": index, **value}
+                for (index, _), value in zip(pairs, values)
+                if value is not None
+            ]
+            return {
+                "workers": per_worker,
+                "aggregate": _sum_session_stats(per_worker),
+            }
+
+        _gather([f for _, f in pairs], result, assemble)
+        return result
+
+    # ------------------------------------------------------------------
+    # the collector: results, graceful exits, crash recovery
+    # ------------------------------------------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            with self._lock:
+                conns = {
+                    w.conn: w for w in self._workers if w.alive
+                }
+            if not conns:
+                self._all_exited.set()
+                return
+            for conn in connection_wait(list(conns), timeout=0.5):
+                worker = conns[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    self._on_worker_death(worker)
+                    continue
+                self._on_message(worker, message)
+
+    def _on_message(self, worker: _Worker, message: tuple) -> None:
+        kind, _worker_id, task_id, value = message
+        if kind == "exit":
+            with self._lock:
+                worker.alive = False
+                worker.exited = True
+                worker.final_stats = value
+            return
+        with self._lock:
+            worker.outstanding.pop(task_id, None)
+            future = self._futures.pop(task_id, None)
+        if future is None:  # pragma: no cover - defensive
+            return
+        if kind == "ok":
+            _resolve(future, value)
+        else:
+            _resolve(future, error=RuntimeError(value))
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        """A worker's pipe hit EOF without a graceful exit: resubmit its
+        outstanding routed work to survivors, resolve broadcast acks,
+        and fail everything only when no worker is left."""
+        with self._lock:
+            worker.alive = False
+            orphaned = dict(worker.outstanding)
+            worker.outstanding.clear()
+            alive = [w for w in self._workers if w.alive]
+            # once close() has queued the shutdown sentinels, a
+            # survivor's queue ends in a sentinel it will exit at —
+            # resubmitted tasks queued behind it would never run and
+            # their futures would hang forever; fail them instead
+            can_resubmit = bool(alive) and not self._closed
+            resubmit: list[tuple[str, dict, Future]] = []
+            for task_id, (op, payload) in orphaned.items():
+                future = self._futures.pop(task_id, None)
+                if future is None:
+                    continue
+                if op in ("evaluate", "count") and can_resubmit:
+                    resubmit.append((op, payload, future))
+                elif op in ("mutate", "stats"):
+                    # the dead worker's database copy died with it;
+                    # nothing to apply or report — the broadcast gather
+                    # drops the None
+                    _resolve(future, None)
+                else:
+                    _resolve(
+                        future,
+                        error=WorkerCrash(
+                            f"worker {worker.index} died with the task "
+                            f"outstanding and no worker can take over "
+                            f"({'pool is closing' if self._closed else 'none survive'})"
+                        ),
+                    )
+            for op, payload, future in resubmit:
+                form_key = canonical_form(payload["query"]).key
+                self._submit_to(
+                    self._route(form_key, alive), op, payload, future
+                )
+        worker.process.join(timeout=5)
+
+
+def _gather(futures: list[Future], result: Future, assemble) -> None:
+    """Resolve ``result`` with ``assemble([f.result() for f in
+    futures])`` once every future is done (first exception wins)."""
+    remaining = len(futures)
+    if remaining == 0:
+        result.set_result(assemble([]))
+        return
+    lock = threading.Lock()
+    state = {"remaining": remaining}
+
+    def on_done(_future: Future) -> None:
+        with lock:
+            state["remaining"] -= 1
+            last = state["remaining"] == 0
+        if result.done():
+            return
+        error = _future.exception()
+        if error is not None:
+            _resolve(result, error=error)
+            return
+        if last:
+            try:
+                _resolve(result, assemble([f.result() for f in futures]))
+            except Exception as err:  # pragma: no cover - defensive
+                _resolve(result, error=err)
+
+    for future in futures:
+        future.add_done_callback(on_done)
+
+
+def _sum_session_stats(per_worker: list[dict]) -> dict:
+    totals: dict[str, int] = {}
+    for entry in per_worker:
+        for name, value in (entry.get("session") or {}).items():
+            totals[name] = totals.get(name, 0) + int(value)
+    return totals

@@ -1,0 +1,151 @@
+"""The service wire protocol: line-delimited JSON.
+
+One request per line, one response per line, matched by a client-chosen
+``id``.  Requests are objects::
+
+    {"id": 7, "op": "evaluate", "query": "R([A],[B]) ∧ S([B],[C])"}
+    {"id": 8, "op": "evaluate_many", "queries": ["...", "..."]}
+    {"id": 9, "op": "count", "query": "...", "deadline_ms": 250}
+    {"id": 10, "op": "mutate", "kind": "insert", "relation": "R",
+     "tuple": [{"interval": [1.5, 4.0]}, {"interval": [2.0, 2.5]}]}
+    {"id": 11, "op": "stats"}
+
+Responses are ``{"id": ..., "ok": true, "result": ...}`` on success and
+``{"id": ..., "ok": false, "error": {"code": ..., "message": ...}}`` on
+failure.  Error codes are *typed* so clients can react mechanically:
+
+``overloaded``
+    admission control refused the request — the in-flight window is
+    full.  Back off and retry; ``error.inflight`` carries the window
+    state.
+``deadline_exceeded``
+    the per-request deadline elapsed before a worker answered.  The
+    underlying computation may still complete and warm the caches; only
+    the response is abandoned.
+``bad_request``
+    unparsable JSON, unknown op, or malformed fields.  Never retry.
+``shutting_down``
+    the server is draining; reconnect elsewhere.
+``internal``
+    the worker raised; ``error.message`` carries the repr.
+
+Tuple values cross the wire with a tagged encoding so interval endpoints
+survive JSON: an :class:`~repro.intervals.Interval` becomes
+``{"interval": [left, right]}``, a nested tuple ``{"tuple": [...]}``,
+and plain JSON scalars pass through unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence
+
+from ..intervals.interval import Interval
+from ..queries.query import Query
+
+ERROR_OVERLOADED = "overloaded"
+ERROR_DEADLINE = "deadline_exceeded"
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_SHUTTING_DOWN = "shutting_down"
+ERROR_INTERNAL = "internal"
+
+#: Ops the server understands; anything else is a ``bad_request``.
+OPS = ("evaluate", "count", "evaluate_many", "mutate", "stats")
+
+#: Mutation kinds the service accepts — exactly the tuple-level logged
+#: mutations that delta maintenance can patch (whole-relation changes
+#: stay an administrative, out-of-band operation).
+MUTATION_KINDS = ("insert", "delete")
+
+
+class ProtocolError(ValueError):
+    """A malformed request or value encoding."""
+
+
+# ----------------------------------------------------------------------
+# value encoding
+# ----------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """One attribute value as a JSON-safe object (tagged for intervals
+    and nested tuples)."""
+    if isinstance(value, Interval):
+        return {"interval": [value.left, value.right]}
+    if isinstance(value, tuple):
+        return {"tuple": [encode_value(v) for v in value]}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ProtocolError(f"value {value!r} has no wire encoding")
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(value, dict):
+        if set(value) == {"interval"}:
+            left, right = value["interval"]
+            return Interval(left, right)
+        if set(value) == {"tuple"}:
+            return tuple(decode_value(v) for v in value["tuple"])
+        raise ProtocolError(f"unknown tagged value {value!r}")
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ProtocolError(f"cannot decode value {value!r}")
+
+
+def encode_tuple(t: Sequence[Any]) -> list:
+    """A database tuple as a JSON array of encoded values."""
+    return [encode_value(v) for v in t]
+
+
+def decode_tuple(values: Any) -> tuple:
+    if not isinstance(values, list):
+        raise ProtocolError(f"tuple payload must be a list, got {values!r}")
+    return tuple(decode_value(v) for v in values)
+
+
+def query_text(query: Query) -> str:
+    """``query`` in the :func:`~repro.queries.parser.parse_query` syntax.
+
+    Serializes by *relation name* (not atom label), so self-join atoms
+    re-acquire their ``R``/``R#2`` labels deterministically on the far
+    side and the round-tripped query is isomorphic to the original.
+    """
+    return " ∧ ".join(
+        f"{atom.relation}({', '.join(repr(v) for v in atom.variables)})"
+        for atom in query.atoms
+    )
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+
+
+def dump_line(message: dict) -> bytes:
+    """One protocol message as a newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def parse_line(line: bytes | str) -> dict:
+    """Parse one line into a message dict, raising
+    :class:`ProtocolError` on garbage."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("message must be a JSON object")
+    return message
+
+
+def ok_response(request_id: Any, result: Any) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_response(
+    request_id: Any, code: str, message: str, **extra: Any
+) -> dict:
+    error: dict[str, Any] = {"code": code, "message": message}
+    error.update(extra)
+    return {"id": request_id, "ok": False, "error": error}

@@ -1,0 +1,401 @@
+"""The asyncio front-end: line-delimited JSON over TCP, admission
+control, per-request deadlines.
+
+The server owns a :class:`~repro.service.pool.WorkerPool` and bridges
+its ``concurrent.futures`` world into asyncio — each admitted request
+becomes a task awaiting a wrapped pool future, so one event loop
+multiplexes every connection while the workers burn CPU in parallel.
+
+Overload is handled by *typed backpressure*, not queueing: the server
+admits at most ``max_inflight`` requests at a time and answers the rest
+with an ``overloaded`` error immediately, keeping its memory bounded
+and its latency honest (a client that can see "overloaded" can back
+off; a client stuck in an unbounded queue cannot see anything).  Each
+request carries an optional ``deadline_ms`` (defaulting to the server's
+``default_deadline_ms``); a request whose deadline elapses is answered
+with ``deadline_exceeded`` — the worker-side computation may still
+finish and warm the caches for its successors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Future, InvalidStateError
+from typing import Any
+
+from ..intervals.interval import Interval
+from ..queries.parser import parse_query
+from .pool import PoolClosed, WorkerCrash, WorkerPool
+from . import protocol
+from .protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_DEADLINE,
+    ERROR_INTERNAL,
+    ERROR_OVERLOADED,
+    ERROR_SHUTTING_DOWN,
+    ProtocolError,
+    error_response,
+    ok_response,
+)
+
+__all__ = ["ServiceServer"]
+
+
+class ServiceServer:
+    """Serve a :class:`~repro.service.pool.WorkerPool` over TCP.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    :meth:`start`.  ``max_inflight`` bounds admitted-but-unanswered
+    requests across all connections; ``default_deadline_ms`` applies to
+    requests that do not carry their own deadline (``None`` disables
+    the default deadline entirely).
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_inflight: int = 64,
+        default_deadline_ms: float | None = 30_000.0,
+        max_line_bytes: int = 1 << 20,
+    ):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        self.pool = pool
+        self.host = host
+        self.port = port
+        self.max_inflight = max_inflight
+        self.default_deadline_ms = default_deadline_ms
+        self.max_line_bytes = max_line_bytes
+        self.counters = {
+            "requests": 0,
+            "served": 0,
+            "errors": 0,
+            "overload_rejections": 0,
+            "deadline_exceeded": 0,
+            "bad_requests": 0,
+        }
+        self._inflight = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping = False
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self.port,
+            limit=self.max_line_bytes,
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections, then close the open ones (their
+        in-flight requests are awaited by each handler first)."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    # ------------------------------------------------------------------
+    # per-connection loop
+    # ------------------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        me = asyncio.current_task()
+        if me is not None:
+            self._connections.add(me)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # a single line exceeded max_line_bytes: the framing
+                    # cannot be resynchronized, so answer typed and drop
+                    # the connection
+                    self.counters["requests"] += 1
+                    self.counters["bad_requests"] += 1
+                    await self._write(
+                        writer,
+                        write_lock,
+                        error_response(
+                            None,
+                            ERROR_BAD_REQUEST,
+                            f"request line exceeds {self.max_line_bytes} "
+                            f"bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                request, rejection = self._admit(line)
+                if rejection is not None:
+                    await self._write(writer, write_lock, rejection)
+                    continue
+                task = asyncio.ensure_future(
+                    self._serve_request(request, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # server shutdown (or loop teardown): fall through to the
+            # drain-and-close below, exiting quietly
+            pass
+        finally:
+            if me is not None:
+                self._connections.discard(me)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                pass
+
+    def _admit(self, line: bytes) -> tuple[dict | None, dict | None]:
+        """Synchronous admission: parse, validate, and apply
+        backpressure *before* any work is scheduled.  Returns
+        ``(request, None)`` when admitted — the in-flight slot is
+        claimed here, synchronously, so a pipelined burst buffered in
+        one TCP segment cannot slip past the bound before any task
+        runs — or ``(None, response)`` to reject immediately."""
+        self.counters["requests"] += 1
+        try:
+            request = protocol.parse_line(line)
+        except ProtocolError as error:
+            self.counters["bad_requests"] += 1
+            return None, error_response(None, ERROR_BAD_REQUEST, str(error))
+        request_id = request.get("id")
+        op = request.get("op")
+        if op not in protocol.OPS:
+            self.counters["bad_requests"] += 1
+            return None, error_response(
+                request_id, ERROR_BAD_REQUEST, f"unknown op {op!r}"
+            )
+        try:
+            self._deadline(request)
+        except (TypeError, ValueError):
+            self.counters["bad_requests"] += 1
+            return None, error_response(
+                request_id,
+                ERROR_BAD_REQUEST,
+                f"deadline_ms must be a number, got "
+                f"{request.get('deadline_ms')!r}",
+            )
+        if self._stopping:
+            return None, error_response(
+                request_id, ERROR_SHUTTING_DOWN, "server is draining"
+            )
+        if self._inflight >= self.max_inflight:
+            self.counters["overload_rejections"] += 1
+            return None, error_response(
+                request_id,
+                ERROR_OVERLOADED,
+                "in-flight window is full; back off and retry",
+                inflight=self._inflight,
+                max_inflight=self.max_inflight,
+            )
+        self._inflight += 1
+        return request, None
+
+    async def _write(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        response: dict,
+    ) -> None:
+        async with lock:
+            writer.write(protocol.dump_line(response))
+            await writer.drain()
+
+    # ------------------------------------------------------------------
+    # request execution
+    # ------------------------------------------------------------------
+
+    async def _serve_request(
+        self,
+        request: dict,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+    ) -> None:
+        # the in-flight slot was claimed synchronously by _admit
+        request_id = request.get("id")
+        try:
+            response = await self._execute(request_id, request)
+        finally:
+            self._inflight -= 1
+        if response.get("ok"):
+            self.counters["served"] += 1
+        else:
+            self.counters["errors"] += 1
+        try:
+            await self._write(writer, lock, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    def _deadline(self, request: dict) -> float | None:
+        deadline_ms = request.get("deadline_ms", self.default_deadline_ms)
+        if deadline_ms is None:
+            return None
+        return max(float(deadline_ms), 0.0) / 1e3
+
+    async def _execute(self, request_id: Any, request: dict) -> dict:
+        op = request["op"]
+        try:
+            future = self._dispatch(op, request)
+        except (ProtocolError, ValueError, KeyError, TypeError) as error:
+            # TypeError included: malformed payload values surface as
+            # one (e.g. an interval endpoint of null), and an unanswered
+            # request would hang the client forever
+            self.counters["bad_requests"] += 1
+            return error_response(request_id, ERROR_BAD_REQUEST, str(error))
+        except PoolClosed:
+            return error_response(
+                request_id, ERROR_SHUTTING_DOWN, "worker pool is closed"
+            )
+        except WorkerCrash as error:
+            return error_response(request_id, ERROR_INTERNAL, str(error))
+        try:
+            result = await asyncio.wait_for(
+                asyncio.wrap_future(future), self._deadline(request)
+            )
+        except asyncio.TimeoutError:
+            self.counters["deadline_exceeded"] += 1
+            return error_response(
+                request_id,
+                ERROR_DEADLINE,
+                "deadline elapsed before a worker answered",
+            )
+        except (WorkerCrash, PoolClosed) as error:
+            return error_response(request_id, ERROR_INTERNAL, str(error))
+        except Exception as error:
+            return error_response(
+                request_id, ERROR_INTERNAL, f"{type(error).__name__}: {error}"
+            )
+        if op == "stats":
+            result = {"server": dict(self.counters, inflight=self._inflight),
+                      **result}
+        return ok_response(request_id, result)
+
+    def _dispatch(self, op: str, request: dict):
+        """Turn one admitted request into a pool future.  Raises
+        ``ProtocolError``/``ValueError`` for malformed payloads."""
+        if op == "evaluate":
+            return self.pool.evaluate(parse_query(_field(request, "query", str)))
+        if op == "count":
+            return self.pool.count(parse_query(_field(request, "query", str)))
+        if op == "evaluate_many":
+            texts = _field(request, "queries", list)
+            if not all(isinstance(t, str) for t in texts):
+                raise ProtocolError("queries must be a list of strings")
+            return self.pool.submit_many([parse_query(t) for t in texts])
+        if op == "mutate":
+            kind = _field(request, "kind", str)
+            if kind not in protocol.MUTATION_KINDS:
+                raise ProtocolError(
+                    f"mutation kind must be one of {protocol.MUTATION_KINDS}"
+                )
+            relation = _field(request, "relation", str)
+            values = protocol.decode_tuple(_field(request, "tuple", list))
+            if kind == "insert":
+                self._check_tuple_kinds(relation, values)
+            future = self.pool.mutate(kind, relation, values)
+            shaped: Future = Future()
+
+            def reshape(f: Future) -> None:
+                # one client-facing ack out of the per-worker ack list;
+                # `shaped` may already be cancelled by a missed deadline
+                # (wait_for cancels through wrap_future) — then the ack
+                # is simply dropped
+                if shaped.done():
+                    return
+                try:
+                    error = f.exception()
+                    if error is not None:
+                        shaped.set_exception(error)
+                        return
+                    acks = f.result()
+                    shaped.set_result(
+                        {
+                            "applied": bool(acks and acks[0]["applied"]),
+                            "version": max(
+                                (a["version"] for a in acks), default=None
+                            ),
+                            "workers": len(acks),
+                        }
+                    )
+                except InvalidStateError:  # cancelled in the race window
+                    pass
+
+            future.add_done_callback(reshape)
+            return shaped
+        if op == "stats":
+            return self.pool.stats_async()
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    def _check_tuple_kinds(self, relation: str, values: tuple) -> None:
+        """Reject an insert whose value kinds (interval vs. scalar per
+        position) contradict the relation's existing tuples.  The
+        database layer only checks arity, so without this gate one
+        malformed mutate would be applied cluster-wide and poison every
+        later query over the relation."""
+        db = self.pool.db
+        if relation not in db:
+            raise ProtocolError(f"unknown relation {relation!r}")
+        tuples = db[relation].tuples
+        if not tuples:
+            return  # no basis for a kind check on an empty relation
+        sample = next(iter(tuples))
+        if len(values) == len(sample):  # arity mismatch raises downstream
+            for position, (value, reference) in enumerate(
+                zip(values, sample)
+            ):
+                if isinstance(value, Interval) != isinstance(
+                    reference, Interval
+                ):
+                    raise ProtocolError(
+                        f"tuple position {position} of {relation!r} must "
+                        f"be {'an interval' if isinstance(reference, Interval) else 'a scalar'}"
+                    )
+
+
+def _field(request: dict, name: str, kind: type):
+    value = request.get(name)
+    if not isinstance(value, kind):
+        raise ProtocolError(
+            f"field {name!r} must be a {kind.__name__}, got {value!r}"
+        )
+    return value

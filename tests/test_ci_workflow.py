@@ -1,6 +1,6 @@
 """CI pipeline sanity: the workflow file must stay parseable and keep
-its four jobs (tests / fuzz / lint / bench smoke), and the packaging
-metadata must stay consistent with it."""
+its jobs (tests / fuzz / lint / bench smoke / service smoke), and the
+packaging metadata must stay consistent with it."""
 
 from pathlib import Path
 
@@ -29,9 +29,11 @@ class TestWorkflow:
         assert trigger is not None
         assert "pull_request" in trigger and "push" in trigger
 
-    def test_four_jobs(self, workflow):
+    def test_jobs_present(self, workflow):
         jobs = workflow["jobs"]
-        assert {"tests", "fuzz", "lint", "bench-smoke"} <= set(jobs)
+        assert {
+            "tests", "fuzz", "lint", "bench-smoke", "service-smoke"
+        } <= set(jobs)
 
     def test_tests_job_matrix_covers_310_to_312(self, workflow):
         matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
@@ -81,6 +83,25 @@ class TestWorkflow:
         ]
         assert uploads
         assert "benchmarks/results" in uploads[0]["with"]["path"]
+
+    def test_service_smoke_runs_suite_and_uploads_artifact(self, workflow):
+        """Satellite: CI runs the service differential smoke (server +
+        2 workers + mixed requests, asserted in tests/test_service.py),
+        a --quick throughput bench, and uploads the JSON artifact."""
+        steps = workflow["jobs"]["service-smoke"]["steps"]
+        runs = " ".join(step.get("run", "") for step in steps)
+        assert "tests/test_service.py" in runs
+        assert "benchmarks/bench_service_throughput.py --quick" in runs
+        uploads = [
+            step
+            for step in steps
+            if str(step.get("uses", "")).startswith("actions/upload-artifact@")
+        ]
+        assert uploads
+        assert (
+            "benchmarks/results/service_throughput.json"
+            in uploads[0]["with"]["path"]
+        )
 
     def test_every_job_checks_out_and_sets_up_python(self, workflow):
         for name, job in workflow["jobs"].items():

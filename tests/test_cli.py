@@ -117,3 +117,23 @@ class TestCommands:
         assert code == 0
         assert "triangle" in out
         assert "NOT iota" in out and "iota" in out
+
+    def test_serve_rejects_cache_max_bytes_without_dir(self, capsys):
+        code = main(
+            ["serve", "R([A],[B])", "--cache-max-bytes", "1000"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "--cache-max-bytes requires --cache-dir" in captured.err
+
+    def test_serve_rejects_negative_cache_max_bytes(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve", "R([A],[B])",
+                "--cache-dir", str(tmp_path),
+                "--cache-max-bytes", "-1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "non-negative" in captured.err

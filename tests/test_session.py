@@ -410,6 +410,55 @@ class TestPlannerIntegration:
         assert session.plan(q) is session.plan(q)
 
 
+class TestAnswerAdmission:
+    """Cost-aware answer-cache admission: only answers whose reduction
+    reads at least ``answer_admission_min_intervals`` input tuples earn
+    a slot; the rest are recomputed on demand."""
+
+    def _db(self, cheap_n=2, expensive_n=30):
+        q_cheap = parse_query("C([A],[B])")
+        q_costly = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(q_costly, expensive_n, seed=1)
+        for relation in random_database(q_cheap, cheap_n, seed=2):
+            db.add(relation)
+        return db, q_cheap, q_costly
+
+    def test_cheap_answers_are_rejected_expensive_admitted(self):
+        db, q_cheap, q_costly = self._db()
+        session = QuerySession(db, answer_admission_min_intervals=10)
+        session.evaluate(q_cheap)   # reads 2 tuples < 10: rejected
+        session.evaluate(q_costly)  # reads 60 tuples: admitted
+        assert session.stats.admission_rejects == 1
+        session.evaluate(q_cheap)
+        session.evaluate(q_costly)
+        assert session.stats.hits == 1      # only the costly one cached
+        assert session.stats.misses == 3    # the cheap one recomputed
+        assert session.stats.admission_rejects == 2
+        assert session.evaluate(q_cheap) == naive_evaluate(q_cheap, db)
+
+    def test_counts_follow_the_same_policy(self):
+        db, q_cheap, _ = self._db()
+        session = QuerySession(db, answer_admission_min_intervals=10)
+        for _ in range(2):
+            assert session.count(q_cheap) == naive_count(q_cheap, db)
+        assert session.stats.hits == 0
+        assert session.stats.admission_rejects == 2
+
+    def test_default_admits_everything(self):
+        db, q_cheap, _ = self._db()
+        session = QuerySession(db)
+        session.evaluate(q_cheap)
+        session.evaluate(q_cheap)
+        assert session.stats.hits == 1
+        assert session.stats.admission_rejects == 0
+        assert "admission_rejects" in session.stats.as_dict()
+
+    def test_threshold_must_be_non_negative(self):
+        db, _, _ = self._db()
+        with pytest.raises(ValueError):
+            QuerySession(db, answer_admission_min_intervals=-1)
+
+
 class TestSharedRegistry:
     def test_for_database_is_one_session_per_db(self):
         q = parse_query(TRIANGLE)
