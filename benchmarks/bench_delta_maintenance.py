@@ -25,7 +25,7 @@ import random
 import time
 from pathlib import Path
 
-from conftest import bench_n, print_table, quick_mode, shape_assert
+from conftest import bench_n, median, print_table, quick_mode, shape_assert
 
 from repro.core import QuerySession, naive_evaluate
 from repro.intervals import Interval
@@ -61,11 +61,6 @@ def _in_domain_tuple(session, rng):
     return tuple(row)
 
 
-def _median(samples):
-    ordered = sorted(samples)
-    return ordered[len(ordered) // 2]
-
-
 def test_single_tuple_insert_patch_vs_rebuild(benchmark):
     query = _query()
     rng = random.Random(5)
@@ -99,7 +94,7 @@ def test_single_tuple_insert_patch_vs_rebuild(benchmark):
             session.evaluate(query, strategy="reduction")
             rebuild_times.append(time.perf_counter() - start)
         assert session.stats.reductions > warm_reductions
-        return session, db, _median(patch_times), _median(rebuild_times)
+        return session, db, median(patch_times), median(rebuild_times)
 
     session, db, patch, rebuild = benchmark.pedantic(
         run, rounds=1, iterations=1

@@ -1,0 +1,157 @@
+"""CI perf-regression smoke gate.
+
+Compares the JSON artifacts the quick benchmarks drop under
+``benchmarks/results/`` against a **committed** baseline
+(``benchmarks/baselines/perf_quick_baseline.json``) with a generous
+tolerance: the gate exists to catch *collapses* — a memoization that
+stopped memoizing, a patch path that silently rebuilds, a warm restart
+that re-reduces — not single-digit-percent noise, so it fails only on
+>2× regressions (per-metric overrides allow an even wider band for
+absolute timings, which vary with runner hardware).
+
+Baseline format::
+
+    {
+      "tolerance": 2.0,                      # default band
+      "files": {
+        "forward_reduction.json": {
+          "speedup":     {"direction": "higher", "baseline": 3.0},
+          "memoized_ms": {"direction": "lower",  "baseline": 12.0,
+                           "tolerance": 6.0},
+          "warm.reductions": {"direction": "exact", "baseline": 0}
+        }
+      }
+    }
+
+Directions: ``higher`` fails when ``value < baseline / tolerance``
+(ratios like speedups — machine-independent), ``lower`` fails when
+``value > baseline * tolerance`` (timings), ``exact`` fails on any
+mismatch (structural claims like a zero-reduction warm restart).
+Metric names may be dotted paths into nested JSON.  A missing results
+file or metric is itself a failure — the benchmark stopped reporting.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        [--results benchmarks/results] \
+        [--baseline benchmarks/baselines/perf_quick_baseline.json] \
+        [--update]
+
+``--update`` rewrites the baseline's recorded values from the current
+results (directions and tolerances are kept) — run it locally after an
+intentional perf change and commit the diff.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+DEFAULT_RESULTS = HERE / "results"
+DEFAULT_BASELINE = HERE / "baselines" / "perf_quick_baseline.json"
+
+
+def lookup(payload: dict, dotted: str):
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def check_metric(
+    name: str, value, spec: dict, default_tolerance: float
+) -> tuple[str, str]:
+    """Returns ``(status, detail)`` with status ``ok`` / ``FAIL``."""
+    direction = spec["direction"]
+    baseline = spec["baseline"]
+    tolerance = float(spec.get("tolerance", default_tolerance))
+    if value is None:
+        return "FAIL", f"{name}: metric missing from results"
+    if direction == "exact":
+        ok = value == baseline
+        bound = f"== {baseline}"
+    elif direction == "higher":
+        bound_value = baseline / tolerance
+        ok = value >= bound_value
+        bound = f">= {bound_value:.3g} (baseline {baseline} / {tolerance}x)"
+    elif direction == "lower":
+        bound_value = baseline * tolerance
+        ok = value <= bound_value
+        bound = f"<= {bound_value:.3g} (baseline {baseline} * {tolerance}x)"
+    else:
+        return "FAIL", f"{name}: unknown direction {direction!r}"
+    shown = f"{value:.4g}" if isinstance(value, float) else repr(value)
+    return ("ok" if ok else "FAIL"), f"{name} = {shown}  [{bound}]"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--results", default=DEFAULT_RESULTS, type=Path)
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE, type=Path)
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline's values from the current results",
+    )
+    args = parser.parse_args(argv)
+
+    with args.baseline.open() as handle:
+        baseline = json.load(handle)
+    default_tolerance = float(baseline.get("tolerance", 2.0))
+
+    failures = 0
+    for filename, metrics in sorted(baseline["files"].items()):
+        path = args.results / filename
+        if not path.is_file():
+            print(f"FAIL  {filename}: results file missing")
+            failures += 1
+            continue
+        with path.open() as handle:
+            payload = json.load(handle)
+        for metric, spec in sorted(metrics.items()):
+            value = lookup(payload, metric)
+            if args.update:
+                if value is None:
+                    # keeping the stale value silently would commit a
+                    # baseline that gates on a phantom metric
+                    print(
+                        f"FAIL  {filename}: {metric}: metric missing "
+                        f"from results — baseline not updated"
+                    )
+                    failures += 1
+                else:
+                    spec["baseline"] = value
+                continue
+            status, detail = check_metric(
+                metric, value, spec, default_tolerance
+            )
+            print(f"{status:4s}  {filename}: {detail}")
+            if status != "ok":
+                failures += 1
+
+    if args.update:
+        if failures:
+            print(
+                f"\n{failures} metric(s)/file(s) missing — baseline "
+                f"left untouched (run every gated quick bench first)"
+            )
+            return 1
+        with args.baseline.open("w") as handle:
+            json.dump(baseline, handle, indent=2)
+            handle.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if failures:
+        print(f"\n{failures} perf-gate failure(s)")
+        return 1
+    print("\nperf gate: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

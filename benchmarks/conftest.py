@@ -62,6 +62,12 @@ def shape_assert(condition: bool, message: object = "") -> None:
     assert condition, message
 
 
+def median(samples: Sequence[float]) -> float:
+    """Upper median of a non-empty sample list."""
+    ordered = sorted(samples)
+    return ordered[len(ordered) // 2]
+
+
 def fit_loglog_slope(ns: Sequence[int], times: Sequence[float]) -> float:
     """Least-squares slope of log(time) against log(n)."""
     xs = np.log([float(n) for n in ns])

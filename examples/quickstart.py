@@ -21,7 +21,13 @@ Walks through the paper's running example, the triangle query
    pool of session-owning workers behind an asyncio JSON-lines server
    with admission control, driven here by the bundled load generator.
    The same thing is available on the command line as ``repro serve``
-   and ``repro loadgen``.
+   and ``repro loadgen``;
+8. profiling and the encoding store — the session's per-phase timing
+   stats (``repro evaluate --profile`` on the CLI) and the memoized
+   columnar cold reduction: encodings are computed once per
+   ``(variable, value, position)`` and shared across tuples, variants
+   and delta patches, with the naive per-tuple path retained as a
+   bit-identical reference oracle.
 """
 
 import asyncio
@@ -221,6 +227,50 @@ def main() -> None:
             f"(isomorphism groups share; the persistent cache would "
             f"hand them to a restarted pool for free)"
         )
+    print()
+
+    print("=" * 64)
+    print("8. Profiling and the memoized cold reduction")
+    print("=" * 64)
+    # where does a session spend its time?  The per-phase timing stats
+    # behind `repro evaluate --profile`:
+    profiled = QuerySession(db)
+    profiled.evaluate(query, strategy="reduction")
+    phases = profiled.stats.profile()
+    print(
+        "session phases: "
+        + " | ".join(
+            f"{name.replace('_', '-')} {seconds * 1e3:.1f} ms"
+            for name, seconds in phases.items()
+        )
+    )
+    # the cold reduction itself is encoding-memoized and columnar: the
+    # split family of a segment-tree node depends only on (node,
+    # position) — Claim C.1 — and real workloads repeat interval values,
+    # so each (variable, value, position) encoding is computed once and
+    # shared by every tuple, variant and delta patch.  The naive
+    # per-tuple path is retained as a bit-identical reference oracle:
+    reference_ms = memoized_ms = float("inf")
+    for _ in range(2):  # best of 2: absorb cold-start noise
+        start = time.perf_counter()
+        reference = forward_reduce(query, db, reference=True)
+        reference_ms = min(
+            reference_ms, (time.perf_counter() - start) * 1e3
+        )
+        start = time.perf_counter()
+        memoized = forward_reduce(query, db)
+        memoized_ms = min(memoized_ms, (time.perf_counter() - start) * 1e3)
+    store = memoized.encoding_store
+    print(
+        f"cold reduction: reference {reference_ms:.1f} ms, memoized "
+        f"{memoized_ms:.1f} ms ({store.stats()['entries']} memoized "
+        f"encodings, {store.stats()['hits']} memo hits)"
+    )
+    assert reference.database.size == memoized.database.size
+    print(
+        "benchmarks/bench_forward_reduction.py asserts >=3x on a "
+        "duplicate-heavy workload and feeds the CI perf gate"
+    )
 
 
 if __name__ == "__main__":

@@ -110,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
             "(requires --cache-dir)"
         ),
     )
+    p_eval.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "print a per-phase timing breakdown (canonicalize / reduce "
+            "/ evaluate / cache-I/O) from the session's timing stats"
+        ),
+    )
 
     p_reduce = sub.add_parser("reduce", help="inspect the forward reduction")
     p_reduce.add_argument("query")
@@ -288,6 +295,24 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         print(
             f"session: {stats.reductions} reductions, "
             f"{stats.hits} hits, {stats.misses} misses"
+        )
+    if args.profile:
+        phases = stats.profile()
+        total = sum(phases.values())
+        wall = sum(timings)
+        print(
+            "profile: "
+            + " | ".join(
+                f"{name.replace('_', '-')} {seconds * 1e3:.1f} ms"
+                f" ({seconds / total * 100:.0f}%)"
+                if total > 0
+                else f"{name.replace('_', '-')} {seconds * 1e3:.1f} ms"
+                for name, seconds in phases.items()
+            )
+        )
+        print(
+            f"profile: phases {total * 1e3:.1f} ms of "
+            f"{wall * 1e3:.1f} ms total evaluate wall time"
         )
     if session.cache is not None:
         cache_stats = session.cache.stats()

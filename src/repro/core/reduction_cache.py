@@ -46,7 +46,10 @@ from ..reduction.forward import ForwardReductionResult
 #: ``variant_counts``, segment-tree endpoint domains).
 #: Version 3: the result pickle is framed as opaque bytes next to its
 #: SHA-256 integrity digest, verified on load.
-FORMAT_VERSION = 3
+#: Version 4: results carry the memoized
+#: :class:`~repro.reduction.encoding_store.EncodingStore` (the memo
+#: itself is dropped at pickle time; the field must exist on load).
+FORMAT_VERSION = 4
 
 
 # ----------------------------------------------------------------------
@@ -114,6 +117,49 @@ def database_fingerprint(db: Database) -> tuple:
     and tuple enumeration order *and across processes* (SHA-based, no
     ``hash()`` salting).  Equal fingerprints mean identical contents."""
     return tuple(sorted(database_digests(db).items()))
+
+
+def result_digest(result: ForwardReductionResult) -> str:
+    """A stable SHA-256 digest of everything observable about a forward
+    reduction result: the encoded disjuncts and their position maps, the
+    transformed database (schemas + derived rows), the provenance-id
+    order (``tuple_order``, ``None`` sentinels included), the derived-
+    row refcounts (``variant_counts``) and the patch metadata
+    (``atom_variants``).
+
+    Two results digest equal exactly when they are bit-identical as
+    reduction artifacts — the oracle behind the differential tests that
+    pin the memoized columnar reduction (and its delta-patched
+    descendants) to the retained reference path.
+    """
+    h = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        encoded = text.encode()
+        h.update(b"%d:" % len(encoded))
+        h.update(encoded)
+
+    for eq in result.encoded_queries:
+        feed(repr(eq.query))
+        feed(repr(sorted((x, sorted(p.items())) for x, p in eq.positions.items())))
+    for name in sorted(result.database.relation_names):
+        feed(name)
+        feed(relation_digest(result.database[name]))
+    for label in sorted(result.tuple_order):
+        feed(label)
+        for t in result.tuple_order[label]:
+            feed("z:" if t is None else encode_value(t))
+    for name in sorted(result.variant_counts):
+        feed(name)
+        rows = result.variant_counts[name]
+        for line in sorted(
+            f"{encode_value(row)}={count}" for row, count in rows.items()
+        ):
+            feed(line)
+    for label in sorted(result.atom_variants):
+        feed(label)
+        feed(repr(result.atom_variants[label]))
+    return h.hexdigest()
 
 
 def query_content_key(query: Query) -> tuple:

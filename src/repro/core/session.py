@@ -38,9 +38,11 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from itertools import permutations, product
 from math import factorial
+from time import perf_counter
 from typing import Iterator, Literal, Sequence
 
 from ..engine.relation import Database, Delta
@@ -246,6 +248,13 @@ def canonical_form(query: Query) -> CanonicalForm:
 # ----------------------------------------------------------------------
 
 
+#: The phases a session spends its wall time in, as surfaced by the CLI
+#: ``--profile`` flag: query canonicalization, forward reduction
+#: (including the Appendix G shift and any delta patching), disjunct /
+#: naive / sweep evaluation, and persistent-cache I/O.
+PROFILE_PHASES = ("canonicalize", "reduce", "evaluate", "cache_io")
+
+
 @dataclass
 class SessionStats:
     """Cache accounting for one session."""
@@ -258,6 +267,11 @@ class SessionStats:
     evictions: int = 0         # answer-cache entries dropped by the LRU bound
     delta_patches: int = 0     # deltas applied to cached reductions in place
     admission_rejects: int = 0  # answers denied a cache slot (too cheap)
+    #: accumulated wall seconds per phase — the built-in flame-sketch
+    #: behind ``repro evaluate --profile``
+    phase_seconds: dict[str, float] = field(
+        default_factory=lambda: {phase: 0.0 for phase in PROFILE_PHASES}
+    )
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -270,6 +284,10 @@ class SessionStats:
             "delta_patches": self.delta_patches,
             "admission_rejects": self.admission_rejects,
         }
+
+    def profile(self) -> dict[str, float]:
+        """Per-phase wall seconds accumulated so far (a copy)."""
+        return dict(self.phase_seconds)
 
 
 class QuerySession:
@@ -345,6 +363,27 @@ class QuerySession:
             session = cls(db)
             db._query_session = session
         return session
+
+    # ------------------------------------------------------------------
+    # phase timing (the ``--profile`` flame-sketch)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _timed(self, phase: str):
+        """Accumulate the wall time of the wrapped block into
+        ``stats.phase_seconds[phase]`` (phases are timed at the leaf
+        operations — canonicalization, the reduction itself, disjunct
+        evaluation, persistent-cache I/O — so they never nest and the
+        breakdown sums to the interesting fraction of total time)."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.stats.phase_seconds[phase] += perf_counter() - start
+
+    def _canonical(self, query: Query) -> CanonicalForm:
+        with self._timed("canonicalize"):
+            return canonical_form(query)
 
     # ------------------------------------------------------------------
     # invalidation
@@ -488,21 +527,24 @@ class QuerySession:
                 key=lambda d: d.version,
             )
             try:
-                for delta in deltas:
-                    result.apply_delta(delta)
-                    self.stats.delta_patches += 1
+                with self._timed("reduce"):
+                    for delta in deltas:
+                        result.apply_delta(delta)
+                        self.stats.delta_patches += 1
             except DomainChanged:
                 stale.append(key)
                 continue
             if self.cache is not None:
                 # key shapes: ("exact", qck, disjoint, provenance) and
                 # (form.key, disjoint, provenance) — flags are trailing
-                self.cache.put(
-                    reduction_key(
-                        result.original, digests, key[-2], key[-1], "plain"
-                    ),
-                    result,
-                )
+                with self._timed("cache_io"):
+                    self.cache.put(
+                        reduction_key(
+                            result.original, digests, key[-2], key[-1],
+                            "plain",
+                        ),
+                        result,
+                    )
         for key in stale:
             del self._reductions[key]
         # the disjoint-shifted pipeline reduces over the G.1 shifted
@@ -571,20 +613,23 @@ class QuerySession:
             key = reduction_key(
                 query, self._digests, disjoint, provenance, pipeline
             )
-            result = self.cache.get(key)
+            with self._timed("cache_io"):
+                result = self.cache.get(key)
             if result is not None:
                 self.stats.persistent_hits += 1
                 return result, deps
-        if pipeline == "disjoint-shifted":
-            base = shift_distinct_left(query, self.db)
-        else:
-            base = self.db
-        result = forward_reduce(
-            query, base, disjoint=disjoint, provenance=provenance
-        )
+        with self._timed("reduce"):
+            if pipeline == "disjoint-shifted":
+                base = shift_distinct_left(query, self.db)
+            else:
+                base = self.db
+            result = forward_reduce(
+                query, base, disjoint=disjoint, provenance=provenance
+            )
         self.stats.reductions += 1
         if self.cache is not None and key is not None:
-            self.cache.put(key, result)
+            with self._timed("cache_io"):
+                self.cache.put(key, result)
         return result, deps
 
     def plan(self, query: Query, naive_budget: float | None = None):
@@ -592,7 +637,7 @@ class QuerySession:
         ``naive_budget`` overrides the session default for this lookup
         (plans are cached per effective budget)."""
         self._ensure_current()
-        return self._plan_for(canonical_form(query), naive_budget)
+        return self._plan_for(self._canonical(query), naive_budget)
 
     def _plan_for(self, form: CanonicalForm, naive_budget: float | None = None):
         budget = self.naive_budget if naive_budget is None else naive_budget
@@ -668,7 +713,7 @@ class QuerySession:
         strategy returns the same Boolean.
         """
         self._ensure_current()
-        form = canonical_form(query)
+        form = self._canonical(query)
         key = ("eval", form.key)
         cached = self._answer_get(key)
         if cached is not None:
@@ -685,25 +730,28 @@ class QuerySession:
         if strategy == "auto":
             strategy = self._plan_for(form).strategy
         if strategy == "naive":
-            return naive_evaluate(form.query, self.db)
+            with self._timed("evaluate"):
+                return naive_evaluate(form.query, self.db)
         if strategy == "sweep":
             from .planner import single_shared_interval_variable
 
             shared = single_shared_interval_variable(form.query)
             if shared is not None:
-                return sweep_evaluate_binary(form.query, self.db, shared)
+                with self._timed("evaluate"):
+                    return sweep_evaluate_binary(form.query, self.db, shared)
         return self._evaluate_reduction(form, ej_method)
 
     def _evaluate_reduction(
         self, form: CanonicalForm, ej_method: Method
     ) -> bool:
         result = self._reduction(form, False, False)
-        return evaluate_disjunction(result, ej_method)
+        with self._timed("evaluate"):
+            return evaluate_disjunction(result, ej_method)
 
     def count(self, query: Query, ej_method: Method = "auto") -> int:
         """Exact witness count, cached by canonical form."""
         self._ensure_current()
-        form = canonical_form(query)
+        form = self._canonical(query)
         key = ("count", form.key)
         cached = self._answer_get(key)
         if cached is not None:
@@ -711,7 +759,8 @@ class QuerySession:
             return int(cached)  # type: ignore[call-overload]
         self.stats.misses += 1
         result = self._disjoint_reduction(form)
-        total = count_disjunction(result, ej_method)
+        with self._timed("evaluate"):
+            total = count_disjunction(result, ej_method)
         self._answer_put(key, total, _form_deps(form))
         return total
 
@@ -721,7 +770,7 @@ class QuerySession:
         """Enumerate witnesses through the memoized disjoint reduction,
         relabeled back to the original query's atom labels."""
         self._ensure_current()
-        form = canonical_form(query)
+        form = self._canonical(query)
         result = self._disjoint_reduction(form)
         from .ij_engine import witnesses_from_reduction
 
@@ -764,7 +813,7 @@ class QuerySession:
         results: list = [None] * len(queries)
         groups: dict[tuple, list[int]] = {}
         for i, query in enumerate(queries):
-            groups.setdefault(canonical_form(query).key, []).append(i)
+            groups.setdefault(self._canonical(query).key, []).append(i)
         self._in_batch = True
         try:
             for indices in groups.values():

@@ -29,6 +29,7 @@ from .bitstring import (
     dyadic_interval,
     is_prefix,
     perfect_tree_segment,
+    split_tuples,
     splits,
 )
 from .interval_tree import IntervalTree, index_join
@@ -62,6 +63,7 @@ __all__ = [
     "dyadic_interval",
     "is_prefix",
     "perfect_tree_segment",
+    "split_tuples",
     "splits",
     "collect_endpoints",
     "distinct_left_epsilon",

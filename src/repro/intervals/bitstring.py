@@ -10,7 +10,9 @@ and to the explicit perfect-tree segments of Appendix D (Figure 7).
 from __future__ import annotations
 
 from fractions import Fraction
+from functools import lru_cache
 from itertools import combinations_with_replacement
+from math import comb
 from typing import Iterator
 
 from .interval import Interval
@@ -38,11 +40,27 @@ def splits(u: str, parts: int) -> Iterator[tuple[str, ...]]:
         yield tuple(u[bounds[i]:bounds[i + 1]] for i in range(parts))
 
 
+@lru_cache(maxsize=65536)
+def split_tuples(u: str, parts: int) -> tuple[tuple[str, ...], ...]:
+    """``𝔉(u, parts)`` as a materialised tuple, memoized.
+
+    A pure, LRU-safe wrapper around :func:`splits`: the split family of
+    a node depends only on its bitstring and the part count (Claim C.1),
+    so one computation serves every tuple, tree, and reduction that
+    encodes against the node.  Because results are cached, the returned
+    part-tuples are *interned* — repeated encodings share the same tuple
+    objects instead of materialising fresh strings per input tuple.
+
+    Callers must not mutate the returned value (it is a tuple, so they
+    cannot).  This is the primitive behind
+    :class:`repro.reduction.encoding_store.EncodingStore`.
+    """
+    return tuple(splits(u, parts))
+
+
 def count_splits(length: int, parts: int) -> int:
     """``|𝔉(u, parts)|`` for ``|u| = length``: the number of ordered
     splits into possibly-empty parts."""
-    from math import comb
-
     return comb(length + parts - 1, parts - 1)
 
 

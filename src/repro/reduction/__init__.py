@@ -1,5 +1,6 @@
 """Forward (IJ -> EJ) and backward (EJ -> IJ) reductions."""
 
+from .encoding_store import EncodingStore
 from .forward import (
     DomainChanged,
     EncodedQuery,
@@ -25,6 +26,7 @@ from .factored import (
 __all__ = [
     "DomainChanged",
     "EncodedQuery",
+    "EncodingStore",
     "ForwardReducer",
     "ForwardReductionResult",
     "forward_reduce",

@@ -53,11 +53,26 @@ class _FactorSpec:
 
 
 class FactoredForwardReducer(ForwardReducer):
-    """Forward reduction with the lossless Id-decomposition encoding."""
+    """Forward reduction with the lossless Id-decomposition encoding.
 
-    def __init__(self, query: Query, db: Database, disjoint: bool = False):
+    Shares the memoized :class:`~repro.reduction.encoding_store.EncodingStore`
+    of the base reducer: every ``(variable, value, i)`` encoding is
+    computed once across all factored relations (``reference=True``
+    selects the naive path, as in :class:`ForwardReducer`).
+    """
+
+    def __init__(
+        self,
+        query: Query,
+        db: Database,
+        disjoint: bool = False,
+        reference: bool = False,
+    ):
         # provenance is inherent to this encoding (the Id columns)
-        super().__init__(query, db, disjoint=disjoint, provenance=False)
+        super().__init__(
+            query, db, disjoint=disjoint, provenance=False,
+            reference=reference,
+        )
         self._factor_cache: dict[_FactorSpec, Relation] = {}
         self._base_cache: dict[str, Relation] = {}
         self._tuple_order: dict[str, list[tuple]] = {
@@ -192,15 +207,21 @@ class FactoredForwardReducer(ForwardReducer):
                         seen.add(spec.name())
                         database.add(self.factor_relation(atom, spec))
         return ForwardReductionResult(
-            self.query, encoded, database, dict(self.trees)
+            self.query, encoded, database, dict(self.trees),
+            encoding_store=self.store,
         )
 
 
 def forward_reduce_factored(
-    query: Query, db: Database, disjoint: bool = False
+    query: Query,
+    db: Database,
+    disjoint: bool = False,
+    reference: bool = False,
 ) -> ForwardReductionResult:
     """Full forward reduction with the factored (Id) encoding."""
-    return FactoredForwardReducer(query, db, disjoint=disjoint).reduce()
+    return FactoredForwardReducer(
+        query, db, disjoint=disjoint, reference=reference
+    ).reduce()
 
 
 def count_ij_factored(query: Query, db: Database) -> int:

@@ -17,6 +17,17 @@ depends only on its position per variable, so ``∏_X k_X`` variants per
 atom serve all ``∏_X k_X!`` EJ disjuncts (the Section 1.1 observation
 that relation schemas identify the transformed relations).
 
+The batch loop is **encoding-memoized and columnar**: an
+:class:`~repro.reduction.encoding_store.EncodingStore` computes each
+``(variable, value, position)`` encoding once (split families are
+memoized globally at the ``(node, i)`` layer, per Claim C.1), and
+:meth:`ForwardReducer.variant_relation` groups a relation's tuples by
+their interval-column projection, running the cartesian expansion once
+per distinct projection group instead of once per tuple.  The output is
+bit-identical to the naive per-tuple path, which is retained
+(``reference=True``) as the oracle for differential digest tests and the
+baseline for ``benchmarks/bench_forward_reduction.py``.
+
 With ``disjoint=True`` the Appendix G refinement is applied: after the
 distinct-left-endpoint shift, every satisfying tuple combination is
 witnessed by *exactly one* disjunct and one assignment, enabling exact
@@ -25,9 +36,10 @@ counting.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from itertools import permutations, product
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Sequence
 
 from ..engine.relation import Database, Delta, Relation
 from ..intervals.bitstring import splits
@@ -35,6 +47,7 @@ from ..intervals.interval import Interval
 from ..intervals.segment_tree import SegmentTree
 from ..queries.query import Atom, Query, Variable, pvar
 from ..hypergraph.transform import part_vertex
+from .encoding_store import EncodingStore
 
 # variable name -> atom label -> 1-based permutation position
 PositionMap = dict[str, dict[str, int]]
@@ -104,6 +117,7 @@ def transform_tuple(
     trees: Mapping[str, SegmentTree],
     k: Mapping[str, int],
     tuple_id: int | None = None,
+    store: EncodingStore | None = None,
 ) -> set[tuple]:
     """The rows one input tuple contributes to one transformed relation
     variant (the per-tuple body of Definition 4.9).
@@ -115,21 +129,30 @@ def transform_tuple(
     to what a fresh reduction over the mutated data would build
     (endpoint domains permitting).
 
+    ``store`` — when given — serves each interval encoding from its
+    memo instead of re-walking the segment tree and re-enumerating
+    splits; the rows produced are identical either way.
+
     Distinct canonical-partition nodes and distinct splits never
     concatenate to the same parts, so the returned rows are exactly the
     tuple's derived rows with no within-tuple multiplicity.
     """
     parts = dict(spec.parts)
     nonempty = set(spec.nonempty_last)
-    encodings: list[list[tuple[str, ...]]] = []
+    encodings: list[Sequence[tuple[str, ...]]] = []
     fixed: list = []
     order: list[tuple[str, int]] = []  # (kind, payload index)
     for v, value in zip(atom.variables, t):
         if v.is_interval:
             i = parts[v.name]
-            options = _interval_encodings(
-                trees[v.name], k[v.name], value, i, v.name in nonempty
-            )
+            if store is not None:
+                options: Sequence[tuple[str, ...]] = store.interval_encodings(
+                    v.name, value, i, v.name in nonempty
+                )
+            else:
+                options = _interval_encodings(
+                    trees[v.name], k[v.name], value, i, v.name in nonempty
+                )
             encodings.append(options)
             order.append(("interval", len(encodings) - 1))
         else:
@@ -172,6 +195,11 @@ class ForwardReductionResult:
     #: a derived row disappears only when its last deriving input tuple
     #: does.
     variant_counts: dict[str, dict[tuple, int]] = field(default_factory=dict)
+    #: the memoized-encoding store the reduction was built with (shares
+    #: its segment trees with :attr:`segment_trees`), re-used by
+    #: :meth:`apply_delta` so patching pays memo lookups, not tree
+    #: walks.  ``None`` for reference-path results; rebuilt lazily.
+    encoding_store: EncodingStore | None = None
 
     @property
     def ej_queries(self) -> list[Query]:
@@ -265,6 +293,15 @@ class ForwardReductionResult:
                         )
         self._patch(atoms, t, k, inserting=delta.kind == "insert")
 
+    def _store(self, k: Mapping[str, int]) -> EncodingStore:
+        """The encoding store patches go through — the one the
+        reduction was built with, or (for artifacts that predate it,
+        e.g. unpickled by an older peer) a fresh store over the same
+        segment trees, attached so later patches stay warm."""
+        if self.encoding_store is None:
+            self.encoding_store = EncodingStore(self.segment_trees, k)
+        return self.encoding_store
+
     def _patch(
         self,
         atoms: list[Atom],
@@ -309,7 +346,13 @@ class ForwardReductionResult:
                         f"variant {name} has no derived-row refcounts"
                     )
                 rows = transform_tuple(
-                    atom, spec, t, self.segment_trees, k, ids[atom.label]
+                    atom,
+                    spec,
+                    t,
+                    self.segment_trees,
+                    k,
+                    ids[atom.label],
+                    store=self._store(k),
                 )
                 if inserting:
                     for row in rows:
@@ -335,7 +378,13 @@ class ForwardReductionResult:
 
 
 class ForwardReducer:
-    """Shared-variant forward reduction for one (query, database) pair."""
+    """Shared-variant forward reduction for one (query, database) pair.
+
+    ``reference=True`` selects the naive per-tuple transform loop (no
+    encoding memo, no columnar grouping) — retained as the differential
+    oracle and benchmark baseline for the memoized path.  Both paths
+    produce bit-identical results.
+    """
 
     def __init__(
         self,
@@ -343,11 +392,13 @@ class ForwardReducer:
         db: Database,
         disjoint: bool = False,
         provenance: bool = False,
+        reference: bool = False,
     ):
         self.query = query
         self.db = db
         self.disjoint = disjoint
         self.provenance = provenance
+        self.reference = reference
         self.interval_vars = [v.name for v in query.interval_variables]
         self.k: dict[str, int] = {
             x: len(query.atoms_containing(x)) for x in self.interval_vars
@@ -360,6 +411,9 @@ class ForwardReducer:
                 for t in db[atom.relation].tuples:
                     intervals.append(t[idx])
             self.trees[x] = SegmentTree(intervals)
+        self.store: EncodingStore | None = (
+            None if reference else EncodingStore(self.trees, self.k)
+        )
         self._variants: dict[_VariantSpec, Relation] = {}
         self._variant_counts: dict[str, dict[tuple, int]] = {}
         self._atom_variants: dict[str, dict[_VariantSpec, None]] = {}
@@ -467,14 +521,131 @@ class ForwardReducer:
                 schema.append(v.name)
         if spec.provenance and parts:
             schema.append(f"__id_{atom.label}")
-        counts: dict[tuple, int] = {}
-        for tuple_id, t in enumerate(self.relation_order(atom.relation)):
-            for row in self.transform_tuple(atom, spec, t, tuple_id):
-                counts[row] = counts.get(row, 0) + 1
-        result = Relation(spec.name(), schema, set(counts))
+        order = self.relation_order(atom.relation)
+        counts: dict[tuple, int]
+        if self.store is None:
+            # reference path: the naive per-tuple transform loop
+            counts = {}
+            for tuple_id, t in enumerate(order):
+                for row in self.transform_tuple(atom, spec, t, tuple_id):
+                    counts[row] = counts.get(row, 0) + 1
+            result = Relation(spec.name(), schema, set(counts))
+        else:
+            # a Counter (dict subclass) so batched C-level .update calls
+            # do the refcounting; content-identical to the reference dict
+            counts = Counter()
+            self._columnar_counts(atom, spec, order, counts)
+            # rows are schema-width tuples by construction; skip the
+            # per-tuple re-validation pass of Relation.__init__
+            result = Relation(spec.name(), schema)
+            result.tuples = set(counts)
         self._variants[spec] = result
         self._variant_counts[spec.name()] = counts
         return result
+
+    def _columnar_counts(
+        self,
+        atom: Atom,
+        spec: _VariantSpec,
+        order: Sequence[tuple],
+        counts: Counter,
+    ) -> None:
+        """The columnar variant builder: group the relation's tuples by
+        their interval-column projection, expand the cartesian product
+        of part encodings **once per distinct projection group**, and
+        stitch each member tuple's point columns (and provenance id)
+        back into the pre-expanded templates.
+
+        Bit-identical to the reference loop: distinct canonical-
+        partition nodes and distinct splits never concatenate to the
+        same parts, so every expanded choice yields a distinct row for
+        a given tuple (exactly what the reference path's per-tuple set
+        collects) and each member tuple contributes one count per row.
+        """
+        parts = dict(spec.parts)
+        nonempty = set(spec.nonempty_last)
+        store = self.store
+        assert store is not None
+        # split the atom's columns into maximal runs of interval columns
+        # separated by single point columns: a row is then
+        # ``chunk_0 ∘ pt_0 ∘ chunk_1 ∘ ... ∘ chunk_M`` where the chunks
+        # are pre-concatenated interval encodings and the pts are the
+        # member tuple's point values
+        interval_cols: list[tuple[int, str, int, bool]] = []
+        runs: list[list[int]] = [[]]     # interval-slot indices per run
+        point_cols: list[int] = []
+        for col, v in enumerate(atom.variables):
+            if v.is_interval:
+                runs[-1].append(len(interval_cols))
+                interval_cols.append(
+                    (col, v.name, parts[v.name], v.name in nonempty)
+                )
+            else:
+                point_cols.append(col)
+                runs.append([])
+        provenance = spec.provenance and bool(parts)
+        groups: dict[tuple, list[int]] = {}
+        for tuple_id, t in enumerate(order):
+            key = tuple(t[col] for col, _, _, _ in interval_cols)
+            groups.setdefault(key, []).append(tuple_id)
+        update = counts.update
+        for projection, members in groups.items():
+            option_lists = [
+                store.interval_encodings(name, value, i, flag)
+                for (_, name, i, flag), value in zip(interval_cols, projection)
+            ]
+            # fold each run's per-slot options into whole-chunk options
+            # (one C-level tuple concat per combination)
+            run_options: list[list[tuple]] = []
+            for run in runs:
+                if not run:
+                    run_options.append([()])
+                    continue
+                opts: list[tuple] = list(option_lists[run[0]])
+                for slot in run[1:]:
+                    slot_opts = option_lists[slot]
+                    opts = [x + y for x in opts for y in slot_opts]
+                run_options.append(opts)
+            chunks = run_options[0]
+            if not point_cols:
+                if provenance:
+                    update(
+                        [c + (tid,) for tid in members for c in chunks]
+                    )
+                else:
+                    # interval-only, no provenance: every member derives
+                    # the very same rows — one dict update per row, not
+                    # per (member, row) pair
+                    bump = len(members)
+                    for row in chunks:
+                        counts[row] += bump
+            elif len(point_cols) == 1 and len(run_options[1]) == 1:
+                # one point column with no interval columns after it
+                # (the dominant mixed schema): straight-line concat
+                col = point_cols[0]
+                tail = run_options[1][0]
+                if provenance:
+                    mids = [
+                        (order[tid][col],) + tail + (tid,) for tid in members
+                    ]
+                else:
+                    mids = [(order[tid][col],) + tail for tid in members]
+                update([c + m for m in mids for c in chunks])
+            else:
+                templates = list(product(*run_options))
+                rows: list[tuple] = []
+                append = rows.append
+                for tid in members:
+                    t = order[tid]
+                    pts = [t[col] for col in point_cols]
+                    for combo in templates:
+                        row = combo[0]
+                        for pt, chunk in zip(pts, combo[1:]):
+                            row += (pt,) + chunk
+                        if provenance:
+                            row += (tid,)
+                        append(row)
+                update(rows)
 
     def transform_tuple(
         self, atom: Atom, spec: _VariantSpec, t: tuple, tuple_id: int
@@ -482,14 +653,19 @@ class ForwardReducer:
         """The rows one input tuple contributes to one variant — the
         per-tuple transform shared with the delta-patching path (see
         the module-level :func:`transform_tuple`)."""
-        return transform_tuple(atom, spec, t, self.trees, self.k, tuple_id)
+        return transform_tuple(
+            atom, spec, t, self.trees, self.k, tuple_id, store=self.store
+        )
 
     def _encodings(
         self, x: str, value: Interval, i: int, nonempty_last: bool
-    ) -> list[tuple[str, ...]]:
+    ) -> Sequence[tuple[str, ...]]:
         """All ``(X1..Xi)`` bitstring tuples for one interval value:
         CP-variant splits for ``i < k``, leaf-variant splits for
-        ``i = k`` (Definition 4.9)."""
+        ``i = k`` (Definition 4.9) — served from the encoding store
+        unless this is a reference-path reducer."""
+        if self.store is not None:
+            return self.store.interval_encodings(x, value, i, nonempty_last)
         return _interval_encodings(
             self.trees[x], self.k[x], value, i, nonempty_last
         )
@@ -537,6 +713,7 @@ class ForwardReducer:
             tuple_order,
             atom_variants,
             self._variant_counts,
+            encoding_store=self.store,
         )
 
 
@@ -545,6 +722,11 @@ def forward_reduce(
     db: Database,
     disjoint: bool = False,
     provenance: bool = False,
+    reference: bool = False,
 ) -> ForwardReductionResult:
-    """Full forward reduction of an IJ/EIJ query and database."""
-    return ForwardReducer(query, db, disjoint, provenance).reduce()
+    """Full forward reduction of an IJ/EIJ query and database.
+
+    ``reference=True`` runs the retained naive per-tuple path (no
+    encoding memo, no columnar grouping) — the differential oracle; its
+    output is bit-identical to the default memoized path."""
+    return ForwardReducer(query, db, disjoint, provenance, reference).reduce()

@@ -21,8 +21,17 @@ Failure model: workers are monitored through their result pipes.  A
 worker that dies mid-task (crash, OOM-kill) is detected by EOF; its
 outstanding ``evaluate``/``count`` tasks are resubmitted to surviving
 workers — every future resolves exactly once, with no lost or duplicated
-answers — while its share of future routing is redistributed.  When the
-last worker dies, outstanding futures fail with :class:`WorkerCrash`.
+answers.  The dead worker is then **respawned** in place (the parent
+keeps its database copy current by replaying every broadcast mutation,
+so the replacement sees the served contents), restoring the pool to
+full strength instead of shrinking it; over a shared ``cache_dir`` the
+replacement warms from the persistent reduction cache and performs zero
+forward reductions.  ``respawn=False`` (or an exhausted
+``max_respawns`` budget — a crash-*loop* guard: each respawn spends a
+unit, a replacement's first answer refills it, so only rapid successive
+crash-respawn cycles exhaust it) restores the old shrinking behaviour.
+When the last worker dies, outstanding futures fail with
+:class:`WorkerCrash`.
 
 The pool uses the ``spawn`` start method by default: it is safe in
 threaded parents (the asyncio server, the collector) and exercises the
@@ -37,6 +46,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
 from concurrent.futures import Future, InvalidStateError
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Any, Literal, Sequence
@@ -180,6 +190,7 @@ class _Worker:
         self.conn = conn
         self.alive = True
         self.exited = False          # sent its graceful "exit" message
+        self.respawned = False       # a crash replacement, not yet heard from
         self.outstanding: dict[int, tuple[str, dict]] = {}
         self.final_stats: dict | None = None
 
@@ -199,6 +210,11 @@ class WorkerPool:
     :meth:`~repro.core.session.QuerySession.evaluate_many`.
     """
 
+    #: How many workers one task may kill (crash-resubmit cycles)
+    #: before its future fails with :class:`WorkerCrash` instead of
+    #: being routed to yet another replacement.
+    MAX_TASK_CRASHES = 3
+
     def __init__(
         self,
         db: Database,
@@ -209,9 +225,13 @@ class WorkerPool:
         answer_admission_min_intervals: int = 0,
         strategy: str = "reduction",
         start_method: Literal["spawn", "fork", "forkserver"] = "spawn",
+        respawn: bool = True,
+        max_respawns: int | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError("max_respawns must be non-negative")
         # validate the forwarded session options here, in the parent:
         # a bad value would otherwise kill every spawned worker at
         # session construction and surface only as an opaque
@@ -236,6 +256,23 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._task_ids = itertools.count(1)
         self._futures: dict[int, Future] = {}
+        self._respawn = respawn
+        # crash-loop guard, not a lifetime cap: each respawn consumes a
+        # unit of budget, and the first message from a replacement (it
+        # started, served, proved healthy) refills it — so a worker
+        # that dies instantly at startup (bad cache volume, OOM on
+        # unpickle) stops respawning after the budget, while spread-out
+        # crashes over a long-lived pool's life respawn forever
+        self._respawn_budget = (
+            4 * workers if max_respawns is None else max_respawns
+        )
+        self._respawns_remaining = self._respawn_budget
+        self._respawns_inflight = 0  # replacement builds not yet registered
+        # routed tasks submitted while no worker is alive but a
+        # replacement is being built — routed (or failed) when the
+        # in-flight respawn resolves
+        self._parked: list[tuple[str, dict, Future]] = []
+        self.respawns = 0          # replacements actually performed
         self._closed = False
         self._all_exited = threading.Event()
         self._workers: list[_Worker] = []
@@ -325,6 +362,7 @@ class WorkerPool:
         return {
             "workers": per_worker,
             "aggregate": _sum_session_stats(per_worker),
+            "respawns": self.respawns,
         }
 
     # ------------------------------------------------------------------
@@ -346,7 +384,10 @@ class WorkerPool:
     def submit(self, op: str, query: Query, **payload: Any) -> Future:
         """Submit one routed task (``evaluate`` or ``count``).  The
         worker is chosen by the query's canonical form, so isomorphic
-        queries always share a worker — and hence its in-memory caches."""
+        queries always share a worker — and hence its in-memory caches.
+        If every worker is dead but a replacement is being built, the
+        task is parked and routed once the respawn resolves, instead of
+        failing a blip the pool recovers from by itself."""
         form_key = canonical_form(query).key
         payload = {"query": query, **payload}
         if op == "evaluate":
@@ -357,6 +398,9 @@ class WorkerPool:
             if self._closed:
                 raise PoolClosed("pool is closed")
             if not alive:
+                if self._respawns_inflight > 0:
+                    self._parked.append((op, payload, future))
+                    return future
                 raise WorkerCrash("no alive workers")
             self._submit_to(self._route(form_key, alive), op, payload, future)
         return future
@@ -422,8 +466,12 @@ class WorkerPool:
             if self._closed:
                 raise PoolClosed("pool is closed")
             alive = [w for w in self._workers if w.alive]
-            if not alive:
+            if not alive and self._respawns_inflight == 0:
                 raise WorkerCrash("no alive workers")
+            # with no alive worker but a respawn in flight, applying to
+            # the parent's (logged) copy is enough: the delta's version
+            # is above the replacement's replay floor, so the replay
+            # delivers it — the ack list is simply empty
             if kind == "insert":
                 self.db.insert(relation, payload["tuple"])
             else:
@@ -467,6 +515,7 @@ class WorkerPool:
             return {
                 "workers": per_worker,
                 "aggregate": _sum_session_stats(per_worker),
+                "respawns": self.respawns,
             }
 
         _gather([f for _, f in pairs], result, assemble)
@@ -482,7 +531,13 @@ class WorkerPool:
                 conns = {
                     w.conn: w for w in self._workers if w.alive
                 }
+                respawning = self._respawns_inflight > 0
             if not conns:
+                if respawning:
+                    # the last worker died but a replacement is being
+                    # built — its results will need this thread
+                    time.sleep(0.05)
+                    continue
                 self._all_exited.set()
                 return
             for conn in connection_wait(list(conns), timeout=0.5):
@@ -503,7 +558,17 @@ class WorkerPool:
                 worker.final_stats = value
             return
         with self._lock:
-            worker.outstanding.pop(task_id, None)
+            entry = worker.outstanding.pop(task_id, None)
+            if worker.respawned and not (
+                entry is not None and entry[1].get("_replay")
+            ):
+                # the replacement answered real routed work: the crash
+                # was not a spawn loop — refill the crash-loop budget.
+                # (Replayed-delta acks don't count: a worker that only
+                # ever catches up on mutations before dying again must
+                # still exhaust the budget.)
+                worker.respawned = False
+                self._respawns_remaining = self._respawn_budget
             future = self._futures.pop(task_id, None)
         if future is None:  # pragma: no cover - defensive
             return
@@ -514,12 +579,30 @@ class WorkerPool:
 
     def _on_worker_death(self, worker: _Worker) -> None:
         """A worker's pipe hit EOF without a graceful exit: resubmit its
-        outstanding routed work to survivors, resolve broadcast acks,
-        and fail everything only when no worker is left."""
+        outstanding routed work to survivors (bounded by
+        ``MAX_TASK_CRASHES`` — a task that keeps killing workers must
+        eventually fail its future, not cycle through replacements
+        forever), resolve broadcast acks, launch the respawn on a helper
+        thread (``Process.start`` pickles the whole database; the
+        collector must keep draining every other worker's results
+        meanwhile), and fail futures only when no worker can ever take
+        them."""
         with self._lock:
             worker.alive = False
             orphaned = dict(worker.outstanding)
             worker.outstanding.clear()
+            should_respawn = (
+                self._respawn
+                and not self._closed
+                and self._respawns_remaining > 0
+            )
+            if should_respawn:
+                self._respawns_remaining -= 1
+                self._respawns_inflight += 1
+            # the replay floor: every broadcast mutation logged after
+            # this version is re-sent to the replacement, so nothing is
+            # lost in the registration window (replays are idempotent)
+            version_before = getattr(self.db, "version", 0)
             alive = [w for w in self._workers if w.alive]
             # once close() has queued the shutdown sentinels, a
             # survivor's queue ends in a sentinel it will exit at —
@@ -527,17 +610,34 @@ class WorkerPool:
             # their futures would hang forever; fail them instead
             can_resubmit = bool(alive) and not self._closed
             resubmit: list[tuple[str, dict, Future]] = []
+            held: list[tuple[str, dict, Future]] = []
             for task_id, (op, payload) in orphaned.items():
                 future = self._futures.pop(task_id, None)
                 if future is None:
                     continue
-                if op in ("evaluate", "count") and can_resubmit:
-                    resubmit.append((op, payload, future))
-                elif op in ("mutate", "stats"):
+                if op in ("mutate", "stats"):
                     # the dead worker's database copy died with it;
                     # nothing to apply or report — the broadcast gather
                     # drops the None
                     _resolve(future, None)
+                    continue
+                crashes = payload.get("_crashes", 0) + 1
+                if crashes > self.MAX_TASK_CRASHES:
+                    _resolve(
+                        future,
+                        error=WorkerCrash(
+                            f"task killed {crashes} workers in a row — "
+                            f"not resubmitting it again"
+                        ),
+                    )
+                    continue
+                payload["_crashes"] = crashes
+                if can_resubmit:
+                    resubmit.append((op, payload, future))
+                elif should_respawn:
+                    # no survivor today, but a replacement is coming:
+                    # park the task until the respawn resolves it
+                    held.append((op, payload, future))
                 else:
                     _resolve(
                         future,
@@ -553,6 +653,107 @@ class WorkerPool:
                     self._route(form_key, alive), op, payload, future
                 )
         worker.process.join(timeout=5)
+        if should_respawn:
+            try:
+                threading.Thread(
+                    target=self._respawn_worker,
+                    args=(worker.index, version_before, held),
+                    name=f"repro-pool-respawn-{worker.index}",
+                    daemon=True,
+                ).start()
+            except RuntimeError:  # pragma: no cover - thread exhaustion
+                self._respawn_worker(worker.index, version_before, held)
+
+    def _respawn_worker(
+        self,
+        index: int,
+        version_before: int,
+        held: list[tuple[str, dict, Future]],
+    ) -> None:
+        """Build and register a replacement worker off the collector
+        thread.  The spawn pickles the parent's live database; a
+        broadcast mutation racing that pickle can make it raise (or
+        leave a delta out of the snapshot), so the spawn is retried
+        once and — after registration — every tuple-level delta logged
+        since ``version_before`` is re-sent to the replacement.
+        Replayed mutations are idempotent under set semantics, so
+        overlap with the snapshot is harmless and the replacement
+        converges on the served contents.  A failed spawn (or a change
+        log trimmed past the replay floor) degrades to the shrunk-pool
+        behaviour: held tasks fail only if no other worker survives and
+        no other respawn is in flight."""
+        replacement = None
+        for attempt in range(2):
+            try:
+                replacement = self._spawn(index)
+                break
+            except Exception:
+                if attempt == 0:
+                    time.sleep(0.05)
+        with self._lock:
+            # decrement, register and drain under ONE lock hold: the
+            # collector's exit check, submit()'s parking check and other
+            # respawn threads' drains all see a consistent state
+            self._respawns_inflight -= 1
+            deltas: list = []
+            if replacement is not None:
+                changes = getattr(self.db, "changes_since", None)
+                logged = (
+                    changes(version_before) if changes is not None else []
+                )
+                if logged is None:
+                    # the log was trimmed mid-spawn: the snapshot cannot
+                    # be proven current — better a shrunk pool than a
+                    # worker silently serving stale data
+                    replacement.process.terminate()
+                    replacement = None
+                else:
+                    deltas = [d for d in logged if d.is_tuple_level]
+            if replacement is not None:
+                self.respawns += 1
+                replacement.respawned = True
+                self._workers[index] = replacement
+                for delta in deltas:
+                    self._submit_to(
+                        replacement,
+                        "mutate",
+                        {
+                            "kind": delta.kind,
+                            "relation": delta.relation,
+                            "tuple": delta.tuple,
+                            # catch-up, not proof of health: must not
+                            # refill the crash-loop budget (and the ack
+                            # is fire-and-forget)
+                            "_replay": True,
+                        },
+                        Future(),
+                    )
+                if self._closed:
+                    # the pool began closing while we were spawning and
+                    # its sentinel sweep could not see the replacement —
+                    # queue one now so close() still joins cleanly
+                    replacement.tasks.put(None)
+            alive = [w for w in self._workers if w.alive]
+            can_resubmit = bool(alive) and not self._closed
+            parked, self._parked = self._parked, []
+            for op, payload, future in [*held, *parked]:
+                if can_resubmit:
+                    form_key = canonical_form(payload["query"]).key
+                    self._submit_to(
+                        self._route(form_key, alive), op, payload, future
+                    )
+                elif not self._closed and self._respawns_inflight > 0:
+                    # this respawn failed but another is still being
+                    # built — leave the task parked for it
+                    self._parked.append((op, payload, future))
+                else:
+                    _resolve(
+                        future,
+                        error=WorkerCrash(
+                            f"worker {index} died and no replacement "
+                            f"could take its outstanding task"
+                        ),
+                    )
 
 
 def _gather(futures: list[Future], result: Future, assemble) -> None:

@@ -32,7 +32,8 @@ class TestWorkflow:
     def test_jobs_present(self, workflow):
         jobs = workflow["jobs"]
         assert {
-            "tests", "fuzz", "lint", "bench-smoke", "service-smoke"
+            "tests", "fuzz", "lint", "bench-smoke", "service-smoke",
+            "perf-gate",
         } <= set(jobs)
 
     def test_tests_job_matrix_covers_310_to_312(self, workflow):
@@ -102,6 +103,28 @@ class TestWorkflow:
             "benchmarks/results/service_throughput.json"
             in uploads[0]["with"]["path"]
         )
+
+    def test_perf_gate_runs_quick_benches_and_the_checker(self, workflow):
+        """Satellite: CI runs the forward-reduction bench (plus the
+        existing quick benches) and compares the JSON results against
+        the committed baseline, uploading the artifacts."""
+        steps = workflow["jobs"]["perf-gate"]["steps"]
+        runs = " ".join(str(step.get("run", "")) for step in steps)
+        assert "benchmarks/bench_forward_reduction.py" in runs
+        assert "benchmarks/bench_delta_maintenance.py" in runs
+        assert "benchmarks/bench_service_throughput.py" in runs
+        assert "--quick" in runs
+        assert "benchmarks/check_perf_regression.py" in runs
+        uploads = [
+            step
+            for step in steps
+            if str(step.get("uses", "")).startswith("actions/upload-artifact@")
+        ]
+        assert uploads
+        assert "benchmarks/results" in uploads[0]["with"]["path"]
+        assert (
+            REPO / "benchmarks" / "baselines" / "perf_quick_baseline.json"
+        ).is_file()
 
     def test_every_job_checks_out_and_sets_up_python(self, workflow):
         for name, job in workflow["jobs"].items():

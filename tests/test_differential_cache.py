@@ -45,10 +45,13 @@ from repro.core import (
     naive_count,
     naive_evaluate,
 )
+from repro.core.reduction_cache import result_digest
 from repro.engine import Database, Relation
+from repro.engine.relation import Delta
 from repro.intervals import Interval
 from repro.queries import Query
 from repro.queries.query import Atom
+from repro.reduction import DomainChanged, forward_reduce
 from repro.workloads.query_generator import (
     isomorphic_variants,
     random_ij_query,
@@ -273,6 +276,80 @@ def test_fuzz_exercises_the_delta_patch_path():
         rebuilt += stats.invalidations
     assert patched > 0, (patched, rebuilt)
     assert rebuilt > 0, (patched, rebuilt)
+
+
+def _patchable_deltas(
+    rng: random.Random, query: Query, db: Database, result
+) -> list[Delta]:
+    """Tuple-level deltas expressed over ``db`` that the reduction can
+    (mostly) patch: inserts built from endpoints already in the segment
+    trees' domains, plus deletes of existing tuples.  Versions are
+    synthetic — apply_delta never reads them."""
+    deltas: list[Delta] = []
+    version = 1_000
+    for atom in query.atoms:
+        row = []
+        for v in atom.variables:
+            if v.is_interval:
+                points = sorted(result.segment_trees[v.name].endpoints)
+                if len(points) < 2:
+                    row = None
+                    break
+                lo, hi = sorted(rng.sample(points, 2))
+                row.append(Interval(lo, hi))
+            else:
+                row.append(rng.randint(0, 4))
+        if row is not None and tuple(row) not in db[atom.relation].tuples:
+            version += 1
+            deltas.append(Delta(version, "insert", atom.relation, tuple(row)))
+        existing = sorted(db[atom.relation].tuples, key=repr)
+        if existing:
+            version += 1
+            deltas.append(
+                Delta(version, "delete", atom.relation, rng.choice(existing))
+            )
+    return deltas
+
+
+@pytest.mark.parametrize("index", range(SCENARIOS))
+def test_memoized_reduction_digest_identical_to_reference(index):
+    """The tentpole's oracle, over the same fuzz seed family as the
+    engine-agreement suite: for every scenario query/database (and both
+    pipeline flag combinations) the encoding-memoized columnar
+    reduction must be **digest-identical** to the retained reference
+    path — and must *stay* identical after the same sequence of
+    ``apply_delta`` patches is applied to both artifacts."""
+    seed = scenario_seed(index)
+    rng = random.Random(seed)
+    queries = random_queries(rng)
+    db, _ = build_database(rng, queries)
+    patched_any = False
+    for query in queries:
+        for disjoint, provenance in ((False, False), (True, True)):
+            reference = forward_reduce(
+                query, db, disjoint, provenance, reference=True
+            )
+            memoized = forward_reduce(query, db, disjoint, provenance)
+            assert result_digest(reference) == result_digest(memoized), (
+                seed,
+                query,
+                disjoint,
+                provenance,
+            )
+            deltas = _patchable_deltas(
+                random.Random(seed + 1), query, db, reference
+            )
+            for delta in deltas:
+                try:
+                    reference.apply_delta(delta)
+                except DomainChanged:
+                    continue
+                memoized.apply_delta(delta)  # must agree on patchability
+                patched_any = True
+                assert result_digest(reference) == result_digest(
+                    memoized
+                ), (seed, query, delta)
+    assert patched_any, f"seed={seed}: no delta patch exercised"
 
 
 def test_distinct_matrix_cells_explore_distinct_scenarios():

@@ -175,17 +175,35 @@ class TestWorkerPool:
         with pytest.raises(PoolClosed):
             pool.evaluate(queries[0])
 
+    @staticmethod
+    def _crash_bases(n_groups: int = 10):
+        """Distinct canonical groups over disjoint relations, so both
+        workers hold routed work and crash recovery is observable."""
+        return [
+            parse_query(f"A{i}([X],[Y]) ∧ B{i}([Y],[Z]) ∧ C{i}([X],[Z])")
+            for i in range(n_groups)
+        ]
+
+    @staticmethod
+    def _crash_db(bases, n: int = 40):
+        db = Database()
+        for i, query in enumerate(bases):
+            for relation in random_database(query, n, seed=i):
+                db.add(relation)
+        return db
+
+    @staticmethod
+    def _wait_for(predicate, timeout: float = 60.0) -> None:
+        deadline = time.time() + timeout
+        while not predicate() and time.time() < deadline:
+            time.sleep(0.05)
+        assert predicate()
+
     def test_worker_crash_recovers_without_lost_or_duplicate_answers(self):
         # 10 distinct canonical groups over disjoint relations, so both
         # workers hold outstanding tasks when one is killed mid-batch
-        bases = [
-            parse_query(f"A{i}([X],[Y]) ∧ B{i}([Y],[Z]) ∧ C{i}([X],[Z])")
-            for i in range(10)
-        ]
-        db = Database()
-        for i, query in enumerate(bases):
-            for relation in random_database(query, 40, seed=i):
-                db.add(relation)
+        bases = self._crash_bases()
+        db = self._crash_db(bases)
         pool = WorkerPool(db, workers=2)
         try:
             futures = [pool.evaluate(q) for q in bases]
@@ -195,9 +213,108 @@ class TestWorkerPool:
             answers = [f.result(timeout=120) for f in futures]
             # exactly one resolution per future, all correct
             assert answers == [naive_evaluate(q, db) for q in bases]
-            assert pool.alive_workers == [1]
-            # the survivor keeps serving routed and broadcast work
+            # the crashed worker is respawned in place (on a helper
+            # thread, so wait): the pool returns to full strength
+            self._wait_for(
+                lambda: pool.respawns == 1 and pool.alive_workers == [0, 1]
+            )
             assert pool.evaluate_many(bases[:2]) == answers[:2]
+            stats = pool.stats()
+            assert len(stats["workers"]) == 2
+            assert stats["respawns"] == 1
+        finally:
+            pool.close()
+
+    def test_respawned_worker_warms_from_the_persistent_cache(self, tmp_path):
+        """Satellite acceptance: after a SIGKILL, the replacement worker
+        (same slot, parent's current database copy) serves its share of
+        the workload entirely from the shared persistent cache — zero
+        forward reductions, persistent hits only."""
+        bases = self._crash_bases()
+        db = self._crash_db(bases, n=20)
+        pool = WorkerPool(db, workers=2, cache_dir=tmp_path)
+        try:
+            cold = pool.evaluate_many(bases)  # both workers reduce + persist
+            victim = pool._workers[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            self._wait_for(
+                lambda: pool.respawns == 1 and pool.alive_workers == [0, 1]
+            )
+            assert pool.evaluate_many(bases) == cold
+            stats = pool.stats()
+            replacement = next(
+                w for w in stats["workers"] if w["worker"] == 0
+            )
+            assert replacement["session"]["reductions"] == 0, replacement
+            assert replacement["session"]["persistent_hits"] > 0, replacement
+        finally:
+            pool.close()
+
+    def test_mutation_during_respawn_window_reaches_the_replacement(self):
+        """A broadcast mutation racing the replacement build must not be
+        lost: either it is in the replacement's database snapshot or the
+        delta replay re-sends it (idempotent overlap is fine) — every
+        post-respawn answer matches the naive oracle over the parent's
+        mutated copy."""
+        bases = self._crash_bases(4)
+        db = self._crash_db(bases, n=15)
+        rng = random.Random(3)
+        pool = WorkerPool(db, workers=2)
+        try:
+            pool.evaluate_many(bases)
+            victim = pool._workers[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            # broadcast immediately: with the kill just delivered, the
+            # mutation often lands inside the detect/spawn window
+            t = in_domain_tuple(db, "A0", rng)
+            pool.mutate("insert", "A0", t).result(timeout=60)
+            self._wait_for(
+                lambda: pool.respawns == 1 and pool.alive_workers == [0, 1]
+            )
+            assert t in db["A0"].tuples  # parent copy current
+            assert pool.evaluate_many(bases) == [
+                naive_evaluate(q, db) for q in bases
+            ]
+        finally:
+            pool.close()
+
+    def test_single_worker_crash_keeps_serving_through_the_respawn(self):
+        """With one worker, a crash leaves nobody alive for the
+        detect-and-spawn window; work submitted in that window (or
+        outstanding at crash time) must park for the replacement and
+        resolve — not hard-fail a blip the pool recovers from."""
+        db = small_db(n=10)
+        query = parse_query(TRIANGLE)
+        pool = WorkerPool(db, workers=1)
+        try:
+            assert pool.evaluate_many([query]) == [
+                naive_evaluate(query, db)
+            ]
+            os.kill(pool._workers[0].process.pid, signal.SIGKILL)
+            # submitted right after the kill: routed to the dead worker
+            # (orphaned, then held) or parked — either way it resolves
+            future = pool.evaluate(query)
+            assert future.result(timeout=120) == naive_evaluate(query, db)
+            self._wait_for(lambda: pool.respawns == 1)
+            assert pool.alive_workers == [0]
+        finally:
+            pool.close()
+
+    def test_crash_without_respawn_shrinks_the_pool(self):
+        """``respawn=False`` restores the pre-respawn behaviour: the
+        pool shrinks and survivors keep serving."""
+        db = small_db(n=10)
+        query = parse_query(TRIANGLE)
+        pool = WorkerPool(db, workers=2, respawn=False)
+        try:
+            pool.evaluate_many([query])
+            victim = pool._workers[0]
+            os.kill(victim.process.pid, signal.SIGKILL)
+            self._wait_for(lambda: pool.alive_workers == [1])
+            assert pool.respawns == 0
+            assert pool.evaluate_many([query]) == [
+                naive_evaluate(query, db)
+            ]
             assert len(pool.stats()["workers"]) == 1
         finally:
             pool.close()
