@@ -30,12 +30,25 @@ mismatch (structural claims like a zero-reduction warm restart).
 Metric names may be dotted paths into nested JSON.  A missing results
 file or metric is itself a failure — the benchmark stopped reporting.
 
+Shared CI runners are noisy: a single descheduled quantum can push a
+quick benchmark past even the 2× band.  A file whose metrics regress is
+therefore **retried once** — the producing benchmark
+(``bench_<stem>.py``, matched from the results filename) is re-run and
+only the fresh numbers are judged.  A genuine collapse fails twice; a
+scheduling hiccup doesn't fail the build.  ``--no-retry`` disables this
+(the retry tests use it, and so can local runs).
+
+When ``$GITHUB_STEP_SUMMARY`` is set (any GitHub Actions step), a
+baseline-vs-measured markdown table is appended to it, so the numbers
+behind a red or green gate are one click away instead of buried in the
+log.
+
 Usage::
 
     python benchmarks/check_perf_regression.py \
         [--results benchmarks/results] \
         [--baseline benchmarks/baselines/perf_quick_baseline.json] \
-        [--update]
+        [--update] [--no-retry]
 
 ``--update`` rewrites the baseline's recorded values from the current
 results (directions and tolerances are kept) — run it locally after an
@@ -46,12 +59,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import subprocess
 import sys
 from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 DEFAULT_RESULTS = HERE / "results"
 DEFAULT_BASELINE = HERE / "baselines" / "perf_quick_baseline.json"
+
+#: Ceiling for one benchmark re-run; a quick bench takes seconds, so
+#: hitting this means the retry itself is wedged.
+RETRY_TIMEOUT_S = 900
 
 
 def lookup(payload: dict, dotted: str):
@@ -89,6 +108,88 @@ def check_metric(
     return ("ok" if ok else "FAIL"), f"{name} = {shown}  [{bound}]"
 
 
+def check_file(
+    path: Path, metrics: dict, default_tolerance: float
+) -> list[tuple[str, object, dict, str, str]]:
+    """Judge every metric of one results file against its specs.
+    Returns rows ``(metric, value, spec, status, detail)``."""
+    if not path.is_file():
+        return [
+            (metric, None, spec, "FAIL", f"{metric}: results file missing")
+            for metric, spec in sorted(metrics.items())
+        ]
+    with path.open() as handle:
+        payload = json.load(handle)
+    rows = []
+    for metric, spec in sorted(metrics.items()):
+        value = lookup(payload, metric)
+        status, detail = check_metric(metric, value, spec, default_tolerance)
+        rows.append((metric, value, spec, status, detail))
+    return rows
+
+
+def rerun_benchmark(filename: str) -> bool:
+    """Re-run the quick benchmark that produces ``filename`` (refreshing
+    the results file in place).  Returns False when no such benchmark
+    exists or the re-run itself failed."""
+    bench = HERE / f"bench_{Path(filename).stem}.py"
+    if not bench.is_file():
+        print(f"      {filename}: no bench_{Path(filename).stem}.py to retry")
+        return False
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", str(bench), "--quick", "-q"],
+            cwd=HERE.parent,
+            timeout=RETRY_TIMEOUT_S,
+            capture_output=True,
+            text=True,
+        )
+    except subprocess.TimeoutExpired:
+        print(f"      {filename}: retry timed out after {RETRY_TIMEOUT_S}s")
+        return False
+    if proc.returncode != 0:
+        tail = "\n".join((proc.stdout or "").splitlines()[-5:])
+        print(f"      {filename}: retry run failed\n{tail}")
+        return False
+    return True
+
+
+def format_value(value) -> str:
+    if value is None:
+        return "—"
+    return f"{value:.4g}" if isinstance(value, float) else repr(value)
+
+
+def write_step_summary(
+    table: list[tuple[str, str, object, dict, str]], failures: int
+) -> None:
+    """Append the baseline-vs-measured table to the GitHub Actions step
+    summary, when running inside one."""
+    target = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return
+    verdict = (
+        "all metrics within tolerance"
+        if failures == 0
+        else f"{failures} failure(s)"
+    )
+    lines = [
+        f"## Perf gate — {verdict}",
+        "",
+        "| results file | metric | direction | baseline | measured | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    for filename, metric, value, spec, status in table:
+        icon = "✅" if status == "ok" else "❌"
+        lines.append(
+            f"| `{filename}` | `{metric}` | {spec['direction']} "
+            f"| {format_value(spec['baseline'])} "
+            f"| {format_value(value)} | {icon} {status} |"
+        )
+    with open(target, "a") as handle:
+        handle.write("\n".join(lines) + "\n\n")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--results", default=DEFAULT_RESULTS, type=Path)
@@ -98,6 +199,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="rewrite the baseline's values from the current results",
     )
+    parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail a regressed file immediately instead of re-running "
+        "its benchmark once",
+    )
     args = parser.parse_args(argv)
 
     with args.baseline.open() as handle:
@@ -105,17 +212,18 @@ def main(argv=None) -> int:
     default_tolerance = float(baseline.get("tolerance", 2.0))
 
     failures = 0
+    table: list[tuple[str, str, object, dict, str]] = []
     for filename, metrics in sorted(baseline["files"].items()):
         path = args.results / filename
-        if not path.is_file():
-            print(f"FAIL  {filename}: results file missing")
-            failures += 1
-            continue
-        with path.open() as handle:
-            payload = json.load(handle)
-        for metric, spec in sorted(metrics.items()):
-            value = lookup(payload, metric)
-            if args.update:
+        if args.update:
+            if not path.is_file():
+                print(f"FAIL  {filename}: results file missing")
+                failures += 1
+                continue
+            with path.open() as handle:
+                payload = json.load(handle)
+            for metric, spec in sorted(metrics.items()):
+                value = lookup(payload, metric)
                 if value is None:
                     # keeping the stale value silently would commit a
                     # baseline that gates on a phantom metric
@@ -126,11 +234,20 @@ def main(argv=None) -> int:
                     failures += 1
                 else:
                     spec["baseline"] = value
-                continue
-            status, detail = check_metric(
-                metric, value, spec, default_tolerance
-            )
+            continue
+
+        rows = check_file(path, metrics, default_tolerance)
+        if any(status != "ok" for _, _, _, status, _ in rows):
+            if not args.no_retry:
+                # one benign reason to be out of band on a shared
+                # runner: the quick bench got descheduled.  Re-run it
+                # once and judge only the fresh numbers.
+                print(f"RETRY {filename}: regression — re-running once")
+                if rerun_benchmark(filename):
+                    rows = check_file(path, metrics, default_tolerance)
+        for metric, value, spec, status, detail in rows:
             print(f"{status:4s}  {filename}: {detail}")
+            table.append((filename, metric, value, spec, status))
             if status != "ok":
                 failures += 1
 
@@ -146,6 +263,7 @@ def main(argv=None) -> int:
             handle.write("\n")
         print(f"baseline updated: {args.baseline}")
         return 0
+    write_step_summary(table, failures)
     if failures:
         print(f"\n{failures} perf-gate failure(s)")
         return 1

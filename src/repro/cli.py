@@ -28,9 +28,21 @@ Commands
     front-end with admission control.  The queries define the schema;
     the synthetic database is generated exactly as for ``evaluate``.
 
-``loadgen "<query>" --host H --port P --requests 200 --mode closed``
+``loadgen "<query>" --host H --port P --requests 200 --mode closed
+[--tenants acme,globex]``
     Replay an isomorphism-heavy open/closed-loop workload against a
-    running server and report throughput and latency percentiles.
+    running server and report throughput and latency percentiles; with
+    ``--tenants`` each request is stamped with a tenant for a router
+    target.
+
+``route "<query>" [...more queries] --shards 3 [--grow N] [--serve]``
+    The sharded router tier.  By default: an offline placement report —
+    which shard of a consistent-hash ring answers each query's
+    canonical group, and (with ``--grow``/``--drop``) how few groups
+    remap when the ring rescales.  With ``--serve``: start a live
+    :class:`~repro.service.RouterServer` whose tenants are attached
+    over the wire (``attach_tenant``), each serving its own database
+    over one shared namespaced reduction cache.
 """
 
 from __future__ import annotations
@@ -210,6 +222,79 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument(
         "--out", default=None, metavar="FILE",
         help="also write the full report as JSON",
+    )
+    p_load.add_argument(
+        "--tenants", default=None, metavar="A,B,...",
+        help=(
+            "comma-separated tenant names: each request is stamped "
+            "with one, for driving a router-tier server"
+        ),
+    )
+
+    p_route = sub.add_parser(
+        "route", help="sharded router tier: placement report or live server"
+    )
+    p_route.add_argument(
+        "query", nargs="+",
+        help="queries whose canonical groups are placed on the ring",
+    )
+    p_route.add_argument(
+        "--shards", type=int, default=2,
+        help="ring size (nodes are named shard-0..shard-N-1)",
+    )
+    p_route.add_argument(
+        "--shard-names", default=None, metavar="A,B,...",
+        help="explicit comma-separated shard names (overrides --shards)",
+    )
+    p_route.add_argument(
+        "--replicas", type=int, default=128,
+        help="virtual nodes per shard on the ring",
+    )
+    p_route.add_argument(
+        "--variants", type=int, default=0,
+        help=(
+            "also place this many isomorphic variants per query "
+            "(they collapse onto the base query's group)"
+        ),
+    )
+    p_route.add_argument(
+        "--grow", type=int, default=0, metavar="N",
+        help="report how many groups remap when N shards join the ring",
+    )
+    p_route.add_argument(
+        "--drop", default=None, metavar="NAME",
+        help="report how many groups remap when NAME leaves the ring",
+    )
+    p_route.add_argument(
+        "--seed", type=int, default=0, help="variant-generation seed"
+    )
+    p_route.add_argument(
+        "--serve", action="store_true",
+        help=(
+            "start a live router server instead: shards are in-process "
+            "worker-pool nodes; tenants attach over the wire"
+        ),
+    )
+    p_route.add_argument("--host", default="127.0.0.1")
+    p_route.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port for --serve (0 binds an ephemeral port)",
+    )
+    p_route.add_argument(
+        "--workers-per-shard", type=int, default=1,
+        help="worker processes per (shard, tenant) pool under --serve",
+    )
+    p_route.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared namespaced reduction cache for every pool (--serve)",
+    )
+    p_route.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission-control bound for --serve",
+    )
+    p_route.add_argument(
+        "--deadline-ms", type=float, default=30_000.0,
+        help="default per-request deadline for --serve",
     )
     return parser
 
@@ -440,6 +525,12 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     from .service import generate_requests, run_load
 
     base_queries = [parse_query(text) for text in args.query]
+    tenants = None
+    if args.tenants is not None:
+        tenants = [t.strip() for t in args.tenants.split(",") if t.strip()]
+        if not tenants:
+            print("error: --tenants must name at least one tenant", file=sys.stderr)
+            return 2
     requests = generate_requests(
         base_queries,
         args.requests,
@@ -448,6 +539,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         count_fraction=args.count_fraction,
         mutate_fraction=args.mutate_fraction,
         domain=args.domain,
+        tenants=tenants,
     )
     try:
         report = asyncio.run(
@@ -476,6 +568,120 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _route_shard_names(args: argparse.Namespace) -> list[str]:
+    if args.shard_names is not None:
+        return [s.strip() for s in args.shard_names.split(",") if s.strip()]
+    return [f"shard-{i}" for i in range(args.shards)]
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    from .core.session import canonical_form
+    from .service import HashRing
+    from .workloads import isomorphic_variants
+
+    names = _route_shard_names(args)
+    if not names:
+        print("error: need at least one shard", file=sys.stderr)
+        return 2
+    queries = [parse_query(text) for text in args.query]
+    if args.serve:
+        return _route_serve(args, names, queries)
+
+    # group the queries (and optional isomorphic variants) by canonical
+    # form: the ring places *groups*, so isomorphic queries collapse
+    groups: dict[tuple, str] = {}
+    members: dict[tuple, int] = {}
+    for i, query in enumerate(queries, start=1):
+        key = canonical_form(query).key
+        groups.setdefault(key, f"#{i} {query.name}")
+        members[key] = members.get(key, 0) + 1
+        for variant in isomorphic_variants(query, args.variants, seed=args.seed):
+            vkey = canonical_form(variant).key
+            groups.setdefault(vkey, f"#{i} {query.name} (variant)")
+            members[vkey] = members.get(vkey, 0) + 1
+    ring = HashRing(names, replicas=args.replicas)
+    placement = ring.placement(groups)
+    print(
+        f"{len(ring)} shards x {args.replicas} virtual nodes; "
+        f"{len(queries)} queries"
+        + (f" + {args.variants} variants each" if args.variants else "")
+        + f" -> {len(groups)} canonical groups"
+    )
+    for key, label in groups.items():
+        extra = f" (x{members[key]})" if members[key] > 1 else ""
+        print(f"  {label}{extra} -> {placement[key]}")
+    if args.grow:
+        grown = HashRing(names, replicas=args.replicas)
+        for i in range(args.grow):
+            grown.add(f"shard-new-{i}")
+        after = grown.placement(groups)
+        moved = sum(1 for k in groups if placement[k] != after[k])
+        print(
+            f"growing {len(names)} -> {len(names) + args.grow} shards "
+            f"remaps {moved}/{len(groups)} groups "
+            f"(expected ~{len(groups) * args.grow / (len(names) + args.grow):.1f})"
+        )
+    if args.drop is not None:
+        if args.drop not in ring:
+            print(f"error: shard {args.drop!r} is not on the ring", file=sys.stderr)
+            return 2
+        if len(ring) == 1:
+            print("error: cannot drop the only shard", file=sys.stderr)
+            return 2
+        ring.remove(args.drop)
+        after = ring.placement(groups)
+        moved = sum(1 for k in groups if placement[k] != after[k])
+        print(
+            f"dropping {args.drop} remaps {moved}/{len(groups)} groups "
+            f"(exactly its share; every other group keeps its shard)"
+        )
+    return 0
+
+
+def _route_serve(
+    args: argparse.Namespace, names: list[str], queries
+) -> int:
+    from .service import RouterServer, ShardRouter
+
+    router = ShardRouter(
+        shards=names,
+        cache_dir=args.cache_dir,
+        workers_per_shard=args.workers_per_shard,
+        replicas=args.replicas,
+    )
+    server = RouterServer(
+        router,
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+    )
+
+    async def serve() -> None:
+        host, port = await server.start()
+        placement = {q.name: router.shard_for(q) for q in queries}
+        print(
+            f"repro.service router listening on {host}:{port} "
+            f"({len(names)} shards, {args.workers_per_shard} workers per "
+            f"pool, cache_dir = {args.cache_dir}); attach tenants with "
+            f"the attach_tenant verb; placement: {json.dumps(placement)}",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        report = router.close()
+        print(
+            f"router closed ({len(report['tenants'])} tenants drained)",
+            flush=True,
+        )
+    return 0
+
+
 COMMANDS = {
     "analyze": cmd_analyze,
     "evaluate": cmd_evaluate,
@@ -483,6 +689,7 @@ COMMANDS = {
     "catalog": cmd_catalog,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
+    "route": cmd_route,
 }
 
 

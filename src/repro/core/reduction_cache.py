@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import re
 import tempfile
 from pathlib import Path
 from typing import Mapping
@@ -231,17 +232,45 @@ class ReductionCache:
     digest on load (SHA-256 of the pickled result, stored next to it),
     so a torn or tampered entry degrades to a plain miss rather than an
     unpickle error surfacing mid-query.
+
+    **Namespaces** layer multi-tenancy over the shared store without
+    touching the content addressing: a cache opened with
+    ``namespace="acme"`` reads and writes the same content-addressed
+    entries as every other namespace — two tenants with identical
+    relations share one cached reduction by construction, since the key
+    is a pure function of query structure and relation digests — but
+    each hit/store drops a zero-byte *marker* under
+    ``<dir>/_namespaces/acme/<key>``.  The markers are an ownership
+    index, not a key prefix: they power per-tenant accounting
+    (:meth:`namespace_keys`) and :meth:`purge_namespace`, which evicts
+    exactly the entries no *other* namespace has ever referenced —
+    detaching a tenant reclaims its private working set while shared
+    artifacts stay warm for everyone else.
     """
+
+    #: Namespace names are path components on disk; restrict them to a
+    #: filesystem-safe alphabet so a tenant name can never escape the
+    #: marker directory or forge another tenant's.
+    NAMESPACE_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
     def __init__(
         self,
         directory: str | os.PathLike,
         max_bytes: int | None = None,
+        namespace: str | None = None,
     ):
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
+        if namespace is not None and not self.NAMESPACE_PATTERN.match(
+            namespace
+        ):
+            raise ValueError(
+                f"invalid cache namespace {namespace!r} (want "
+                f"{self.NAMESPACE_PATTERN.pattern})"
+            )
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.namespace = namespace
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
@@ -255,6 +284,22 @@ class ReductionCache:
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
+
+    def _namespace_dir(self, namespace: str) -> Path:
+        return self.directory / "_namespaces" / namespace
+
+    def _mark(self, key: str) -> None:
+        """Record that this cache's namespace references ``key`` (a
+        zero-byte marker file; best-effort, like every other filesystem
+        step here)."""
+        if self.namespace is None:
+            return
+        marker = self._namespace_dir(self.namespace) / key
+        try:
+            marker.parent.mkdir(parents=True, exist_ok=True)
+            marker.touch()
+        except OSError:  # pragma: no cover - marker loss degrades purge
+            pass
 
     def get(self, key: str) -> ForwardReductionResult | None:
         """The stored reduction for ``key``, or ``None``.  Any failure —
@@ -289,6 +334,7 @@ class ReductionCache:
             os.utime(path)  # refresh the LRU clock for prune()
         except OSError:
             pass
+        self._mark(key)
         self.hits += 1
         return result
 
@@ -332,6 +378,7 @@ class ReductionCache:
                 pass
             raise
         self.stores += 1
+        self._mark(key)
         if self.max_bytes is not None:
             if self._tracked_bytes is None:
                 self._tracked_bytes = self.size_bytes()
@@ -367,6 +414,68 @@ class ReductionCache:
             removed += 1
         self._tracked_bytes = total  # resync the running estimate
         self.pruned += removed
+        return removed
+
+    # ------------------------------------------------------------------
+    # namespaces (multi-tenant accounting over the shared store)
+    # ------------------------------------------------------------------
+
+    def namespaces(self) -> list[str]:
+        """Every namespace that has ever marked a key in this
+        directory, sorted."""
+        root = self.directory / "_namespaces"
+        try:
+            return sorted(p.name for p in root.iterdir() if p.is_dir())
+        except OSError:
+            return []
+
+    def namespace_keys(self, namespace: str | None = None) -> set[str]:
+        """The keys ``namespace`` (default: this cache's own) has marked.
+        Markers outlive pruned entries — this is the *reference* set,
+        not the on-disk set."""
+        namespace = namespace if namespace is not None else self.namespace
+        if namespace is None:
+            return set()
+        try:
+            return {p.name for p in self._namespace_dir(namespace).iterdir()}
+        except OSError:
+            return set()
+
+    def purge_namespace(self, namespace: str | None = None) -> int:
+        """Detach ``namespace``: drop its marker set and evict every
+        entry **no other namespace references** — a tenant's private
+        working set.  Entries shared with any other namespace survive
+        (content addressing made them communal property).  Returns the
+        number of entries removed.  Best-effort under concurrency, like
+        :meth:`prune`."""
+        namespace = namespace if namespace is not None else self.namespace
+        if namespace is None:
+            raise ValueError("no namespace to purge")
+        mine = self.namespace_keys(namespace)
+        others: set[str] = set()
+        for other in self.namespaces():
+            if other != namespace:
+                others |= self.namespace_keys(other)
+        removed = 0
+        for key in mine:
+            marker = self._namespace_dir(namespace) / key
+            try:
+                marker.unlink()
+            except OSError:
+                pass
+            if key in others:
+                continue
+            try:
+                self._path(key).unlink()
+                removed += 1
+            except OSError:
+                continue
+        try:
+            self._namespace_dir(namespace).rmdir()
+        except OSError:  # pragma: no cover - left non-empty concurrently
+            pass
+        self.pruned += removed
+        self._tracked_bytes = None  # force a resync at the next cap check
         return removed
 
     def size_bytes(self) -> int:

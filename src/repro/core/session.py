@@ -324,6 +324,7 @@ class QuerySession:
         answer_cache_size: int = 1024,
         cache_max_bytes: int | None = None,
         answer_admission_min_intervals: int = 0,
+        cache_namespace: str | None = None,
     ):
         if answer_cache_size < 1:
             raise ValueError("answer_cache_size must be at least 1")
@@ -335,8 +336,16 @@ class QuerySession:
         self.naive_budget = naive_budget
         self.answer_admission_min_intervals = answer_admission_min_intervals
         self.stats = SessionStats()
+        # cache_namespace tags this session's persistent hits/stores as
+        # belonging to one tenant (see ReductionCache namespaces); the
+        # content addressing itself stays tenant-blind, so identical
+        # relations across tenants share one cached reduction
         self.cache = (
-            ReductionCache(cache_dir, max_bytes=cache_max_bytes)
+            ReductionCache(
+                cache_dir,
+                max_bytes=cache_max_bytes,
+                namespace=cache_namespace,
+            )
             if cache_dir is not None
             else None
         )

@@ -260,6 +260,38 @@ class Database:
         del self._relations[name]
         return self._record("remove", name)
 
+    def apply_delta(self, delta: Delta) -> Delta | None:
+        """Replay one *imported* tuple-level delta — the consumer half of
+        delta-log replication: a shard that received ``delta`` from
+        another node's change log applies it through the same logged
+        mutation API, so its own consumers (sessions, pools) see it as a
+        patchable local mutation.  Idempotent under set semantics: a
+        delta that no longer changes anything returns ``None`` and is
+        not logged.  Whole-relation deltas cannot be replayed
+        tuple-wise; callers must fall back to a snapshot."""
+        if not delta.is_tuple_level:
+            raise ValueError(
+                f"cannot replay whole-relation delta {delta.kind!r}; "
+                f"rebuild from a snapshot instead"
+            )
+        if delta.kind == "insert":
+            return self.insert(delta.relation, delta.tuple)
+        return self.delete(delta.relation, delta.tuple)
+
+    def clone(self) -> "Database":
+        """An independent copy: fresh relations (sharing the immutable
+        tuples), fresh change log starting at version 0.  This is the
+        snapshot operation behind tenancy and hot-reload — each shard
+        mutates its copy through its own log, fed by a replicated
+        stream of deltas, and converges because tuple-level deltas are
+        idempotent."""
+        fresh = Database()
+        for relation in self:
+            fresh._relations[relation.name] = Relation(
+                relation.name, relation.schema, relation.tuples
+            )
+        return fresh
+
     def __getitem__(self, name: str) -> Relation:
         return self._relations[name]
 

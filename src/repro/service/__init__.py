@@ -21,10 +21,19 @@ the first consumer that turns that substrate into a *service*:
   wire protocol;
 * :mod:`repro.service.loadgen` — an open/closed-loop load harness that
   replays :mod:`repro.workloads`-generated request mixes against a
-  server and reports throughput and latency percentiles.
+  server and reports throughput and latency percentiles;
+* :mod:`repro.service.ring` / :mod:`repro.service.router` — the sharded
+  router tier (PR 6): a consistent-hash :class:`HashRing` places
+  canonical-form groups on N shard nodes (growing the ring remaps only
+  ~1/N of the groups), a :class:`ShardRouter` serves multiple tenants
+  whose pools share one namespaced content-addressed cache, mutations
+  replicate through each tenant's delta log, and served databases
+  hot-reload via snapshot + delta replay without dropping in-flight
+  requests.  :class:`RouterServer` speaks the wire protocol extended
+  with the router admin verbs.
 
-``repro serve`` and ``repro loadgen`` expose the server and the load
-harness on the command line.
+``repro serve``, ``repro route`` and ``repro loadgen`` expose the
+server, the router tier and the load harness on the command line.
 """
 
 from .client import AsyncServiceClient, ServiceClient, ServiceError
@@ -36,13 +45,17 @@ from .protocol import (
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
     ERROR_SHUTTING_DOWN,
+    decode_database,
     decode_tuple,
+    encode_database,
     encode_tuple,
     error_response,
     ok_response,
     query_text,
 )
-from .server import ServiceServer
+from .ring import HashRing, stable_digest
+from .router import RouterClosed, ShardRouter, UnknownTenant
+from .server import RouterServer, ServiceServer
 
 __all__ = [
     "AsyncServiceClient",
@@ -59,10 +72,18 @@ __all__ = [
     "ERROR_INTERNAL",
     "ERROR_OVERLOADED",
     "ERROR_SHUTTING_DOWN",
+    "decode_database",
     "decode_tuple",
+    "encode_database",
     "encode_tuple",
     "error_response",
     "ok_response",
     "query_text",
+    "HashRing",
+    "stable_digest",
+    "RouterClosed",
+    "ShardRouter",
+    "UnknownTenant",
+    "RouterServer",
     "ServiceServer",
 ]

@@ -36,9 +36,21 @@ def _unwrap(response: dict) -> Any:
 
 
 class ServiceClient:
-    """Blocking line-protocol client."""
+    """Blocking line-protocol client.
 
-    def __init__(self, host: str, port: int, timeout: float | None = 60.0):
+    ``tenant`` — for router-tier servers — is stamped onto every
+    request that does not carry its own, so one client object speaks
+    for one tenant without repeating it per call.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 60.0,
+        tenant: str | None = None,
+    ):
+        self.tenant = tenant
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
@@ -59,6 +71,8 @@ class ServiceClient:
 
     def request(self, op: str, **fields: Any) -> dict:
         """Send one request, return the raw response dict."""
+        if self.tenant is not None:
+            fields.setdefault("tenant", self.tenant)
         message = {"id": next(self._ids), "op": op, **fields}
         self._file.write(protocol.dump_line(message))
         self._file.flush()
@@ -96,16 +110,66 @@ class ServiceClient:
     def stats(self) -> dict:
         return _unwrap(self.request("stats"))
 
+    # ------------------------------------------------------------------
+    # router-tier admin verbs
+    # ------------------------------------------------------------------
+
+    def attach_tenant(self, tenant: str, db: Any, **fields: Any) -> dict:
+        """Attach ``tenant`` serving ``db`` (a
+        :class:`~repro.engine.relation.Database`, shipped as a
+        snapshot)."""
+        return _unwrap(
+            self.request(
+                "attach_tenant",
+                tenant=tenant,
+                database=protocol.encode_database(db),
+                **fields,
+            )
+        )
+
+    def detach_tenant(self, tenant: str, purge: bool = True, **fields: Any) -> dict:
+        return _unwrap(
+            self.request("detach_tenant", tenant=tenant, purge=purge, **fields)
+        )
+
+    def reload(self, tenant: str, db: Any, **fields: Any) -> dict:
+        """Hot-swap ``tenant``'s served database for ``db`` under live
+        traffic."""
+        return _unwrap(
+            self.request(
+                "reload",
+                tenant=tenant,
+                database=protocol.encode_database(db),
+                **fields,
+            )
+        )
+
+    def ring(self, **fields: Any) -> dict:
+        return _unwrap(self.request("ring", **fields))
+
+    def ring_add(self, shard: str, **fields: Any) -> dict:
+        return _unwrap(self.request("ring_add", shard=shard, **fields))
+
+    def ring_remove(self, shard: str, **fields: Any) -> dict:
+        return _unwrap(self.request("ring_remove", shard=shard, **fields))
+
 
 class AsyncServiceClient:
     """Pipelining asyncio client: requests resolve out of order, matched
     by id.  Open with :meth:`connect`, or use as an async context
     manager."""
 
-    def __init__(self, host: str, port: int, max_line_bytes: int = 1 << 20):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        max_line_bytes: int = 1 << 20,
+        tenant: str | None = None,
+    ):
         self.host = host
         self.port = port
         self.max_line_bytes = max_line_bytes
+        self.tenant = tenant
         self._ids = itertools.count(1)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
@@ -174,6 +238,8 @@ class AsyncServiceClient:
         """Send one request; awaitable response dict (out-of-order
         safe)."""
         assert self._writer is not None, "call connect() first"
+        if self.tenant is not None:
+            fields.setdefault("tenant", self.tenant)
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
@@ -215,3 +281,47 @@ class AsyncServiceClient:
 
     async def stats(self) -> dict:
         return _unwrap(await self.request("stats"))
+
+    # ------------------------------------------------------------------
+    # router-tier admin verbs
+    # ------------------------------------------------------------------
+
+    async def attach_tenant(self, tenant: str, db: Any, **fields: Any) -> dict:
+        return _unwrap(
+            await self.request(
+                "attach_tenant",
+                tenant=tenant,
+                database=protocol.encode_database(db),
+                **fields,
+            )
+        )
+
+    async def detach_tenant(
+        self, tenant: str, purge: bool = True, **fields: Any
+    ) -> dict:
+        return _unwrap(
+            await self.request(
+                "detach_tenant", tenant=tenant, purge=purge, **fields
+            )
+        )
+
+    async def reload(self, tenant: str, db: Any, **fields: Any) -> dict:
+        return _unwrap(
+            await self.request(
+                "reload",
+                tenant=tenant,
+                database=protocol.encode_database(db),
+                **fields,
+            )
+        )
+
+    async def ring(self, **fields: Any) -> dict:
+        return _unwrap(await self.request("ring", **fields))
+
+    async def ring_add(self, shard: str, **fields: Any) -> dict:
+        return _unwrap(await self.request("ring_add", shard=shard, **fields))
+
+    async def ring_remove(self, shard: str, **fields: Any) -> dict:
+        return _unwrap(
+            await self.request("ring_remove", shard=shard, **fields)
+        )

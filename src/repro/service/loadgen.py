@@ -60,6 +60,7 @@ def generate_requests(
     mutate_fraction: float = 0.0,
     domain: float = 1000.0,
     mean_length: float = 10.0,
+    tenants: Sequence[str] | None = None,
 ) -> list[dict]:
     """``total`` wire-shaped requests (no ``id`` — the transport adds
     it): an isomorphism-heavy evaluate mix with optional count and
@@ -71,9 +72,17 @@ def generate_requests(
     matter how long the run is.  Mutations are tuple-level inserts and
     deletes against the base queries' relations (deletes preferentially
     target previously inserted tuples, so roughly half of them hit).
+
+    ``tenants`` — for router-tier targets — stamps each request with a
+    tenant drawn uniformly from the list, producing the mixed
+    multi-tenant traffic the router smoke tests replay.  Mutations stay
+    per-tenant coherent: a delete only targets a tuple previously
+    inserted *for the same tenant*.
     """
     if not base_queries:
         raise ValueError("need at least one base query")
+    if tenants is not None and not tenants:
+        raise ValueError("tenants must be None or non-empty")
     rng = random.Random(seed)
     variants = [
         query_text(v)
@@ -85,37 +94,46 @@ def generate_requests(
         for q in base_queries
         for atom in q.atoms
     ]
-    inserted: list[tuple[str, tuple]] = []
+    inserted: dict[str | None, list[tuple[str, tuple]]] = {}
     requests: list[dict] = []
     for _ in range(total):
+        tenant = rng.choice(list(tenants)) if tenants is not None else None
+        tag = {} if tenant is None else {"tenant": tenant}
+        mine = inserted.setdefault(tenant, [])
         roll = rng.random()
         if roll < mutate_fraction:
             relation, variables = rng.choice(schemas)
-            if inserted and rng.random() < 0.5:
-                relation, values = inserted.pop(rng.randrange(len(inserted)))
+            if mine and rng.random() < 0.5:
+                relation, values = mine.pop(rng.randrange(len(mine)))
                 requests.append(
                     {
                         "op": "mutate",
                         "kind": "delete",
                         "relation": relation,
                         "tuple": encode_tuple(values),
+                        **tag,
                     }
                 )
             else:
                 values = _random_tuple(rng, variables, domain, mean_length)
-                inserted.append((relation, values))
+                mine.append((relation, values))
                 requests.append(
                     {
                         "op": "mutate",
                         "kind": "insert",
                         "relation": relation,
                         "tuple": encode_tuple(values),
+                        **tag,
                     }
                 )
         elif roll < mutate_fraction + count_fraction:
-            requests.append({"op": "count", "query": rng.choice(variants)})
+            requests.append(
+                {"op": "count", "query": rng.choice(variants), **tag}
+            )
         else:
-            requests.append({"op": "evaluate", "query": rng.choice(variants)})
+            requests.append(
+                {"op": "evaluate", "query": rng.choice(variants), **tag}
+            )
     return requests
 
 

@@ -51,6 +51,7 @@ from concurrent.futures import Future, InvalidStateError
 from multiprocessing.connection import Connection, wait as connection_wait
 from typing import Any, Literal, Sequence
 
+from ..core.reduction_cache import ReductionCache
 from ..core.session import QuerySession, canonical_form
 from ..engine.relation import Database
 from ..queries.query import Query
@@ -150,6 +151,7 @@ def _worker_main(
         answer_admission_min_intervals=options.get(
             "answer_admission_min_intervals", 0
         ),
+        cache_namespace=options.get("cache_namespace"),
     )
     try:
         while True:
@@ -223,6 +225,7 @@ class WorkerPool:
         answer_cache_size: int = 1024,
         cache_max_bytes: int | None = None,
         answer_admission_min_intervals: int = 0,
+        cache_namespace: str | None = None,
         strategy: str = "reduction",
         start_method: Literal["spawn", "fork", "forkserver"] = "spawn",
         respawn: bool = True,
@@ -244,6 +247,10 @@ class WorkerPool:
             )
         if cache_max_bytes is not None and cache_max_bytes < 0:
             raise ValueError("cache_max_bytes must be non-negative")
+        if cache_namespace is not None and not ReductionCache.NAMESPACE_PATTERN.match(
+            cache_namespace
+        ):
+            raise ValueError(f"invalid cache namespace {cache_namespace!r}")
         self.db = db
         self.strategy = strategy
         self._options = {
@@ -251,6 +258,7 @@ class WorkerPool:
             "answer_cache_size": answer_cache_size,
             "cache_max_bytes": cache_max_bytes,
             "answer_admission_min_intervals": answer_admission_min_intervals,
+            "cache_namespace": cache_namespace,
         }
         self._ctx = multiprocessing.get_context(start_method)
         self._lock = threading.Lock()

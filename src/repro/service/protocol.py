@@ -49,8 +49,25 @@ ERROR_BAD_REQUEST = "bad_request"
 ERROR_SHUTTING_DOWN = "shutting_down"
 ERROR_INTERNAL = "internal"
 
-#: Ops the server understands; anything else is a ``bad_request``.
+#: Ops the single-pool server understands; anything else is a
+#: ``bad_request``.
 OPS = ("evaluate", "count", "evaluate_many", "mutate", "stats")
+
+#: Additional ops the sharded router tier understands.  Query/mutation
+#: ops gain a required ``tenant`` field; the admin verbs manage tenants
+#: (``attach_tenant`` ships a full database snapshot, ``reload``
+#: hot-swaps one under live traffic) and the consistent-hash ring
+#: (``ring_add``/``ring_remove`` rescale the shard fleet, ``ring``
+#: inspects placement).
+ROUTER_ADMIN_OPS = (
+    "attach_tenant",
+    "detach_tenant",
+    "reload",
+    "ring",
+    "ring_add",
+    "ring_remove",
+)
+ROUTER_OPS = OPS + ROUTER_ADMIN_OPS
 
 #: Mutation kinds the service accepts — exactly the tuple-level logged
 #: mutations that delta maintenance can patch (whole-relation changes
@@ -102,6 +119,89 @@ def decode_tuple(values: Any) -> tuple:
     if not isinstance(values, list):
         raise ProtocolError(f"tuple payload must be a list, got {values!r}")
     return tuple(decode_value(v) for v in values)
+
+
+def encode_database(db: Any) -> dict:
+    """A whole database as a JSON-safe snapshot: relation name →
+    ``{"schema": [...], "tuples": [[tagged values], ...]}``.  Used by
+    ``attach_tenant``/``reload`` to ship a tenant's database to the
+    router in one frame."""
+    return {
+        relation.name: {
+            "schema": list(relation.schema),
+            "tuples": [encode_tuple(t) for t in relation.tuples],
+        }
+        for relation in db
+    }
+
+
+def decode_database(payload: Any) -> "Database":
+    """Inverse of :func:`encode_database`."""
+    from ..engine.relation import Database, Relation
+
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"database payload must be an object, got {payload!r}"
+        )
+    db = Database()
+    for name, body in payload.items():
+        if not isinstance(body, dict) or set(body) != {"schema", "tuples"}:
+            raise ProtocolError(
+                f"relation {name!r} must carry exactly 'schema' and 'tuples'"
+            )
+        schema = body["schema"]
+        if not isinstance(schema, list) or not all(
+            isinstance(a, str) for a in schema
+        ):
+            raise ProtocolError(f"relation {name!r} schema must be a list of names")
+        tuples = body["tuples"]
+        if not isinstance(tuples, list):
+            raise ProtocolError(f"relation {name!r} tuples must be a list")
+        try:
+            db.add(Relation(name, schema, [decode_tuple(t) for t in tuples]))
+        except ValueError as error:
+            raise ProtocolError(f"relation {name!r}: {error}") from error
+    return db
+
+
+def encode_delta(delta: Any) -> dict:
+    """One tuple-level change-log entry as a wire object."""
+    if not delta.is_tuple_level:
+        raise ProtocolError(
+            f"whole-relation delta {delta.kind!r} has no wire encoding"
+        )
+    return {
+        "version": delta.version,
+        "kind": delta.kind,
+        "relation": delta.relation,
+        "tuple": encode_tuple(delta.tuple),
+    }
+
+
+def decode_delta(payload: Any) -> "Delta":
+    """Inverse of :func:`encode_delta`."""
+    from ..engine.relation import Delta
+
+    if not isinstance(payload, dict) or set(payload) != {
+        "version",
+        "kind",
+        "relation",
+        "tuple",
+    }:
+        raise ProtocolError(f"malformed delta payload {payload!r}")
+    if payload["kind"] not in MUTATION_KINDS:
+        raise ProtocolError(f"unknown delta kind {payload['kind']!r}")
+    version = payload["version"]
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError(f"delta version must be an int, got {version!r}")
+    if not isinstance(payload["relation"], str):
+        raise ProtocolError("delta relation must be a string")
+    return Delta(
+        version,
+        payload["kind"],
+        payload["relation"],
+        decode_tuple(payload["tuple"]),
+    )
 
 
 def query_text(query: Query) -> str:

@@ -1,0 +1,529 @@
+"""The sharded router tier: consistent hashing over shard nodes,
+multi-tenant namespaces, hot-reload via delta replay.
+
+A :class:`ShardRouter` places canonical-form groups on a consistent-hash
+:class:`~repro.service.ring.HashRing` over N *shard nodes*, each backed
+by one :class:`~repro.service.pool.WorkerPool` per attached tenant.  The
+design extends the pool's single-node amortisation story to a fleet:
+
+* **Placement.**  Queries are routed by the stable digest of their
+  canonical form, so isomorphic queries land on the same shard (and,
+  inside it, the same worker) no matter which client sent them.  The
+  ring's virtual nodes make placement *stable*: growing an N-node ring
+  to N+1 remaps only ~1/(N+1) of the groups; every other group keeps
+  its warm shard.
+
+* **Tenancy.**  Each tenant owns an isolated database (its shard pools
+  are built from independent clones) but all pools share ONE
+  content-addressed reduction cache directory, namespaced per tenant
+  (:class:`~repro.core.reduction_cache.ReductionCache` ownership
+  markers).  Two tenants serving identical relations therefore share
+  one cached reduction — the second tenant's cold start performs zero
+  forward reductions — while :meth:`detach_tenant` can purge exactly
+  the entries no surviving tenant references.
+
+* **Replication.**  Every shard serves every tenant; the ring only
+  decides which shard *answers* a canonical group.  Mutations are
+  applied to the tenant's master database first — its logged change
+  stream is the replicated delta log — then broadcast to every shard's
+  pool, so all shards converge on the same patched reductions and a
+  ring rescale never routes a group to a shard with stale data.
+
+* **Hot-reload.**  :meth:`reload` swaps in a new database under live
+  traffic: new pools are built from a snapshot while the old ones keep
+  serving, mutations accepted during the build are replayed onto the
+  snapshot from the delta log, the pools are swapped atomically, and
+  the old pools are closed *gracefully* — their queues drain, so no
+  in-flight request is dropped.
+
+Routing and pool mutation are enqueue-only and happen under one router
+lock; slow operations (process spawns in attach/reload/rescale, pool
+drains) happen outside it, so admin operations never stall traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Iterable, Sequence
+
+from ..core.reduction_cache import ReductionCache
+from ..core.session import canonical_form
+from ..engine.relation import Database
+from ..queries.query import Query
+from .pool import WorkerPool, _gather
+from .ring import HashRing
+
+__all__ = ["RouterClosed", "ShardRouter", "UnknownTenant"]
+
+
+class RouterClosed(RuntimeError):
+    """The router no longer accepts work."""
+
+
+class UnknownTenant(KeyError):
+    """No such tenant is attached."""
+
+
+class _Tenant:
+    """Parent-side state for one tenant: the master database (whose
+    change log is the replicated delta log) and its per-shard pools."""
+
+    def __init__(self, name: str, master: Database):
+        self.name = name
+        self.master = master
+        self.pools: dict[str, WorkerPool] = {}  # shard name -> pool
+        self.reloads = 0
+
+
+class ShardRouter:
+    """Route tenant query traffic across a consistent-hash ring of
+    worker-pool shard nodes.
+
+    ``shards`` names the initial nodes; ``cache_dir`` — strongly
+    recommended — is the single reduction cache shared by every pool of
+    every tenant on every shard (content addressing keeps it correct;
+    namespaces keep ownership accountable).  ``workers_per_shard``
+    sizes each (shard, tenant) pool.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[str] = ("shard-0", "shard-1"),
+        cache_dir: str | os.PathLike | None = None,
+        workers_per_shard: int = 1,
+        replicas: int = 128,
+        strategy: str = "reduction",
+        **pool_options: Any,
+    ):
+        if not shards:
+            raise ValueError("need at least one shard")
+        if len(set(shards)) != len(shards):
+            raise ValueError(f"duplicate shard names in {shards!r}")
+        if workers_per_shard < 1:
+            raise ValueError("workers_per_shard must be at least 1")
+        self.cache_dir = os.fspath(cache_dir) if cache_dir is not None else None
+        self.workers_per_shard = workers_per_shard
+        self.strategy = strategy
+        self._pool_options = pool_options
+        self._ring = HashRing(shards, replicas=replicas)
+        self._tenants: dict[str, _Tenant] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+        # admin operations (attach/reload/rescale) spawn processes; one
+        # serial executor keeps them ordered and off the event loop
+        self._admin = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-router-admin"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._ring.nodes))
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._tenants))
+
+    def database(self, tenant: str) -> Database:
+        """The tenant's master database (the served truth; treat as
+        read-only — mutate through :meth:`mutate`)."""
+        return self._tenant(tenant).master
+
+    def describe(self) -> dict:
+        """Ring topology plus tenant placement, JSON-safe."""
+        with self._lock:
+            return {
+                **self._ring.describe(),
+                "tenants": sorted(self._tenants),
+                "workers_per_shard": self.workers_per_shard,
+            }
+
+    def placement(self, keys: Iterable[object]) -> dict:
+        """Shard for each canonical-form key — the tool behind the
+        placement-stability tests and ``repro route``."""
+        with self._lock:
+            return self._ring.placement(keys)
+
+    def shard_for(self, query: Query) -> str:
+        """The shard node that answers ``query``'s canonical group."""
+        with self._lock:
+            return self._ring.node_for(canonical_form(query).key)
+
+    # ------------------------------------------------------------------
+    # tenancy
+    # ------------------------------------------------------------------
+
+    def _tenant(self, tenant: str) -> _Tenant:
+        with self._lock:
+            state = self._tenants.get(tenant)
+        if state is None:
+            raise UnknownTenant(tenant)
+        return state
+
+    def _build_pool(self, db: Database, tenant: str) -> WorkerPool:
+        return WorkerPool(
+            db,
+            workers=self.workers_per_shard,
+            cache_dir=self.cache_dir,
+            cache_namespace=tenant,
+            strategy=self.strategy,
+            **self._pool_options,
+        )
+
+    def attach_tenant(self, tenant: str, db: Database) -> dict:
+        """Attach ``tenant`` serving a snapshot of ``db``: one worker
+        pool per shard, all namespaced into the shared cache.  Blocks
+        until every pool is spawned; the tenant only becomes routable
+        once every shard can serve it."""
+        if not ReductionCache.NAMESPACE_PATTERN.match(tenant):
+            raise ValueError(f"invalid tenant name {tenant!r}")
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            if tenant in self._tenants:
+                raise ValueError(f"tenant {tenant!r} is already attached")
+            shard_names = list(self._ring.nodes)
+        state = _Tenant(tenant, db.clone())
+        try:
+            for name in shard_names:
+                state.pools[name] = self._build_pool(state.master.clone(), tenant)
+        except Exception:
+            for pool in state.pools.values():
+                pool.terminate()
+            raise
+        with self._lock:
+            closed, duplicate = self._closed, tenant in self._tenants
+            if not closed and not duplicate:
+                self._tenants[tenant] = state
+        if closed or duplicate:
+            for pool in state.pools.values():
+                pool.terminate()
+            raise (
+                ValueError(f"tenant {tenant!r} is already attached")
+                if duplicate
+                else RouterClosed("router is closed")
+            )
+        return {
+            "tenant": tenant,
+            "shards": len(state.pools),
+            "relations": list(state.master.relation_names),
+            "size": state.master.size,
+        }
+
+    def detach_tenant(self, tenant: str, purge: bool = True) -> dict:
+        """Detach ``tenant``: close its pools on every shard (draining
+        queued work) and — with ``purge`` — evict exactly the cached
+        reductions no other tenant's namespace references."""
+        with self._lock:
+            state = self._tenants.pop(tenant, None)
+        if state is None:
+            raise UnknownTenant(tenant)
+        for pool in state.pools.values():
+            pool.close()
+        purged = 0
+        if purge and self.cache_dir is not None:
+            purged = ReductionCache(self.cache_dir).purge_namespace(tenant)
+        return {"tenant": tenant, "shards": len(state.pools), "purged": purged}
+
+    # ------------------------------------------------------------------
+    # query traffic
+    # ------------------------------------------------------------------
+
+    def _submit(self, tenant: str, op: str, query: Query) -> Future:
+        key = canonical_form(query).key
+        state = self._tenant(tenant)
+        # lookup + enqueue under the router lock: a concurrent reload
+        # swaps pools under the same lock, so a request either lands in
+        # an old pool *before* the swap (drained gracefully, answered)
+        # or in the new pool after — never in a closed pool
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            pool = state.pools[self._ring.node_for(key)]
+            return pool.submit(op, query)
+
+    def evaluate(self, tenant: str, query: Query) -> Future:
+        """Future Boolean answer, served by the group's ring shard."""
+        return self._submit(tenant, "evaluate", query)
+
+    def count(self, tenant: str, query: Query) -> Future:
+        """Future exact witness count."""
+        return self._submit(tenant, "count", query)
+
+    def submit_many(
+        self, queries: Sequence[Query], tenant: str, op: str = "evaluate"
+    ) -> Future:
+        """Batch interface: the batch is grouped by canonical form, one
+        task per group goes to the group's ring shard, every member
+        receives its group's answer.  Resolves to the ordered list."""
+        state = self._tenant(tenant)
+        groups: dict[tuple, list[int]] = {}
+        for i, query in enumerate(queries):
+            groups.setdefault(canonical_form(query).key, []).append(i)
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            futures = [
+                state.pools[self._ring.node_for(key)].submit(
+                    op, queries[indices[0]]
+                )
+                for key, indices in groups.items()
+            ]
+        result: Future = Future()
+
+        def assemble(values: list) -> list:
+            answers: list = [None] * len(queries)
+            for indices, value in zip(groups.values(), values):
+                for i in indices:
+                    answers[i] = value
+            return answers
+
+        _gather(futures, result, assemble)
+        return result
+
+    def evaluate_many(self, queries: Sequence[Query], tenant: str) -> list[bool]:
+        return self.submit_many(queries, tenant).result()
+
+    def mutate(self, tenant: str, kind: str, relation: str, t: tuple) -> Future:
+        """Apply one tuple-level mutation to the tenant's master
+        database (logging it into the replicated delta log) and
+        broadcast it to the tenant's pool on *every* shard — the ring
+        decides who answers a group, but all shards stay converged so
+        rescaling is always safe.  Resolves to
+        ``{"applied": ..., "version": ..., "shards": ...}``."""
+        if kind not in ("insert", "delete"):
+            raise ValueError(f"unknown mutation kind {kind!r}")
+        state = self._tenant(tenant)
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            if kind == "insert":
+                delta = state.master.insert(relation, t)
+            else:
+                delta = state.master.delete(relation, t)
+            version = state.master.version
+            # enqueue-only fan-out under the lock: add_shard's delta
+            # catch-up runs under the same lock, so a new shard either
+            # replays this delta or receives this very broadcast
+            futures = [
+                pool.mutate(kind, relation, t) for pool in state.pools.values()
+            ]
+        applied = delta is not None
+        shards = len(futures)
+        result: Future = Future()
+        _gather(
+            futures,
+            result,
+            lambda acks: {
+                "applied": applied,
+                "version": version,
+                "shards": shards,
+            },
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # ring rescaling
+    # ------------------------------------------------------------------
+
+    def add_shard(self, name: str) -> dict:
+        """Grow the ring by one node.  The new shard's pools are built
+        from clones of each tenant's master, caught up from the delta
+        log (mutations accepted during the build are replayed — replays
+        are idempotent, so overlap with the snapshot is harmless), and
+        only then does the node join the ring: a group is never routed
+        to a shard that cannot serve it.  Over the shared cache the new
+        shard warms content-addressed and performs zero forward
+        reductions for already-reduced groups."""
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            if name in self._ring:
+                raise ValueError(f"shard {name!r} is already in the ring")
+            snapshots = {
+                tenant: (state, state.master.clone(), state.master.version)
+                for tenant, state in self._tenants.items()
+            }
+        built: dict[str, WorkerPool] = {}
+        try:
+            for tenant, (_state, snapshot, _v0) in snapshots.items():
+                built[tenant] = self._build_pool(snapshot, tenant)
+        except Exception:
+            for pool in built.values():
+                pool.terminate()
+            raise
+        with self._lock:
+            if self._closed or name in self._ring:
+                for pool in built.values():
+                    pool.terminate()
+                if self._closed:
+                    raise RouterClosed("router is closed")
+                raise ValueError(f"shard {name!r} is already in the ring")
+            for tenant, (state, _snapshot, v0) in snapshots.items():
+                pool = built.get(tenant)
+                if pool is None or tenant not in self._tenants:
+                    continue  # detached while we were building
+                for delta in self._replayable(state.master, v0):
+                    pool.mutate(delta.kind, delta.relation, delta.tuple)
+                state.pools[name] = pool
+            self._ring.add(name)
+            shards = len(self._ring)
+        for tenant, pool in built.items():
+            if tenant not in snapshots or snapshots[tenant][0].pools.get(name) is not pool:
+                pool.terminate()  # tenant detached mid-build
+        return {"shard": name, "shards": shards, "tenants": sorted(snapshots)}
+
+    def remove_shard(self, name: str) -> dict:
+        """Shrink the ring by one node.  The node leaves the ring first
+        — its ~1/N of the groups remap to survivors, every other group
+        keeps its placement — then its pools are closed *gracefully*:
+        queued tasks drain and answer, so no request is lost."""
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            if name not in self._ring:
+                raise ValueError(f"shard {name!r} is not in the ring")
+            if len(self._ring) == 1:
+                raise ValueError("cannot remove the last shard")
+            self._ring.remove(name)
+            orphans = [
+                state.pools.pop(name)
+                for state in self._tenants.values()
+                if name in state.pools
+            ]
+            shards = len(self._ring)
+        for pool in orphans:
+            pool.close()
+        return {"shard": name, "shards": shards, "tenants": len(orphans)}
+
+    # ------------------------------------------------------------------
+    # hot-reload
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _replayable(master: Database, since: int):
+        logged = master.changes_since(since)
+        if logged is None:
+            raise RuntimeError(
+                "change log trimmed during the operation; retry"
+            )
+        return [d for d in logged if d.is_tuple_level]
+
+    def reload(self, tenant: str, db: Database) -> dict:
+        """Hot-swap ``tenant``'s served database for ``db`` under live
+        traffic: snapshot + delta replay.  New pools are built from the
+        snapshot while the old ones keep serving; mutations accepted
+        during the build are replayed from the old master's delta log
+        onto the new master and pools; the swap is atomic under the
+        router lock; the old pools close gracefully afterwards, so
+        requests in flight at swap time still answer (from the old
+        data — the same answer they'd have gotten a moment earlier)."""
+        state = self._tenant(tenant)
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            v0 = state.master.version
+            shard_names = list(state.pools)
+        new_master = db.clone()
+        new_pools: dict[str, WorkerPool] = {}
+        try:
+            for name in shard_names:
+                new_pools[name] = self._build_pool(new_master.clone(), tenant)
+        except Exception:
+            for pool in new_pools.values():
+                pool.terminate()
+            raise
+        with self._lock:
+            if self._closed or self._tenants.get(tenant) is not state:
+                for pool in new_pools.values():
+                    pool.terminate()
+                if self._closed:
+                    raise RouterClosed("router is closed")
+                raise UnknownTenant(tenant)
+            replayed = 0
+            for delta in self._replayable(state.master, v0):
+                new_master.apply_delta(delta)
+                for pool in new_pools.values():
+                    pool.mutate(delta.kind, delta.relation, delta.tuple)
+                replayed += 1
+            # a shard added while we were building gets the new data too
+            for name in list(state.pools):
+                if name not in new_pools:
+                    new_pools[name] = state.pools.pop(name)  # pragma: no cover
+            old_pools, state.pools = dict(state.pools), new_pools
+            state.master = new_master
+            state.reloads += 1
+        for pool in old_pools.values():
+            pool.close()
+        return {
+            "tenant": tenant,
+            "replayed": replayed,
+            "version": new_master.version,
+            "shards": len(new_pools),
+        }
+
+    # ------------------------------------------------------------------
+    # stats and lifecycle
+    # ------------------------------------------------------------------
+
+    def admin(self, fn, *args: Any, **kwargs: Any) -> Future:
+        """Run one admin operation (attach/detach/reload/rescale) on
+        the router's serial admin executor; returns its future.  Keeps
+        slow, process-spawning operations ordered and off the caller's
+        thread (the asyncio server awaits these)."""
+        return self._admin.submit(fn, *args, **kwargs)
+
+    def stats_async(self) -> Future:
+        """Future stats aggregate over every (shard, tenant) pool."""
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            triples = [
+                (tenant, name, pool.stats_async())
+                for tenant, state in self._tenants.items()
+                for name, pool in state.pools.items()
+            ]
+            ring = self.describe()
+        result: Future = Future()
+
+        def assemble(values: list) -> dict:
+            shards: dict[str, dict] = {}
+            totals: dict[str, int] = {}
+            for (tenant, name, _), value in zip(triples, values):
+                shards.setdefault(name, {})[tenant] = value
+                for stat, count in (value.get("aggregate") or {}).items():
+                    totals[stat] = totals.get(stat, 0) + int(count)
+            return {"ring": ring, "shards": shards, "aggregate": totals}
+
+        _gather([f for _, _, f in triples], result, assemble)
+        return result
+
+    def stats(self) -> dict:
+        return self.stats_async().result()
+
+    def close(self) -> dict:
+        """Close every pool gracefully and stop the admin executor."""
+        with self._lock:
+            if self._closed:
+                return {"tenants": {}}
+            self._closed = True
+            tenants = dict(self._tenants)
+        reports = {
+            tenant: {name: pool.close() for name, pool in state.pools.items()}
+            for tenant, state in tenants.items()
+        }
+        self._admin.shutdown(wait=True)
+        return {"tenants": reports}
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

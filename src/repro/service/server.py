@@ -26,6 +26,7 @@ from typing import Any
 from ..intervals.interval import Interval
 from ..queries.parser import parse_query
 from .pool import PoolClosed, WorkerCrash, WorkerPool
+from .router import RouterClosed, ShardRouter, UnknownTenant
 from . import protocol
 from .protocol import (
     ERROR_BAD_REQUEST,
@@ -38,7 +39,7 @@ from .protocol import (
     ok_response,
 )
 
-__all__ = ["ServiceServer"]
+__all__ = ["RouterServer", "ServiceServer"]
 
 
 class ServiceServer:
@@ -50,6 +51,10 @@ class ServiceServer:
     requests that do not carry their own deadline (``None`` disables
     the default deadline entirely).
     """
+
+    #: The ops this server admits; subclasses extend (the router tier
+    #: admits the admin verbs too).
+    OPS = protocol.OPS
 
     def __init__(
         self,
@@ -200,7 +205,7 @@ class ServiceServer:
             return None, error_response(None, ERROR_BAD_REQUEST, str(error))
         request_id = request.get("id")
         op = request.get("op")
-        if op not in protocol.OPS:
+        if op not in self.OPS:
             self.counters["bad_requests"] += 1
             return None, error_response(
                 request_id, ERROR_BAD_REQUEST, f"unknown op {op!r}"
@@ -282,9 +287,9 @@ class ServiceServer:
             # request would hang the client forever
             self.counters["bad_requests"] += 1
             return error_response(request_id, ERROR_BAD_REQUEST, str(error))
-        except PoolClosed:
+        except (PoolClosed, RouterClosed):
             return error_response(
-                request_id, ERROR_SHUTTING_DOWN, "worker pool is closed"
+                request_id, ERROR_SHUTTING_DOWN, "the serving tier is closed"
             )
         except WorkerCrash as error:
             return error_response(request_id, ERROR_INTERNAL, str(error))
@@ -299,7 +304,7 @@ class ServiceServer:
                 ERROR_DEADLINE,
                 "deadline elapsed before a worker answered",
             )
-        except (WorkerCrash, PoolClosed) as error:
+        except (WorkerCrash, PoolClosed, RouterClosed) as error:
             return error_response(request_id, ERROR_INTERNAL, str(error))
         except Exception as error:
             return error_response(
@@ -367,29 +372,121 @@ class ServiceServer:
         raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
 
     def _check_tuple_kinds(self, relation: str, values: tuple) -> None:
-        """Reject an insert whose value kinds (interval vs. scalar per
-        position) contradict the relation's existing tuples.  The
-        database layer only checks arity, so without this gate one
-        malformed mutate would be applied cluster-wide and poison every
-        later query over the relation."""
-        db = self.pool.db
-        if relation not in db:
-            raise ProtocolError(f"unknown relation {relation!r}")
-        tuples = db[relation].tuples
-        if not tuples:
-            return  # no basis for a kind check on an empty relation
-        sample = next(iter(tuples))
-        if len(values) == len(sample):  # arity mismatch raises downstream
-            for position, (value, reference) in enumerate(
-                zip(values, sample)
+        _check_tuple_kinds(self.pool.db, relation, values)
+
+
+class RouterServer(ServiceServer):
+    """Serve a :class:`~repro.service.router.ShardRouter` over the same
+    wire protocol, extended with the router verbs: every query/mutation
+    request carries a ``tenant`` field, and the admin verbs
+    (``attach_tenant``/``detach_tenant``/``reload``/``ring_add``/
+    ``ring_remove``/``ring``) manage tenancy and the ring under live
+    traffic.  Slow admin operations run on the router's serial admin
+    executor, so the event loop keeps multiplexing query traffic while
+    a shard spawns or a tenant hot-reloads."""
+
+    OPS = protocol.ROUTER_OPS
+
+    def __init__(self, router: ShardRouter, **server_options: Any):
+        super().__init__(pool=None, **server_options)  # type: ignore[arg-type]
+        self.router = router
+
+    def _dispatch(self, op: str, request: dict):
+        router = self.router
+        if op == "evaluate":
+            return router.evaluate(
+                _field(request, "tenant", str),
+                parse_query(_field(request, "query", str)),
+            )
+        if op == "count":
+            return router.count(
+                _field(request, "tenant", str),
+                parse_query(_field(request, "query", str)),
+            )
+        if op == "evaluate_many":
+            tenant = _field(request, "tenant", str)
+            texts = _field(request, "queries", list)
+            if not all(isinstance(t, str) for t in texts):
+                raise ProtocolError("queries must be a list of strings")
+            return router.submit_many([parse_query(t) for t in texts], tenant)
+        if op == "mutate":
+            tenant = _field(request, "tenant", str)
+            kind = _field(request, "kind", str)
+            if kind not in protocol.MUTATION_KINDS:
+                raise ProtocolError(
+                    f"mutation kind must be one of {protocol.MUTATION_KINDS}"
+                )
+            relation = _field(request, "relation", str)
+            values = protocol.decode_tuple(_field(request, "tuple", list))
+            if kind == "insert":
+                _check_tuple_kinds(router.database(tenant), relation, values)
+            return router.mutate(tenant, kind, relation, values)
+        if op == "stats":
+            return self.router.stats_async()
+        if op == "attach_tenant":
+            tenant = _field(request, "tenant", str)
+            db = protocol.decode_database(_field(request, "database", dict))
+            return router.admin(router.attach_tenant, tenant, db)
+        if op == "detach_tenant":
+            tenant = _field(request, "tenant", str)
+            purge = request.get("purge", True)
+            if not isinstance(purge, bool):
+                raise ProtocolError(f"purge must be a boolean, got {purge!r}")
+            return router.admin(router.detach_tenant, tenant, purge=purge)
+        if op == "reload":
+            tenant = _field(request, "tenant", str)
+            db = protocol.decode_database(_field(request, "database", dict))
+            return router.admin(router.reload, tenant, db)
+        if op == "ring_add":
+            return router.admin(router.add_shard, _field(request, "shard", str))
+        if op == "ring_remove":
+            return router.admin(
+                router.remove_shard, _field(request, "shard", str)
+            )
+        if op == "ring":
+            done: Future = Future()
+            done.set_result(router.describe())
+            return done
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    async def _execute(self, request_id: Any, request: dict) -> dict:
+        response = await super()._execute(request_id, request)
+        # typed errors for tenant/topology misuse: an admin future that
+        # failed a precondition is the client's mistake, not an internal
+        # fault — rewrite it so clients can react mechanically
+        if not response.get("ok"):
+            message = response["error"].get("message", "")
+            if response["error"].get(
+                "code"
+            ) == ERROR_INTERNAL and message.startswith(
+                ("UnknownTenant", "ValueError")
             ):
-                if isinstance(value, Interval) != isinstance(
-                    reference, Interval
-                ):
-                    raise ProtocolError(
-                        f"tuple position {position} of {relation!r} must "
-                        f"be {'an interval' if isinstance(reference, Interval) else 'a scalar'}"
-                    )
+                self.counters["bad_requests"] += 1
+                response["error"]["code"] = ERROR_BAD_REQUEST
+        return response
+
+
+def _check_tuple_kinds(db, relation: str, values: tuple) -> None:
+    """Reject an insert whose value kinds (interval vs. scalar per
+    position) contradict the relation's existing tuples.  The database
+    layer only checks arity, so without this gate one malformed mutate
+    would be applied cluster-wide and poison every later query over the
+    relation."""
+    if relation not in db:
+        raise ProtocolError(f"unknown relation {relation!r}")
+    tuples = db[relation].tuples
+    if not tuples:
+        return  # no basis for a kind check on an empty relation
+    sample = next(iter(tuples))
+    if len(values) == len(sample):  # arity mismatch raises downstream
+        for position, (value, reference) in enumerate(zip(values, sample)):
+            if isinstance(value, Interval) != isinstance(
+                reference, Interval
+            ):
+                raise ProtocolError(
+                    f"tuple position {position} of {relation!r} must "
+                    f"be {'an interval' if isinstance(reference, Interval) else 'a scalar'}"
+                )
 
 
 def _field(request: dict, name: str, kind: type):

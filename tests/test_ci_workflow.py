@@ -1,7 +1,9 @@
 """CI pipeline sanity: the workflow file must stay parseable and keep
-its jobs (tests / fuzz / lint / bench smoke / service smoke), and the
-packaging metadata must stay consistent with it."""
+its jobs (tests / fuzz / lint / bench smoke / service smoke / router
+smoke / coverage gate / perf gate), and the packaging metadata must
+stay consistent with it."""
 
+import re
 from pathlib import Path
 
 import pytest
@@ -33,12 +35,12 @@ class TestWorkflow:
         jobs = workflow["jobs"]
         assert {
             "tests", "fuzz", "lint", "bench-smoke", "service-smoke",
-            "perf-gate",
+            "perf-gate", "router-smoke", "coverage",
         } <= set(jobs)
 
-    def test_tests_job_matrix_covers_310_to_312(self, workflow):
+    def test_tests_job_matrix_covers_310_to_313(self, workflow):
         matrix = workflow["jobs"]["tests"]["strategy"]["matrix"]
-        assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+        assert matrix["python-version"] == ["3.10", "3.11", "3.12", "3.13"]
 
     def test_tests_job_installs_package_and_runs_pytest(self, workflow):
         steps = workflow["jobs"]["tests"]["steps"]
@@ -126,6 +128,49 @@ class TestWorkflow:
             REPO / "benchmarks" / "baselines" / "perf_quick_baseline.json"
         ).is_file()
 
+    def test_router_smoke_is_a_matrix_with_differential_suite_and_artifact(
+        self, workflow
+    ):
+        """Satellite: the router-smoke job proves the sharded tier on a
+        CI matrix — 2-shard ring, two tenants, mixed loadgen traffic
+        differentially checked, one shard killed (all asserted inside
+        tests/test_router.py) — and uploads the loadgen JSON report."""
+        job = workflow["jobs"]["router-smoke"]
+        versions = job["strategy"]["matrix"]["python-version"]
+        assert len(versions) >= 2  # more than one interpreter proves it
+        runs = " ".join(step.get("run", "") for step in job["steps"])
+        assert "tests/test_router.py" in runs
+        assert "tests/test_protocol.py" in runs
+        uploads = [
+            step
+            for step in job["steps"]
+            if str(step.get("uses", "")).startswith("actions/upload-artifact@")
+        ]
+        assert uploads
+        assert (
+            "benchmarks/results/router_smoke.json"
+            in uploads[0]["with"]["path"]
+        )
+
+    def test_coverage_job_enforces_a_committed_floor(self, workflow):
+        """Satellite: tier-1 runs under coverage, a committed
+        ``--fail-under`` floor gates the build, and the HTML report is
+        uploaded as an artifact."""
+        job = workflow["jobs"]["coverage"]
+        runs = " ".join(step.get("run", "") for step in job["steps"])
+        assert "coverage run -m pytest" in runs
+        floors = [int(m) for m in re.findall(r"--fail-under=(\d+)", runs)]
+        assert len(floors) == 1
+        assert 50 <= floors[0] <= 99  # a committed, non-vacuous floor
+        assert "coverage html" in runs
+        uploads = [
+            step
+            for step in job["steps"]
+            if str(step.get("uses", "")).startswith("actions/upload-artifact@")
+        ]
+        assert uploads
+        assert "htmlcov" in uploads[0]["with"]["path"]
+
     def test_every_job_checks_out_and_sets_up_python(self, workflow):
         for name, job in workflow["jobs"].items():
             uses = [step.get("uses", "") for step in job["steps"]]
@@ -133,6 +178,25 @@ class TestWorkflow:
             assert any(
                 u.startswith("actions/setup-python@") for u in uses
             ), name
+
+    def test_every_setup_python_step_caches_pip(self, workflow):
+        """Satellite: every job restores the pip cache (keyed on
+        pyproject.toml) instead of re-downloading the toolchain."""
+        for name, job in workflow["jobs"].items():
+            setups = [
+                step
+                for step in job["steps"]
+                if str(step.get("uses", "")).startswith(
+                    "actions/setup-python@"
+                )
+            ]
+            assert setups, name
+            for step in setups:
+                assert step["with"].get("cache") == "pip", name
+                assert (
+                    step["with"].get("cache-dependency-path")
+                    == "pyproject.toml"
+                ), name
 
 
 class TestPyproject:
@@ -145,9 +209,12 @@ class TestPyproject:
         dev = data["project"]["optional-dependencies"]["dev"]
         assert any(d.startswith("pytest") for d in dev)
         assert any(d.startswith("ruff") for d in dev)
+        assert any(d.startswith("coverage") for d in dev)
         assert data["tool"]["setuptools"]["packages"]["find"]["where"] == [
             "src"
         ]
+        # the coverage job measures the installed package, not the repo
+        assert data["tool"]["coverage"]["run"]["source"] == ["repro"]
 
     def test_setup_py_is_gone(self):
         assert not (REPO / "setup.py").exists()

@@ -137,3 +137,47 @@ class TestCommands:
         captured = capsys.readouterr()
         assert code == 2
         assert "non-negative" in captured.err
+
+
+class TestRoute:
+    TRIANGLE = "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])"
+    PATH2 = "U([A],[B]) ∧ V([B],[C])"
+
+    def test_offline_placement_groups_isomorphic_queries(self, capsys):
+        code = main(
+            [
+                "route", self.TRIANGLE, self.PATH2,
+                "--shards", "4", "--variants", "3", "--seed", "7",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        # 2 base queries + 3 isomorphic variants each -> still only 2
+        # canonical groups on the ring
+        assert "2 canonical groups" in captured.out
+        assert "shard-" in captured.out
+
+    def test_grow_reports_remap_share(self, capsys):
+        code = main(
+            ["route", self.TRIANGLE, self.PATH2, "--shards", "4", "--grow", "1"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "remaps" in captured.out
+
+    def test_drop_unknown_shard_is_an_error(self, capsys):
+        code = main(["route", self.TRIANGLE, "--drop", "nope"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "not on the ring" in captured.err
+
+    def test_loadgen_rejects_empty_tenants(self, capsys):
+        code = main(
+            [
+                "loadgen", self.TRIANGLE,
+                "--port", "1", "--requests", "5", "--tenants", " , ",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "tenants" in captured.err

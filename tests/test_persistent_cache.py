@@ -307,5 +307,89 @@ class TestConcurrentPruneStoreStress:
         assert cache.get(key) is not None
 
 
+class TestNamespaces:
+    """Multi-tenant accounting over the shared store: namespaced caches
+    mark the keys they touch with zero-byte ownership markers, so a
+    tenant can be purged without evicting entries other tenants still
+    reference — the substrate behind the router's ``detach_tenant``."""
+
+    @staticmethod
+    def _entry(seed: int):
+        query = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(query, 5, seed=seed)
+        return reduction_key(query, database_digests(db)), forward_reduce(
+            query, db
+        )
+
+    def test_put_and_get_mark_ownership(self, tmp_path):
+        key, result = self._entry(1)
+        acme = ReductionCache(tmp_path, namespace="acme")
+        acme.put(key, result)
+        assert acme.namespaces() == ["acme"]
+        assert acme.namespace_keys() == {key}
+        # a *hit* from another namespace marks it as co-owner
+        globex = ReductionCache(tmp_path, namespace="globex")
+        assert globex.get(key) is not None
+        assert globex.namespaces() == ["acme", "globex"]
+        assert globex.namespace_keys("acme") == globex.namespace_keys()
+        # a miss marks nothing
+        other, _ = self._entry(2)
+        assert globex.get(other) is None
+        assert other not in globex.namespace_keys()
+
+    def test_unnamespaced_cache_marks_nothing(self, tmp_path):
+        key, result = self._entry(1)
+        cache = ReductionCache(tmp_path)
+        cache.put(key, result)
+        assert cache.get(key) is not None
+        assert cache.namespaces() == []
+        assert cache.namespace_keys() == set()
+        with pytest.raises(ValueError):
+            cache.purge_namespace()  # nothing to purge
+
+    def test_purge_keeps_entries_other_namespaces_reference(self, tmp_path):
+        shared_key, shared = self._entry(1)
+        private_key, private = self._entry(2)
+        acme = ReductionCache(tmp_path, namespace="acme")
+        acme.put(shared_key, shared)
+        acme.put(private_key, private)
+        globex = ReductionCache(tmp_path, namespace="globex")
+        assert globex.get(shared_key) is not None  # co-owns the shared key
+        assert len(acme) == 2
+        removed = acme.purge_namespace()
+        assert removed == 1  # only the private entry went
+        assert "acme" not in acme.namespaces()
+        # the shared entry is communal property (checked through an
+        # unnamespaced handle — a namespaced *get* would re-mark it)
+        cold = ReductionCache(tmp_path)
+        assert cold.get(private_key) is None
+        assert cold.get(shared_key) is not None
+        # purging the last owner finally drops the shared entry
+        assert globex.purge_namespace() == 1
+        assert len(ReductionCache(tmp_path)) == 0
+
+    def test_purge_by_name_from_an_unnamespaced_handle(self, tmp_path):
+        key, result = self._entry(3)
+        ReductionCache(tmp_path, namespace="tenant-a").put(key, result)
+        admin = ReductionCache(tmp_path)
+        assert admin.purge_namespace("tenant-a") == 1
+        assert admin.namespaces() == []
+
+    def test_markers_outlive_pruned_entries(self, tmp_path):
+        key, result = self._entry(4)
+        cache = ReductionCache(tmp_path, namespace="acme")
+        cache.put(key, result)
+        assert cache.prune(0) == 1  # evict everything
+        assert cache.namespace_keys() == {key}  # the reference survives
+        assert cache.purge_namespace() == 0  # entry already gone: no-op
+
+    @pytest.mark.parametrize(
+        "bad", ["", "has space", "a/b", "-leading", ".hidden", "x" * 65]
+    )
+    def test_invalid_namespace_names_are_rejected(self, tmp_path, bad):
+        with pytest.raises(ValueError):
+            ReductionCache(tmp_path, namespace=bad)
+
+
 if __name__ == "__main__":  # pragma: no cover
     sys.exit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,307 @@
+"""The wire protocol in isolation (:mod:`repro.service.protocol`).
+
+Property-style round-trip tests: seeded random generators drive many
+cases through encode → JSON → decode and assert exact identity — for
+tagged values (intervals, nested tuples, scalars), whole tuples, full
+database snapshots and change-log deltas.  The router verb tables are
+pinned, and a live (pool-less) :class:`RouterServer` answers malformed
+frames — garbage bytes, non-object JSON, unknown ops, missing or
+mistyped fields — with *typed* ``bad_request`` errors rather than
+dropped connections.
+"""
+
+import json
+import random
+import socket
+
+import pytest
+
+from repro.engine.relation import Database, Delta
+from repro.intervals import Interval
+from repro.queries import parse_query
+from repro.core.session import canonical_form
+from repro.service import protocol
+from repro.service.protocol import (
+    MUTATION_KINDS,
+    OPS,
+    ROUTER_ADMIN_OPS,
+    ROUTER_OPS,
+    ProtocolError,
+    decode_database,
+    decode_delta,
+    decode_tuple,
+    decode_value,
+    dump_line,
+    encode_database,
+    encode_delta,
+    encode_tuple,
+    encode_value,
+    error_response,
+    ok_response,
+    parse_line,
+    query_text,
+)
+from repro.workloads import random_database
+
+TRIANGLE = "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])"
+
+
+def random_value(rng: random.Random, depth: int = 0):
+    """One random wire-encodable value: scalars, intervals, and nested
+    tuples up to depth 3."""
+    roll = rng.randrange(8 if depth < 3 else 6)
+    if roll == 0:
+        return None
+    if roll == 1:
+        return rng.random() < 0.5
+    if roll == 2:
+        return rng.randint(-(10**9), 10**9)
+    if roll == 3:
+        return rng.uniform(-1e6, 1e6)
+    if roll == 4:
+        return "".join(rng.choices("abc ∧ []{}\"\\\n", k=rng.randrange(8)))
+    if roll == 5:
+        left = rng.uniform(-100.0, 100.0)
+        return Interval(left, left + rng.uniform(0.0, 50.0))
+    return tuple(
+        random_value(rng, depth + 1) for _ in range(rng.randrange(4))
+    )
+
+
+def through_json(payload):
+    """The wire in miniature: what the far side actually receives."""
+    return json.loads(json.dumps(payload))
+
+
+class TestValueCodec:
+    def test_values_round_trip_through_json(self):
+        rng = random.Random(1234)
+        for _ in range(500):
+            value = random_value(rng)
+            assert decode_value(through_json(encode_value(value))) == value
+
+    def test_tuples_round_trip_through_framing(self):
+        rng = random.Random(99)
+        for _ in range(100):
+            t = tuple(random_value(rng) for _ in range(rng.randrange(1, 5)))
+            line = dump_line({"id": 1, "tuple": encode_tuple(t)})
+            assert decode_tuple(parse_line(line)["tuple"]) == t
+
+    def test_interval_endpoints_survive_as_floats(self):
+        decoded = decode_value(through_json(encode_value(Interval(0.1, 0.3))))
+        assert decoded == Interval(0.1, 0.3)
+        assert decoded.left == 0.1 and decoded.right == 0.3
+
+    @pytest.mark.parametrize(
+        "bad", [{1, 2}, object(), b"bytes", Database()]
+    )
+    def test_unencodable_values_are_typed_errors(self, bad):
+        with pytest.raises(ProtocolError):
+            encode_value(bad)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"frob": []},
+            {"interval": [1, 2], "extra": 3},
+            {},
+            [1, 2],
+            {"tuple": [1], "interval": [1, 2]},
+        ],
+    )
+    def test_undecodable_values_are_typed_errors(self, bad):
+        with pytest.raises(ProtocolError):
+            decode_value(bad)
+
+    def test_tuple_payload_must_be_a_list(self):
+        with pytest.raises(ProtocolError):
+            decode_tuple({"tuple": []})
+
+
+class TestDatabaseCodec:
+    def test_random_databases_round_trip(self):
+        q = parse_query(TRIANGLE)
+        for seed in range(5):
+            db = random_database(q, 15, seed=seed)
+            decoded = decode_database(through_json(encode_database(db)))
+            assert decoded.relation_names == db.relation_names
+            for relation in db:
+                twin = decoded[relation.name]
+                assert twin.schema == relation.schema
+                assert twin.tuples == relation.tuples
+
+    def test_empty_database_round_trips(self):
+        assert decode_database(encode_database(Database())).size == 0
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not an object",
+            {"R": "not an object"},
+            {"R": {"schema": ["x", "y"]}},  # missing tuples
+            {"R": {"schema": ["x"], "tuples": [], "extra": 1}},
+            {"R": {"schema": "xy", "tuples": []}},
+            {"R": {"schema": [1, 2], "tuples": []}},
+            {"R": {"schema": ["x"], "tuples": "nope"}},
+            # arity mismatch: the Relation ValueError is re-raised typed
+            {"R": {"schema": ["x", "y"], "tuples": [[1]]}},
+            # duplicate attribute: likewise
+            {"R": {"schema": ["x", "x"], "tuples": []}},
+        ],
+    )
+    def test_malformed_database_payloads_are_typed_errors(self, bad):
+        with pytest.raises(ProtocolError):
+            decode_database(bad)
+
+
+class TestDeltaCodec:
+    def test_logged_deltas_round_trip(self):
+        db = random_database(parse_query(TRIANGLE), 10, seed=7)
+        victims = list(db["R"].tuples)[:3]
+        for t in victims:
+            db.delete("R", t)
+        db.insert("S", victims[0])
+        logged = [d for d in db.changes_since(0) if d.is_tuple_level]
+        assert len(logged) == 4
+        for delta in logged:
+            assert decode_delta(through_json(encode_delta(delta))) == delta
+
+    def test_whole_relation_deltas_have_no_wire_encoding(self):
+        with pytest.raises(ProtocolError):
+            encode_delta(Delta(3, "replace", "R", None))
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nope",
+            {"version": 1, "kind": "insert", "relation": "R"},  # no tuple
+            {
+                "version": 1,
+                "kind": "insert",
+                "relation": "R",
+                "tuple": [],
+                "extra": 1,
+            },
+            {"version": 1, "kind": "replace", "relation": "R", "tuple": []},
+            {"version": True, "kind": "insert", "relation": "R", "tuple": []},
+            {"version": "1", "kind": "insert", "relation": "R", "tuple": []},
+            {"version": 1, "kind": "insert", "relation": 7, "tuple": []},
+            {"version": 1, "kind": "insert", "relation": "R", "tuple": "t"},
+        ],
+    )
+    def test_malformed_delta_payloads_are_typed_errors(self, bad):
+        with pytest.raises(ProtocolError):
+            decode_delta(bad)
+
+
+class TestVerbsAndFraming:
+    def test_router_verb_table_extends_the_pool_verbs(self):
+        assert set(OPS) <= set(ROUTER_OPS)
+        assert set(ROUTER_ADMIN_OPS) == set(ROUTER_OPS) - set(OPS)
+        assert not set(ROUTER_ADMIN_OPS) & set(OPS)
+        assert "attach_tenant" in ROUTER_ADMIN_OPS
+        assert set(MUTATION_KINDS) == {"insert", "delete"}
+
+    def test_query_text_round_trips_to_an_isomorphic_query(self):
+        for text in (TRIANGLE, "R([A],[B]) ∧ R([B],[C]) ∧ S([A],[C])"):
+            q = parse_query(text)
+            assert (
+                canonical_form(parse_query(query_text(q))).key
+                == canonical_form(q).key
+            )
+
+    def test_frames_and_response_shapes(self):
+        message = {"id": 5, "op": "stats"}
+        assert parse_line(dump_line(message)) == message
+        assert ok_response(5, [1]) == {"id": 5, "ok": True, "result": [1]}
+        err = error_response(6, "overloaded", "full", inflight=9)
+        assert err["error"] == {
+            "code": "overloaded",
+            "message": "full",
+            "inflight": 9,
+        }
+        with pytest.raises(ProtocolError):
+            parse_line(b"{not json\n")
+        with pytest.raises(ProtocolError):
+            parse_line(b"[1, 2, 3]\n")
+
+
+class TestMalformedFramesOverTheWire:
+    """A live RouterServer (no tenants attached — no worker processes)
+    must answer every malformed frame with a typed ``bad_request`` and
+    keep the connection alive."""
+
+    def test_typed_errors_for_malformed_frames(self):
+        import asyncio
+
+        from repro.service import RouterServer, ShardRouter
+
+        frames = [
+            b"garbage\n",
+            b"[1,2]\n",
+            dump_line({"id": 1, "op": "frobnicate"}),
+            dump_line({"id": 2}),  # no op at all
+            dump_line({"id": 3, "op": "evaluate", "query": TRIANGLE}),  # no tenant
+            dump_line({"id": 4, "op": "evaluate", "tenant": "t", "query": 7}),
+            dump_line({"id": 5, "op": "evaluate_many", "tenant": "t", "queries": [1]}),
+            dump_line(
+                {
+                    "id": 6,
+                    "op": "mutate",
+                    "tenant": "t",
+                    "kind": "truncate",
+                    "relation": "R",
+                    "tuple": [],
+                }
+            ),
+            dump_line({"id": 7, "op": "attach_tenant", "tenant": "t", "database": 3}),
+            dump_line(
+                {
+                    "id": 8,
+                    "op": "attach_tenant",
+                    "tenant": "t",
+                    "database": {"R": {"schema": ["x"]}},
+                }
+            ),
+            dump_line({"id": 9, "op": "reload", "tenant": "t"}),  # no database
+            dump_line({"id": 10, "op": "detach_tenant", "tenant": "t", "purge": "yes"}),
+            dump_line({"id": 11, "op": "ring_add"}),  # no shard
+            dump_line({"id": 12, "op": "ring_remove", "shard": "ghost"}),
+        ]
+
+        def body(host, port):
+            responses = []
+            with socket.create_connection((host, port), timeout=30) as sock:
+                stream = sock.makefile("rwb")
+                for frame in frames:
+                    stream.write(frame)
+                    stream.flush()
+                    responses.append(parse_line(stream.readline()))
+                # the connection survived all of it
+                stream.write(dump_line({"id": 99, "op": "ring"}))
+                stream.flush()
+                responses.append(parse_line(stream.readline()))
+            return responses
+
+        router = ShardRouter(shards=("s0", "s1"))
+        server = RouterServer(router)
+
+        async def driver():
+            host, port = await server.start()
+            try:
+                return await asyncio.to_thread(body, host, port)
+            finally:
+                await server.stop()
+
+        try:
+            responses = asyncio.run(driver())
+        finally:
+            router.close()
+
+        *errors, final = responses
+        assert len(errors) == len(frames)
+        for response in errors:
+            assert response["ok"] is False, response
+            assert response["error"]["code"] == protocol.ERROR_BAD_REQUEST
+        assert final["ok"] is True
+        assert sorted(final["result"]["nodes"]) == ["s0", "s1"]
