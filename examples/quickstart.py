@@ -39,6 +39,7 @@ import asyncio
 import random
 import tempfile
 import time
+from pathlib import Path
 
 from repro import QuerySession, analyze_query, count_ij, evaluate_ij, parse_query
 from repro.core import naive_count, naive_evaluate, witnesses_ij
@@ -337,6 +338,61 @@ def main() -> None:
                 f"'globex' still serves the original data: "
                 f"{router.evaluate_many([query], 'globex')[0]}"
             )
+    print()
+
+    print("=" * 64)
+    print("10. Remote shards: the ring across OS-process boundaries")
+    print("=" * 64)
+    from repro.service import ShardRouter as Coordinator
+    from repro.service import spawn_shard_process
+
+    # each shard is a standalone `repro shard --listen` process with
+    # its OWN cache directory; the coordinator dials them over the
+    # same JSON-lines protocol the clients speak
+    with tempfile.TemporaryDirectory() as scratch:
+        scratch = Path(scratch)
+        with (
+            spawn_shard_process("east", cache_dir=scratch / "east") as east,
+            spawn_shard_process("west", cache_dir=scratch / "west") as west,
+        ):
+            with Coordinator(
+                remote_shards={"east": east.address, "west": west.address},
+                health_interval=2.0,
+            ) as coordinator:
+                coordinator.attach_tenant("acme", db)
+                variants_ = [query] + isomorphic_variants(query, 3, seed=9)
+                want = [naive_evaluate(v, db) for v in variants_]
+                assert coordinator.evaluate_many(variants_, "acme") == want
+                print(
+                    f"2 shard processes serving; {query_text(query)!r} "
+                    f"answered by {coordinator.shard_for(query)}"
+                )
+                # kill one shard with nothing special prepared: the
+                # health/connection machinery evicts it and resubmits
+                # its in-flight work to the survivor — every future
+                # still answers, exactly once
+                east.kill()
+                assert coordinator.evaluate_many(variants_, "acme") == want
+                print(
+                    f"shard 'east' killed; survivors "
+                    f"{coordinator.shard_names} still answer correctly"
+                )
+                # a new shard joins WARM: its empty cache directory is
+                # populated by content-addressed entries shipped over
+                # the wire before it takes any traffic
+                with spawn_shard_process(
+                    "north", cache_dir=scratch / "north"
+                ) as north:
+                    grown = coordinator.add_shard("north", north.address)
+                    print(
+                        f"shard 'north' joined warm: "
+                        f"{grown['cache_entries_shipped']} cache entries "
+                        f"shipped over the wire before it took traffic"
+                    )
+                    assert (
+                        coordinator.evaluate_many(variants_, "acme") == want
+                    )
+    print("the CI distributed-smoke job replays this with loadgen traffic")
     print()
 
 

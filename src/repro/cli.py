@@ -42,7 +42,17 @@ Commands
     remap when the ring rescales.  With ``--serve``: start a live
     :class:`~repro.service.RouterServer` whose tenants are attached
     over the wire (``attach_tenant``), each serving its own database
-    over one shared namespaced reduction cache.
+    over one shared namespaced reduction cache.  With
+    ``--remote-shards a=host:p1,b=host:p2``: coordinator mode — the
+    shards are standalone ``repro shard`` processes dialed over the
+    wire, health-checked (``--health-interval``) and failed over.
+
+``shard --name a --listen 127.0.0.1:0 --workers 2 [--cache-dir DIR]``
+    One standalone shard node process: a single-node router serving the
+    full wire protocol (tenants attach over the wire; a coordinator
+    warms its cache content-addressed).  Prints
+    ``listening on HOST:PORT`` once bound — the line
+    :func:`~repro.service.spawn_shard_process` parses.
 """
 
 from __future__ import annotations
@@ -230,6 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
             "with one, for driving a router-tier server"
         ),
     )
+    p_load.add_argument(
+        "--direct", action="store_true",
+        help=(
+            "learn the coordinator's ring and dial the owning shard "
+            "directly for evaluate/count traffic (falls back to the "
+            "coordinator on remaps and failures)"
+        ),
+    )
 
     p_route = sub.add_parser(
         "route", help="sharded router tier: placement report or live server"
@@ -295,6 +313,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_route.add_argument(
         "--deadline-ms", type=float, default=30_000.0,
         help="default per-request deadline for --serve",
+    )
+    p_route.add_argument(
+        "--remote-shards", default=None, metavar="NAME=HOST:PORT,...",
+        help=(
+            "coordinator mode for --serve: dial these standalone "
+            "`repro shard` processes instead of spawning in-process "
+            "worker pools"
+        ),
+    )
+    p_route.add_argument(
+        "--health-interval", type=float, default=None, metavar="SECONDS",
+        help=(
+            "ping remote shards this often and fail their in-flight "
+            "work over to survivors when one stops answering"
+        ),
+    )
+
+    p_shard = sub.add_parser(
+        "shard", help="run one standalone shard node process"
+    )
+    p_shard.add_argument(
+        "--name", required=True, help="this node's shard name"
+    )
+    p_shard.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="HOST:PORT",
+        help="bind address (port 0 binds an ephemeral port, printed)",
+    )
+    p_shard.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per attached tenant on this node",
+    )
+    p_shard.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "this node's own reduction cache directory (a coordinator "
+            "warms it content-addressed over the wire)"
+        ),
+    )
+    p_shard.add_argument(
+        "--max-inflight", type=int, default=64,
+        help="admission-control bound",
+    )
+    p_shard.add_argument(
+        "--deadline-ms", type=float, default=300_000.0,
+        help=(
+            "default per-request deadline (generous: a coordinator "
+            "ships whole database snapshots through attach/reload)"
+        ),
+    )
+    p_shard.add_argument(
+        "--max-line-bytes", type=int, default=64 << 20,
+        help=(
+            "largest accepted request frame (generous by default: "
+            "attach/reload snapshots and shipped cache entries arrive "
+            "as single JSON lines)"
+        ),
     )
     return parser
 
@@ -551,6 +625,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
                 concurrency=args.concurrency,
                 rate=args.rate,
                 connections=args.connections,
+                direct=args.direct,
             )
         )
     except ConnectionRefusedError:
@@ -638,17 +713,51 @@ def cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_remote_shards(text: str) -> dict[str, tuple[str, int]]:
+    """``NAME=HOST:PORT,...`` → ``{name: (host, port)}``."""
+    remote: dict[str, tuple[str, int]] = {}
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, address = item.partition("=")
+        host, _, port = address.rpartition(":")
+        if not name or not host or not port.isdigit():
+            raise ValueError(
+                f"--remote-shards entries must be NAME=HOST:PORT, got {item!r}"
+            )
+        if name in remote:
+            raise ValueError(f"--remote-shards names {name!r} twice")
+        remote[name] = (host, int(port))
+    if not remote:
+        raise ValueError("--remote-shards must name at least one shard")
+    return remote
+
+
 def _route_serve(
     args: argparse.Namespace, names: list[str], queries
 ) -> int:
-    from .service import RouterServer, ShardRouter
+    from .service import RouterServer, ShardRouter, ShardUnreachable
 
-    router = ShardRouter(
-        shards=names,
-        cache_dir=args.cache_dir,
-        workers_per_shard=args.workers_per_shard,
-        replicas=args.replicas,
-    )
+    remote = None
+    if args.remote_shards is not None:
+        try:
+            remote = _parse_remote_shards(args.remote_shards)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        router = ShardRouter(
+            shards=names,
+            cache_dir=args.cache_dir,
+            workers_per_shard=args.workers_per_shard,
+            replicas=args.replicas,
+            remote_shards=remote,
+            health_interval=args.health_interval,
+        )
+    except ShardUnreachable as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     server = RouterServer(
         router,
         host=args.host,
@@ -660,10 +769,12 @@ def _route_serve(
     async def serve() -> None:
         host, port = await server.start()
         placement = {q.name: router.shard_for(q) for q in queries}
+        shard_names = router.shard_names
+        tier = "coordinator for" if remote is not None else "router"
         print(
-            f"repro.service router listening on {host}:{port} "
-            f"({len(names)} shards, {args.workers_per_shard} workers per "
-            f"pool, cache_dir = {args.cache_dir}); attach tenants with "
+            f"repro.service {tier} listening on {host}:{port} "
+            f"({len(shard_names)} shards, {args.workers_per_shard} workers "
+            f"per pool, cache_dir = {args.cache_dir}); attach tenants with "
             f"the attach_tenant verb; placement: {json.dumps(placement)}",
             flush=True,
         )
@@ -682,6 +793,58 @@ def _route_serve(
     return 0
 
 
+def cmd_shard(args: argparse.Namespace) -> int:
+    from .service import RouterServer, ShardRouter
+
+    host, _, port_text = args.listen.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(
+            f"error: --listen must be HOST:PORT, got {args.listen!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    # one shard node = a single-node router: same wire protocol, same
+    # tenancy/reload semantics, internal shard name "local" (the
+    # coordinator's ring names live one level up)
+    router = ShardRouter(
+        shards=("local",),
+        cache_dir=args.cache_dir,
+        workers_per_shard=args.workers,
+    )
+    server = RouterServer(
+        router,
+        host=host,
+        port=int(port_text),
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+        max_line_bytes=args.max_line_bytes,
+    )
+
+    async def serve() -> None:
+        bound_host, bound_port = await server.start()
+        # keep this line stable: spawn_shard_process parses it to learn
+        # the ephemeral port
+        print(
+            f"repro.service shard {args.name} listening on "
+            f"{bound_host}:{bound_port} ({args.workers} workers, "
+            f"cache_dir = {args.cache_dir})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        router.close()
+        print(f"shard {args.name} closed", flush=True)
+    return 0
+
+
 COMMANDS = {
     "analyze": cmd_analyze,
     "evaluate": cmd_evaluate,
@@ -690,6 +853,7 @@ COMMANDS = {
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
     "route": cmd_route,
+    "shard": cmd_shard,
 }
 
 

@@ -253,6 +253,12 @@ class ReductionCache:
     #: marker directory or forge another tenant's.
     NAMESPACE_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 
+    #: Entry keys are SHA-256 hex digests (see :func:`reduction_key`).
+    #: Everything arriving over the wire (``cache_push``) is validated
+    #: against this before being used as a path component, so a remote
+    #: peer can never write outside the cache directory.
+    ENTRY_KEY_PATTERN = re.compile(r"^[0-9a-f]{64}$")
+
     def __init__(
         self,
         directory: str | os.PathLike,
@@ -415,6 +421,74 @@ class ReductionCache:
         self._tracked_bytes = total  # resync the running estimate
         self.pruned += removed
         return removed
+
+    # ------------------------------------------------------------------
+    # wire shipping (content-addressed warm-up of remote cache dirs)
+    # ------------------------------------------------------------------
+
+    def entry_keys(self) -> list[str]:
+        """Every entry key currently on disk, sorted — the donor side of
+        the ``cache_keys`` verb."""
+        return sorted(
+            path.stem
+            for path in self.directory.glob("*/*.pkl")
+            if self.ENTRY_KEY_PATTERN.match(path.stem)
+        )
+
+    def export_entry(self, key: str) -> bytes | None:
+        """The raw on-disk envelope bytes for ``key`` (the unit
+        ``cache_fetch`` ships), or ``None`` if the entry is missing or
+        the key is malformed.  The bytes are the pickled envelope —
+        already framed with its own payload SHA-256 — so the receiver
+        verifies integrity twice: once on the wire frame, once when the
+        entry is eventually loaded."""
+        if not self.ENTRY_KEY_PATTERN.match(key):
+            return None
+        try:
+            return self._path(key).read_bytes()
+        except OSError:
+            return None
+
+    def import_entry(self, key: str, raw: bytes) -> bool:
+        """Install one shipped entry under ``key`` (the ``cache_push``
+        receiver).  The key must be a well-formed entry key (path-
+        traversal defense) and ``raw`` must be a valid current-version
+        envelope whose payload matches its integrity digest — anything
+        else is rejected with ``False`` and never touches the
+        directory.  Returns ``True`` once the entry is present."""
+        if not self.ENTRY_KEY_PATTERN.match(key):
+            return False
+        try:
+            envelope = pickle.loads(raw)
+        except Exception:
+            return False
+        if (
+            not isinstance(envelope, dict)
+            or envelope.get("version") != FORMAT_VERSION
+            or not isinstance(envelope.get("payload"), bytes)
+            or envelope.get("sha256")
+            != hashlib.sha256(envelope["payload"]).hexdigest()
+        ):
+            return False
+        path = self._path(key)
+        if path.exists():
+            self._mark(key)
+            return True  # content-addressed: an existing entry is equal
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(raw)
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - concurrent cleaner
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            return False
+        self.stores += 1
+        self._mark(key)
+        return True
 
     # ------------------------------------------------------------------
     # namespaces (multi-tenant accounting over the shared store)

@@ -30,13 +30,28 @@ the first consumer that turns that substrate into a *service*:
   replicate through each tenant's delta log, and served databases
   hot-reload via snapshot + delta replay without dropping in-flight
   requests.  :class:`RouterServer` speaks the wire protocol extended
-  with the router admin verbs.
+  with the router admin verbs;
+* :mod:`repro.service.remote` — remote shard nodes (PR 7): each shard a
+  standalone ``repro shard --listen`` OS process speaking the same
+  protocol, dialed by a coordinator :class:`ShardRouter` through
+  :class:`RemoteShardNode`/:class:`RemoteShardPool`.  Dead shards are
+  health-checked out of the ring and their in-flight work resubmitted
+  to survivors (exactly-once futures, the pool's crash contract across
+  machine boundaries); a joining node's per-node cache is warmed by
+  shipping content-addressed entries over the wire; routing clients
+  learn the ring and dial shards directly.
 
-``repro serve``, ``repro route`` and ``repro loadgen`` expose the
-server, the router tier and the load harness on the command line.
+``repro serve``, ``repro route``, ``repro shard`` and ``repro loadgen``
+expose the server, the router tier, a standalone shard node and the
+load harness on the command line.
 """
 
-from .client import AsyncServiceClient, ServiceClient, ServiceError
+from .client import (
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceError,
+    StaleConnection,
+)
 from .loadgen import LoadReport, generate_requests, run_load
 from .pool import PoolClosed, WorkerCrash, WorkerPool
 from .protocol import (
@@ -44,14 +59,25 @@ from .protocol import (
     ERROR_DEADLINE,
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
+    ERROR_SHARD_UNREACHABLE,
     ERROR_SHUTTING_DOWN,
+    decode_cache_entry,
     decode_database,
     decode_tuple,
+    encode_cache_entry,
     encode_database,
     encode_tuple,
     error_response,
     ok_response,
     query_text,
+)
+from .remote import (
+    RemoteShardNode,
+    RemoteShardPool,
+    ShardConnection,
+    ShardProcess,
+    ShardUnreachable,
+    spawn_shard_process,
 )
 from .ring import HashRing, stable_digest
 from .router import RouterClosed, ShardRouter, UnknownTenant
@@ -61,6 +87,7 @@ __all__ = [
     "AsyncServiceClient",
     "ServiceClient",
     "ServiceError",
+    "StaleConnection",
     "LoadReport",
     "generate_requests",
     "run_load",
@@ -71,14 +98,23 @@ __all__ = [
     "ERROR_DEADLINE",
     "ERROR_INTERNAL",
     "ERROR_OVERLOADED",
+    "ERROR_SHARD_UNREACHABLE",
     "ERROR_SHUTTING_DOWN",
+    "decode_cache_entry",
     "decode_database",
     "decode_tuple",
+    "encode_cache_entry",
     "encode_database",
     "encode_tuple",
     "error_response",
     "ok_response",
     "query_text",
+    "RemoteShardNode",
+    "RemoteShardPool",
+    "ShardConnection",
+    "ShardProcess",
+    "ShardUnreachable",
+    "spawn_shard_process",
     "HashRing",
     "stable_digest",
     "RouterClosed",

@@ -5,6 +5,15 @@ at a time — for scripts, tests and the CLI.  :class:`AsyncServiceClient`
 is the asyncio client the load generator uses; it pipelines: many
 requests may be in flight on one connection, matched back to their
 futures by request ``id``.
+
+Both clients can do **client-side routing** against a coordinator whose
+``ring`` verb advertises shard addresses (:meth:`learn_ring`): the
+owning shard of an ``evaluate``/``count`` request is computed locally
+from the same consistent-hash placement the coordinator uses, the shard
+is dialed directly (skipping the router hop), and any shard failure
+falls back to the router and re-learns the ring — correctness never
+depends on the client's ring view being current, because every shard
+serves every tenant.
 """
 
 from __future__ import annotations
@@ -16,7 +25,12 @@ from typing import Any, Sequence
 
 from . import protocol
 
-__all__ = ["AsyncServiceClient", "ServiceClient", "ServiceError"]
+__all__ = [
+    "AsyncServiceClient",
+    "ServiceClient",
+    "ServiceError",
+    "StaleConnection",
+]
 
 
 class ServiceError(RuntimeError):
@@ -29,10 +43,46 @@ class ServiceError(RuntimeError):
         self.details = error
 
 
+class StaleConnection(ConnectionError):
+    """The blocking client's connection can no longer be trusted.
+
+    After a ``socket.timeout`` mid-``readline`` the server's (late)
+    response is still in flight: reusing the socket would read it as
+    the answer to the *next* request, silently desynchronizing the
+    framing.  The client therefore marks itself broken and raises this
+    typed error on any further use — open a new client instead."""
+
+
+#: Error codes that mean "this shard cannot serve you, the router can":
+#: the direct-routing path falls back to the coordinator on these.
+_FALLBACK_CODES = (
+    protocol.ERROR_SHUTTING_DOWN,
+    protocol.ERROR_SHARD_UNREACHABLE,
+)
+
+
 def _unwrap(response: dict) -> Any:
     if response.get("ok"):
         return response["result"]
     raise ServiceError(response.get("error") or {"code": "internal"})
+
+
+def _canonical_key(query: str, cache: dict[str, Any]) -> Any | None:
+    """The canonical-form key of ``query`` text (memoized), or ``None``
+    when the text does not parse — then the router answers (typed) and
+    no direct dial is attempted."""
+    if query in cache:
+        return cache[query]
+    try:
+        from ..core.session import canonical_form
+        from ..queries.parser import parse_query
+
+        key = canonical_form(parse_query(query)).key
+    except Exception:
+        key = None
+    if len(cache) < 4096:  # bounded memo; loadgen reuses few variants
+        cache[query] = key
+    return key
 
 
 class ServiceClient:
@@ -50,14 +100,31 @@ class ServiceClient:
         timeout: float | None = 60.0,
         tenant: str | None = None,
     ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
         self.tenant = tenant
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._file = self._sock.makefile("rwb")
         self._ids = itertools.count(1)
+        self._broken: str | None = None
+        # client-side routing state (populated by learn_ring)
+        self._ring = None
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._shard_clients: dict[str, "ServiceClient"] = {}
+        self._key_cache: dict[str, Any] = {}
 
     def close(self) -> None:
+        for client in self._shard_clients.values():
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - teardown best-effort
+                pass
+        self._shard_clients.clear()
         try:
             self._file.close()
+        except OSError:  # a timed-out socket may fail its flush-on-close
+            pass
         finally:
             self._sock.close()
 
@@ -70,22 +137,130 @@ class ServiceClient:
     # ------------------------------------------------------------------
 
     def request(self, op: str, **fields: Any) -> dict:
-        """Send one request, return the raw response dict."""
+        """Send one request, return the raw response dict.
+
+        A ``socket.timeout`` mid-read leaves the late response in
+        flight — the connection's framing can never be trusted again,
+        so the client marks itself broken and every later call raises
+        :class:`StaleConnection` instead of silently returning the
+        previous request's answer."""
+        if self._broken is not None:
+            raise StaleConnection(self._broken)
         if self.tenant is not None:
             fields.setdefault("tenant", self.tenant)
         message = {"id": next(self._ids), "op": op, **fields}
-        self._file.write(protocol.dump_line(message))
-        self._file.flush()
-        line = self._file.readline()
+        try:
+            self._file.write(protocol.dump_line(message))
+            self._file.flush()
+            line = self._file.readline()
+        except TimeoutError:
+            self._broken = (
+                f"request {message['id']} timed out mid-response; the "
+                f"late reply would desynchronize the framing — open a "
+                f"new client"
+            )
+            raise
+        except OSError:
+            self._broken = "the connection failed mid-request"
+            raise
         if not line:
+            self._broken = "server closed the connection"
             raise ConnectionError("server closed the connection")
         return protocol.parse_line(line)
 
     def evaluate(self, query: str, **fields: Any) -> bool:
-        return bool(_unwrap(self.request("evaluate", query=query, **fields)))
+        return bool(_unwrap(self._routed("evaluate", query=query, **fields)))
 
     def count(self, query: str, **fields: Any) -> int:
-        return int(_unwrap(self.request("count", query=query, **fields)))
+        return int(_unwrap(self._routed("count", query=query, **fields)))
+
+    # ------------------------------------------------------------------
+    # client-side routing
+    # ------------------------------------------------------------------
+
+    def learn_ring(self) -> dict:
+        """Fetch the coordinator's ring topology and — when it
+        advertises shard addresses — enable direct dialing: later
+        ``evaluate``/``count`` calls go straight to the owning shard,
+        falling back to the router on any shard failure."""
+        info = _unwrap(self.request("ring"))
+        self._learn(info)
+        return info
+
+    def _learn(self, info: dict) -> None:
+        from .ring import HashRing
+
+        addresses = info.get("addresses") or {}
+        if addresses:
+            self._ring = HashRing.from_describe(info)
+            self._addresses = {
+                name: (str(host), int(port))
+                for name, (host, port) in addresses.items()
+            }
+        else:
+            self._ring = None
+            self._addresses = {}
+
+    def _direct_target(self, query: str) -> tuple[str, "ServiceClient"] | None:
+        if self._ring is None:
+            return None
+        key = _canonical_key(query, self._key_cache)
+        if key is None:
+            return None
+        shard = self._ring.node_for(key)
+        address = self._addresses.get(shard)
+        if address is None:
+            return None
+        client = self._shard_clients.get(shard)
+        if client is None:
+            try:
+                client = ServiceClient(
+                    address[0],
+                    address[1],
+                    timeout=self.timeout,
+                    tenant=self.tenant,
+                )
+            except OSError:
+                return None
+            self._shard_clients[shard] = client
+        return shard, client
+
+    def _drop_direct(self, shard: str) -> None:
+        client = self._shard_clients.pop(shard, None)
+        if client is not None:
+            try:
+                client.close()
+            except OSError:  # pragma: no cover - teardown best-effort
+                pass
+
+    def _relearn(self) -> None:
+        try:
+            self.learn_ring()
+        except (OSError, ServiceError):  # pragma: no cover - router gone too
+            self._ring = None
+            self._addresses = {}
+
+    def _routed(self, op: str, **fields: Any) -> dict:
+        """Issue ``op`` to the owning shard directly when the ring is
+        known, falling back to the router (and re-learning the ring) on
+        connection failure or a typed can't-serve response."""
+        query = fields.get("query")
+        if isinstance(query, str):
+            target = self._direct_target(query)
+            if target is not None:
+                shard, client = target
+                try:
+                    response = client.request(op, **fields)
+                except (ConnectionError, OSError):
+                    self._drop_direct(shard)
+                    self._relearn()
+                else:
+                    code = (response.get("error") or {}).get("code")
+                    if code not in _FALLBACK_CODES:
+                        return response
+                    self._drop_direct(shard)
+                    self._relearn()
+        return self.request(op, **fields)
 
     def evaluate_many(
         self, queries: Sequence[str], **fields: Any
@@ -175,6 +350,11 @@ class AsyncServiceClient:
         self._writer: asyncio.StreamWriter | None = None
         self._pending: dict[Any, asyncio.Future] = {}
         self._read_task: asyncio.Task | None = None
+        # client-side routing state (populated by learn_ring)
+        self._ring = None
+        self._addresses: dict[str, tuple[str, int]] = {}
+        self._shard_clients: dict[str, "AsyncServiceClient"] = {}
+        self._key_cache: dict[str, Any] = {}
 
     async def connect(self) -> "AsyncServiceClient":
         self._reader, self._writer = await asyncio.open_connection(
@@ -184,6 +364,9 @@ class AsyncServiceClient:
         return self
 
     async def close(self) -> None:
+        for client in list(self._shard_clients.values()):
+            await client.close()
+        self._shard_clients.clear()
         if self._read_task is not None:
             self._read_task.cancel()
             try:
@@ -196,16 +379,19 @@ class AsyncServiceClient:
                 await self._writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
-        for future in self._pending.values():
-            if not future.done():
-                future.set_exception(ConnectionError("client closed"))
-        self._pending.clear()
+        self._fail_pending(ConnectionError("client closed"))
 
     async def __aenter__(self) -> "AsyncServiceClient":
         return await self.connect()
 
     async def __aexit__(self, *exc) -> None:
         await self.close()
+
+    def _fail_pending(self, error: BaseException) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(error)
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
@@ -215,24 +401,27 @@ class AsyncServiceClient:
                 if not line:
                     break
                 response = protocol.parse_line(line)
-                future = self._pending.pop(response.get("id"), None)
+                response_id = response.get("id")
+                if response_id is None:
+                    # the server answers unparseable or oversized
+                    # requests with ``id: null`` (and, for an oversized
+                    # line, drops the connection): the error cannot be
+                    # matched to one request, so *every* pending future
+                    # must fail — otherwise a pipelined caller hangs
+                    # forever on a future nothing will ever resolve
+                    error = response.get("error") or {"code": "internal"}
+                    self._fail_pending(ServiceError(error))
+                    continue
+                future = self._pending.pop(response_id, None)
                 if future is not None and not future.done():
                     future.set_result(response)
         except asyncio.CancelledError:
             raise
         except Exception as error:  # pragma: no cover - connection teardown
-            for future in self._pending.values():
-                if not future.done():
-                    future.set_exception(error)
-            self._pending.clear()
+            self._fail_pending(error)
             return
         # EOF: fail whatever is still pending
-        for future in self._pending.values():
-            if not future.done():
-                future.set_exception(
-                    ConnectionError("server closed the connection")
-                )
-        self._pending.clear()
+        self._fail_pending(ConnectionError("server closed the connection"))
 
     async def request(self, op: str, **fields: Any) -> dict:
         """Send one request; awaitable response dict (out-of-order
@@ -243,17 +432,122 @@ class AsyncServiceClient:
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(
-            protocol.dump_line({"id": request_id, "op": op, **fields})
-        )
-        await self._writer.drain()
+        try:
+            self._writer.write(
+                protocol.dump_line({"id": request_id, "op": op, **fields})
+            )
+            await self._writer.drain()
+        except BaseException:
+            # the request never reached the wire: unregister the future
+            # so it cannot leak in _pending un-failed (nothing would
+            # ever resolve it), and surface the send failure instead
+            leaked = self._pending.pop(request_id, None)
+            if leaked is not None and not leaked.done():
+                leaked.cancel()
+            raise
         return await future
 
     async def evaluate(self, query: str, **fields: Any) -> bool:
-        return bool(_unwrap(await self.request("evaluate", query=query, **fields)))
+        return bool(
+            _unwrap(await self._routed("evaluate", query=query, **fields))
+        )
 
     async def count(self, query: str, **fields: Any) -> int:
-        return int(_unwrap(await self.request("count", query=query, **fields)))
+        return int(_unwrap(await self._routed("count", query=query, **fields)))
+
+    # ------------------------------------------------------------------
+    # client-side routing
+    # ------------------------------------------------------------------
+
+    async def learn_ring(self) -> dict:
+        """Fetch the coordinator's ring topology and — when it
+        advertises shard addresses — enable direct dialing (see
+        :meth:`ServiceClient.learn_ring`)."""
+        info = _unwrap(await self.request("ring"))
+        self._learn(info)
+        return info
+
+    def _learn(self, info: dict) -> None:
+        from .ring import HashRing
+
+        addresses = info.get("addresses") or {}
+        if addresses:
+            self._ring = HashRing.from_describe(info)
+            self._addresses = {
+                name: (str(host), int(port))
+                for name, (host, port) in addresses.items()
+            }
+        else:
+            self._ring = None
+            self._addresses = {}
+
+    async def _direct_target(
+        self, query: str
+    ) -> tuple[str, "AsyncServiceClient"] | None:
+        if self._ring is None:
+            return None
+        key = _canonical_key(query, self._key_cache)
+        if key is None:
+            return None
+        shard = self._ring.node_for(key)
+        address = self._addresses.get(shard)
+        if address is None:
+            return None
+        client = self._shard_clients.get(shard)
+        if client is None:
+            client = AsyncServiceClient(
+                address[0],
+                address[1],
+                max_line_bytes=self.max_line_bytes,
+                tenant=self.tenant,
+            )
+            try:
+                await client.connect()
+            except OSError:
+                return None
+            self._shard_clients[shard] = client
+        return shard, client
+
+    async def _drop_direct(self, shard: str) -> None:
+        client = self._shard_clients.pop(shard, None)
+        if client is not None:
+            await client.close()
+
+    async def _relearn(self) -> None:
+        try:
+            await self.learn_ring()
+        except (OSError, ServiceError):  # pragma: no cover - router gone
+            self._ring = None
+            self._addresses = {}
+
+    async def _routed(self, op: str, **fields: Any) -> dict:
+        query = fields.get("query")
+        if isinstance(query, str):
+            target = await self._direct_target(query)
+            if target is not None:
+                shard, client = target
+                try:
+                    response = await client.request(op, **fields)
+                except (ConnectionError, OSError):
+                    await self._drop_direct(shard)
+                    await self._relearn()
+                else:
+                    code = (response.get("error") or {}).get("code")
+                    if code not in _FALLBACK_CODES:
+                        return response
+                    await self._drop_direct(shard)
+                    await self._relearn()
+        return await self.request(op, **fields)
+
+    async def route_request(self, request: dict) -> dict:
+        """Issue one wire-shaped request (as the load generator builds
+        them), direct-dialing the owning shard for ``evaluate``/
+        ``count`` when the ring is known."""
+        fields = {k: v for k, v in request.items() if k != "op"}
+        op = request.get("op")
+        if op in ("evaluate", "count"):
+            return await self._routed(op, **fields)
+        return await self.request(op, **fields)
 
     async def evaluate_many(
         self, queries: Sequence[str], **fields: Any

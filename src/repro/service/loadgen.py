@@ -29,7 +29,7 @@ from typing import Any, Sequence
 from ..queries.query import Query
 from ..workloads.generators import random_interval
 from ..workloads.query_generator import isomorphic_variants
-from .client import AsyncServiceClient
+from .client import AsyncServiceClient, ServiceError
 from .protocol import encode_tuple, query_text
 
 __all__ = ["LoadReport", "generate_requests", "run_load"]
@@ -216,12 +216,22 @@ class LoadReport:
 # ----------------------------------------------------------------------
 
 
+async def _learn_ring(client: AsyncServiceClient) -> None:
+    """Best-effort: enable client-side direct shard routing.  A target
+    that is not a coordinator (or advertises no addresses) just leaves
+    the client routing everything through the server it dialed."""
+    try:
+        await client.learn_ring()
+    except (ServiceError, ConnectionError, OSError):
+        pass
+
+
 async def _issue(
     client: AsyncServiceClient, request: dict, report: LoadReport
 ) -> None:
     start = time.perf_counter()
     try:
-        response = await client.request(**request)
+        response = await client.route_request(request)
     except (ConnectionError, OSError):
         report.record(
             request.get("op", "?"), time.perf_counter() - start, "connection"
@@ -233,7 +243,11 @@ async def _issue(
 
 
 async def _run_closed(
-    host: str, port: int, requests: Sequence[dict], concurrency: int
+    host: str,
+    port: int,
+    requests: Sequence[dict],
+    concurrency: int,
+    direct: bool = False,
 ) -> LoadReport:
     report = LoadReport(mode="closed")
     queue: asyncio.Queue = asyncio.Queue()
@@ -242,6 +256,8 @@ async def _run_closed(
 
     async def user() -> None:
         async with AsyncServiceClient(host, port) as client:
+            if direct:
+                await _learn_ring(client)
             while True:
                 try:
                     request = queue.get_nowait()
@@ -261,6 +277,7 @@ async def _run_open(
     requests: Sequence[dict],
     rate: float,
     connections: int,
+    direct: bool = False,
 ) -> LoadReport:
     report = LoadReport(mode="open", offered_rate=rate)
     clients: list[AsyncServiceClient] = []
@@ -268,7 +285,10 @@ async def _run_open(
         for _ in range(max(connections, 1)):
             # inside the try: a mid-list connect failure must still
             # close the clients (and read loops) already opened
-            clients.append(await AsyncServiceClient(host, port).connect())
+            client = await AsyncServiceClient(host, port).connect()
+            clients.append(client)
+            if direct:
+                await _learn_ring(client)
         interval = 1.0 / rate if rate > 0 else 0.0
         tasks: list[asyncio.Task] = []
         start = time.perf_counter()
@@ -297,13 +317,17 @@ async def run_load(
     concurrency: int = 8,
     rate: float = 100.0,
     connections: int = 8,
+    direct: bool = False,
 ) -> LoadReport:
     """Drive ``requests`` at the server and return a
     :class:`LoadReport`.  ``mode='closed'`` uses ``concurrency`` virtual
     users; ``mode='open'`` fires at ``rate`` requests/second over
-    ``connections`` pipelined connections."""
+    ``connections`` pipelined connections.  ``direct`` makes each
+    client learn the coordinator's ring and dial the owning shard
+    directly for evaluate/count traffic, falling back to the
+    coordinator on remaps and failures."""
     if mode == "closed":
-        return await _run_closed(host, port, requests, concurrency)
+        return await _run_closed(host, port, requests, concurrency, direct)
     if mode == "open":
-        return await _run_open(host, port, requests, rate, connections)
+        return await _run_open(host, port, requests, rate, connections, direct)
     raise ValueError(f"unknown mode {mode!r}")

@@ -26,6 +26,11 @@ failure.  Error codes are *typed* so clients can react mechanically:
     unparsable JSON, unknown op, or malformed fields.  Never retry.
 ``shutting_down``
     the server is draining; reconnect elsewhere.
+``shard_unreachable``
+    a remote shard node could not be reached (dial failure, connection
+    loss mid-request, failed health check) and no surviving shard could
+    take the work.  Retryable: the coordinator evicts dead shards from
+    the ring, so a later attempt routes to a survivor.
 ``internal``
     the worker raised; ``error.message`` carries the repr.
 
@@ -37,6 +42,8 @@ and plain JSON scalars pass through unchanged.
 
 from __future__ import annotations
 
+import base64
+import hashlib
 import json
 from typing import Any, Sequence
 
@@ -47,6 +54,7 @@ ERROR_OVERLOADED = "overloaded"
 ERROR_DEADLINE = "deadline_exceeded"
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_SHUTTING_DOWN = "shutting_down"
+ERROR_SHARD_UNREACHABLE = "shard_unreachable"
 ERROR_INTERNAL = "internal"
 
 #: Ops the single-pool server understands; anything else is a
@@ -67,7 +75,15 @@ ROUTER_ADMIN_OPS = (
     "ring_add",
     "ring_remove",
 )
-ROUTER_OPS = OPS + ROUTER_ADMIN_OPS
+
+#: Cache-shipping verbs for remote shard nodes: a coordinator warms a
+#: joining node's per-node cache directory by listing a healthy donor's
+#: entries (``cache_keys``), fetching them content-addressed
+#: (``cache_fetch`` returns the raw envelope bytes next to their
+#: SHA-256) and pushing them to the newcomer (``cache_push``,
+#: integrity-verified on receipt).
+CACHE_OPS = ("cache_keys", "cache_fetch", "cache_push")
+ROUTER_OPS = OPS + ROUTER_ADMIN_OPS + CACHE_OPS
 
 #: Mutation kinds the service accepts — exactly the tuple-level logged
 #: mutations that delta maintenance can patch (whole-relation changes
@@ -202,6 +218,49 @@ def decode_delta(payload: Any) -> "Delta":
         payload["relation"],
         decode_tuple(payload["tuple"]),
     )
+
+
+def encode_cache_entry(key: str, raw: bytes) -> dict:
+    """One on-disk reduction-cache entry as a wire object: the entry
+    key, the raw envelope bytes (base64) and their SHA-256, so the
+    receiving node can verify integrity before touching its disk."""
+    if not isinstance(raw, bytes):
+        raise ProtocolError(f"cache entry payload must be bytes, got {raw!r}")
+    return {
+        "key": key,
+        "sha256": hashlib.sha256(raw).hexdigest(),
+        "data": base64.b64encode(raw).decode("ascii"),
+    }
+
+
+def decode_cache_entry(payload: Any) -> tuple[str, bytes]:
+    """Inverse of :func:`encode_cache_entry`: ``(key, raw bytes)``,
+    raising :class:`ProtocolError` on a malformed object or an
+    integrity-digest mismatch (a corrupted or tampered entry must never
+    reach the receiving cache directory)."""
+    if not isinstance(payload, dict) or not {
+        "key",
+        "sha256",
+        "data",
+    } <= set(payload):
+        raise ProtocolError(f"malformed cache entry payload {payload!r}")
+    key = payload["key"]
+    if not isinstance(key, str):
+        raise ProtocolError("cache entry key must be a string")
+    if not isinstance(payload["data"], str) or not isinstance(
+        payload["sha256"], str
+    ):
+        raise ProtocolError("cache entry data/sha256 must be strings")
+    try:
+        raw = base64.b64decode(payload["data"].encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as error:
+        raise ProtocolError(f"cache entry data is not base64: {error}") from error
+    if hashlib.sha256(raw).hexdigest() != payload["sha256"]:
+        raise ProtocolError(
+            f"cache entry {key!r} failed its integrity check "
+            f"(digest mismatch)"
+        )
+    return key, raw
 
 
 def query_text(query: Query) -> str:

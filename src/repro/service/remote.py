@@ -1,0 +1,598 @@
+"""Remote shard nodes: the router tier across machine boundaries.
+
+PR 6's :class:`~repro.service.router.ShardRouter` proved placement,
+tenancy, replication and hot-reload semantics over worker pools inside
+one process tree.  This module distributes it: a shard node is a
+standalone ``RouterServer``-speaking OS process (``repro shard
+--listen``), and the coordinator dials it over the existing JSON-lines
+protocol instead of owning its worker pools — the codec already ships
+databases and deltas, so attach/reload/mutate replication become wire
+calls.
+
+Three pieces:
+
+* :class:`ShardConnection` — one persistent, pipelined TCP connection
+  to a shard node.  Thread-safe: any thread issues requests; a daemon
+  reader thread matches responses back to their
+  :class:`concurrent.futures.Future`\\ s by id (the same contract
+  :class:`~repro.service.client.AsyncServiceClient` implements on
+  asyncio).  Connection loss fails every pending future with the typed
+  :class:`ShardUnreachable` and fires an ``on_down`` callback exactly
+  once — the coordinator's failover hook.
+
+* :class:`RemoteShardNode` — the coordinator-side handle for one shard
+  process: the connection plus admin wrappers (tenant attach/detach/
+  reload, and the content-addressed cache-shipping verbs
+  ``cache_keys``/``cache_fetch``/``cache_push`` that warm a joining
+  node's per-node cache directory over the wire).
+
+* :class:`RemoteShardPool` — the :class:`~repro.service.pool.WorkerPool`
+  surface over one (shard node, tenant) pair, so the router's routing,
+  mutation fan-out and stats paths work unchanged against remote
+  backends.  It carries the pool's **exactly-once future semantics**
+  across the wire: every submitted task is tracked in an outstanding
+  registry; the wire future's completion *pops* the entry and resolves
+  the outer future — unless the shard died, in which case the entry is
+  deliberately left for the router's failover sweep, which pops it and
+  resubmits the task to a surviving shard.  Pop-based mutual exclusion:
+  whoever pops the entry owns the resolve, so an answer is never lost
+  and never delivered twice.
+
+:func:`spawn_shard_process` is the test/CI helper that launches a real
+shard OS process (own cache directory, own interpreter) and parses its
+startup line for the bound address.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Callable, Sequence
+
+from ..queries.query import Query
+from . import protocol
+from .client import ServiceError
+from .pool import PoolClosed, _resolve
+
+__all__ = [
+    "RemoteShardNode",
+    "RemoteShardPool",
+    "ShardConnection",
+    "ShardProcess",
+    "ShardUnreachable",
+    "spawn_shard_process",
+]
+
+
+class ShardUnreachable(ConnectionError):
+    """A remote shard node cannot be reached: dial failure, connection
+    loss mid-request, or a failed health check.  The coordinator maps
+    this to the typed ``shard_unreachable`` wire error after failover
+    has been attempted."""
+
+
+# ----------------------------------------------------------------------
+# the pipelined connection
+# ----------------------------------------------------------------------
+
+
+class ShardConnection:
+    """One persistent, pipelined blocking-socket connection to a shard.
+
+    Many requests may be in flight at once; responses resolve their
+    futures out of order, matched by id.  ``on_down`` (if given) fires
+    exactly once, from the reader thread, when the connection is lost
+    for any reason other than a local :meth:`close` — after every
+    pending future has already been failed with
+    :class:`ShardUnreachable`, so the callback observes a settled
+    world."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        on_down: Callable[["ShardConnection"], None] | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self._on_down = on_down
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()        # pending map + down state
+        self._write_lock = threading.Lock()  # one frame at a time
+        self._pending: dict[int, Future] = {}
+        self._down: BaseException | None = None
+        self._closing = False
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as error:
+            raise ShardUnreachable(
+                f"cannot dial shard at {host}:{port}: {error}"
+            ) from error
+        self._sock.settimeout(None)
+        self._file = self._sock.makefile("rwb")
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-shard-reader-{host}:{port}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    @property
+    def is_down(self) -> bool:
+        return self._down is not None
+
+    def request_async(self, op: str, **fields: Any) -> Future:
+        """Send one request; a future resolving to the raw response
+        dict.  A send failure (or an already-down connection) resolves
+        the future with :class:`ShardUnreachable` instead of raising —
+        enqueue-only callers (the router under its lock) must never
+        block or throw on a dead wire."""
+        future: Future = Future()
+        with self._lock:
+            if self._down is not None:
+                future.set_exception(
+                    ShardUnreachable(
+                        f"shard {self.host}:{self.port} is down: {self._down}"
+                    )
+                )
+                return future
+            request_id = next(self._ids)
+            self._pending[request_id] = future
+        line = protocol.dump_line({"id": request_id, "op": op, **fields})
+        try:
+            with self._write_lock:
+                self._file.write(line)
+                self._file.flush()
+        except OSError as error:
+            with self._lock:
+                self._pending.pop(request_id, None)
+            self._lost(error)
+            _resolve(
+                future,
+                error=ShardUnreachable(
+                    f"shard {self.host}:{self.port} send failed: {error}"
+                ),
+            )
+        return future
+
+    def request(self, op: str, timeout: float | None = 60.0, **fields: Any):
+        """Blocking request; unwraps the response (raising
+        :class:`~repro.service.client.ServiceError` on a typed error
+        response, :class:`ShardUnreachable` on connection loss)."""
+        response = self.request_async(op, **fields).result(timeout)
+        if response.get("ok"):
+            return response["result"]
+        raise ServiceError(response.get("error") or {"code": "internal"})
+
+    def ping(self, timeout: float = 5.0) -> bool:
+        """One cheap round-trip (the ``ring`` verb); ``False`` on any
+        failure — the health checker's probe."""
+        try:
+            self.request("ring", timeout=timeout)
+            return True
+        except Exception:
+            return False
+
+    def _read_loop(self) -> None:
+        try:
+            while True:
+                line = self._file.readline()
+                if not line:
+                    raise ConnectionError("shard closed the connection")
+                response = protocol.parse_line(line)
+                response_id = response.get("id")
+                if response_id is None:
+                    # an id-less typed error means the shard could not
+                    # frame our request and will drop the connection;
+                    # nothing pending can be matched any more
+                    message = (response.get("error") or {}).get("message")
+                    raise ConnectionError(
+                        f"shard answered with an id-less error: {message}"
+                    )
+                with self._lock:
+                    future = self._pending.pop(response_id, None)
+                if future is not None:
+                    _resolve(future, response)
+        except Exception as error:
+            self._lost(error)
+
+    def _lost(self, error: BaseException) -> None:
+        """Mark the connection down exactly once: fail every pending
+        future, then fire ``on_down`` (unless this is a local close)."""
+        with self._lock:
+            if self._down is not None:
+                return
+            self._down = error
+            pending, self._pending = self._pending, {}
+            closing = self._closing
+        unreachable = ShardUnreachable(
+            f"shard {self.host}:{self.port} connection lost: {error}"
+        )
+        for future in pending.values():
+            _resolve(future, error=unreachable)
+        try:
+            # unblock a reader parked in readline() BEFORE touching the
+            # file object: its buffer lock is held for the whole blocking
+            # read, so file.close() would deadlock against it
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # already disconnected
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - teardown best-effort
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown best-effort
+            pass
+        if not closing and self._on_down is not None:
+            try:
+                self._on_down(self)
+            except Exception:  # pragma: no cover - callback must not kill reader
+                pass
+
+    def close(self) -> None:
+        with self._lock:
+            self._closing = True
+        self._lost(ConnectionError("connection closed locally"))
+        if threading.current_thread() is not self._reader:
+            self._reader.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# the coordinator-side node handle
+# ----------------------------------------------------------------------
+
+
+class RemoteShardNode:
+    """One remote shard process, as the coordinator sees it: a named
+    address, a pipelined connection, and the admin verbs."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        on_down: Callable[["RemoteShardNode"], None] | None = None,
+    ):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.connection = ShardConnection(
+            host,
+            port,
+            connect_timeout=connect_timeout,
+            on_down=(lambda _conn: on_down(self)) if on_down is not None else None,
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def request(self, op: str, timeout: float | None = 60.0, **fields: Any):
+        return self.connection.request(op, timeout=timeout, **fields)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    # -- tenant admin, fanned out by the coordinator -------------------
+
+    def attach_tenant(self, tenant: str, encoded_db: dict) -> dict:
+        return self.request(
+            "attach_tenant", tenant=tenant, database=encoded_db, timeout=300.0
+        )
+
+    def detach_tenant(self, tenant: str, purge: bool = True) -> dict:
+        return self.request(
+            "detach_tenant", tenant=tenant, purge=purge, timeout=300.0
+        )
+
+    def reload(self, tenant: str, encoded_db: dict) -> dict:
+        return self.request(
+            "reload", tenant=tenant, database=encoded_db, timeout=300.0
+        )
+
+    # -- content-addressed cache shipping ------------------------------
+
+    def cache_keys(self) -> list[str]:
+        return list(self.request("cache_keys"))
+
+    def cache_fetch(self, key: str) -> dict:
+        """The encoded cache entry for ``key`` — ready to forward to
+        :meth:`cache_push` on another node."""
+        return self.request("cache_fetch", key=key)
+
+    def cache_push(self, entry: dict) -> dict:
+        return self.request(
+            "cache_push",
+            key=entry["key"],
+            sha256=entry["sha256"],
+            data=entry["data"],
+        )
+
+
+# ----------------------------------------------------------------------
+# the WorkerPool-surface adapter
+# ----------------------------------------------------------------------
+
+
+class RemoteShardPool:
+    """The pool surface over one (remote shard node, tenant) pair.
+
+    Mirrors exactly the :class:`~repro.service.pool.WorkerPool` methods
+    the router calls — ``submit``/``mutate``/``stats_async``/``close``/
+    ``terminate`` — so the router's traffic paths are backend-agnostic.
+    Outstanding work lives in a registry keyed by entry id; see the
+    module docstring for the exactly-once pop protocol shared with the
+    router's failover sweep."""
+
+    def __init__(self, node: RemoteShardNode, tenant: str):
+        self.node = node
+        self.tenant = tenant
+        self._lock = threading.Lock()
+        self._entry_ids = itertools.count(1)
+        self._outstanding: dict[int, tuple[str, Query | None, Future]] = {}
+        self._closed = False
+        self._orphaned = False
+
+    def _register(self, op: str, query: Query | None, future: Future) -> int:
+        with self._lock:
+            if self._closed:
+                raise PoolClosed("remote shard pool is closed")
+            entry_id = next(self._entry_ids)
+            self._outstanding[entry_id] = (op, query, future)
+        return entry_id
+
+    def _finish(self, entry_id: int, wire: Future, reshape=None) -> None:
+        """Wire-future completion: pop-and-resolve, except on
+        :class:`ShardUnreachable` — then the entry is *left* for the
+        failover sweep, which owns resubmission."""
+        error = wire.exception()
+        if isinstance(error, ShardUnreachable):
+            with self._lock:
+                if not self._orphaned:
+                    return  # the router's failover sweep owns this entry
+                entry = self._outstanding.pop(entry_id, None)
+            if entry is not None:
+                _resolve(entry[2], error=error)
+            return
+        with self._lock:
+            entry = self._outstanding.pop(entry_id, None)
+        if entry is None:
+            return  # swept by failover; it owns the future now
+        _op, _query, outer = entry
+        if error is not None:  # pragma: no cover - non-wire failure
+            _resolve(outer, error=error)
+            return
+        response = wire.result()
+        if response.get("ok"):
+            value = response["result"]
+            _resolve(outer, reshape(value) if reshape is not None else value)
+        else:
+            _resolve(
+                outer,
+                error=ServiceError(response.get("error") or {"code": "internal"}),
+            )
+
+    def submit(self, op: str, query: Query, future: Future | None = None) -> Future:
+        """Submit one routed task.  ``future`` — used by the failover
+        sweep — resubmits an *existing* outer future instead of minting
+        a new one, preserving the original caller's handle across the
+        shard death."""
+        outer = future if future is not None else Future()
+        entry_id = self._register(op, query, outer)
+        wire = self.node.connection.request_async(
+            op, tenant=self.tenant, query=protocol.query_text(query)
+        )
+        wire.add_done_callback(lambda f: self._finish(entry_id, f))
+        return outer
+
+    def mutate(self, kind: str, relation: str, t: tuple) -> Future:
+        outer: Future = Future()
+        entry_id = self._register("mutate", None, outer)
+        wire = self.node.connection.request_async(
+            "mutate",
+            tenant=self.tenant,
+            kind=kind,
+            relation=relation,
+            tuple=protocol.encode_tuple(t),
+        )
+        wire.add_done_callback(lambda f: self._finish(entry_id, f))
+        return outer
+
+    def stats_async(self) -> Future:
+        outer: Future = Future()
+        entry_id = self._register("stats", None, outer)
+        wire = self.node.connection.request_async("stats")
+        wire.add_done_callback(
+            lambda f: self._finish(entry_id, f, reshape=self._reshape_stats)
+        )
+        return outer
+
+    def _reshape_stats(self, value: dict) -> dict:
+        """Project the node-wide stats payload down to this tenant's
+        slice, in the ``{"workers": [...], "aggregate": {...}}`` shape
+        the router's aggregation expects from a pool."""
+        workers: list[dict] = []
+        aggregate: dict[str, int] = {}
+        for shard_stats in (value.get("shards") or {}).values():
+            pool_stats = shard_stats.get(self.tenant) or {}
+            workers.extend(pool_stats.get("workers") or [])
+            for name, count in (pool_stats.get("aggregate") or {}).items():
+                aggregate[name] = aggregate.get(name, 0) + int(count)
+        return {"workers": workers, "aggregate": aggregate, "node": self.node.name}
+
+    def sweep(self) -> list[tuple[str, Query | None, Future]]:
+        """Take ownership of every outstanding entry (the shard died):
+        the caller — the router's failover path — resubmits query tasks
+        to survivors and resolves broadcast acks benignly.  After the
+        sweep, any late :meth:`_finish` finds its entry gone and backs
+        off, so each future still resolves exactly once."""
+        with self._lock:
+            entries = list(self._outstanding.values())
+            self._outstanding.clear()
+        return entries
+
+    def orphan(self) -> None:
+        """Declare that no failover sweep will ever visit this pool
+        again (its tenant was detached).  From now on a dead-wire
+        completion resolves its own future with
+        :class:`ShardUnreachable` instead of waiting for a sweep that
+        will never come; entries already stranded by a dead wire are
+        failed here."""
+        with self._lock:
+            self._orphaned = True
+            entries: list[tuple[str, Query | None, Future]] = []
+            if self.node.connection.is_down:
+                entries = list(self._outstanding.values())
+                self._outstanding.clear()
+        for _op, _query, future in entries:
+            _resolve(
+                future,
+                error=ShardUnreachable(
+                    f"shard {self.node.name} is down and tenant "
+                    f"{self.tenant!r} was detached"
+                ),
+            )
+
+    def close(self) -> dict:
+        with self._lock:
+            self._closed = True
+        return {"node": self.node.name, "tenant": self.tenant}
+
+    def terminate(self) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# spawning real shard OS processes (tests, CI, ops scripts)
+# ----------------------------------------------------------------------
+
+
+class ShardProcess:
+    """A shard node running as a child OS process."""
+
+    def __init__(
+        self,
+        process: subprocess.Popen,
+        name: str,
+        host: str,
+        port: int,
+        cache_dir: str | None = None,
+    ):
+        self.process = process
+        self.name = name
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    def pause(self) -> None:
+        """SIGSTOP the node: it stops answering but its connections
+        stay open, so work routed to it is pinned in flight — the
+        deterministic setup for a failover kill (POSIX only)."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGSTOP)
+
+    def kill(self) -> None:
+        """Hard-kill the shard process (the failover tests' hammer)."""
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.wait(timeout=30)
+
+    def stop(self) -> None:
+        """Graceful stop (SIGTERM), falling back to kill."""
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.kill()
+
+    def __enter__(self) -> "ShardProcess":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+_LISTENING = re.compile(r"listening on ([\w.\-]+):(\d+)")
+
+
+def spawn_shard_process(
+    name: str,
+    cache_dir: str | os.PathLike | None = None,
+    workers: int = 1,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    startup_timeout: float = 120.0,
+    extra_args: Sequence[str] = (),
+) -> ShardProcess:
+    """Launch ``repro shard`` as a child OS process and wait for its
+    ``listening on host:port`` startup line (``port=0`` binds an
+    ephemeral port; the parsed line carries the real one).  The child
+    inherits the environment, so a source checkout driven with
+    ``PYTHONPATH=src`` spawns shards that import the same tree."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "shard",
+        "--name",
+        name,
+        "--listen",
+        f"{host}:{port}",
+        "--workers",
+        str(workers),
+        *extra_args,
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", os.fspath(cache_dir)]
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + startup_timeout
+    collected: list[str] = []
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.wait(timeout=10)
+            raise RuntimeError(
+                f"shard {name!r} exited during startup "
+                f"(rc={process.returncode}):\n" + "".join(collected)
+            )
+        collected.append(line)
+        match = _LISTENING.search(line)
+        if match:
+            return ShardProcess(
+                process,
+                name,
+                match.group(1),
+                int(match.group(2)),
+                cache_dir=os.fspath(cache_dir) if cache_dir is not None else None,
+            )
+        if time.monotonic() > deadline:  # pragma: no cover - hung child
+            process.kill()
+            raise RuntimeError(
+                f"shard {name!r} did not report its address within "
+                f"{startup_timeout}s:\n" + "".join(collected)
+            )

@@ -138,3 +138,20 @@ class HashRing:
             "replicas": self.replicas,
             "points": len(self._points),
         }
+
+    @classmethod
+    def from_describe(cls, info: dict) -> "HashRing":
+        """Rebuild a ring from a :meth:`describe` payload (the client
+        side of the ``ring`` verb).  Placement is SHA-based and
+        deterministic, so the rebuilt ring places every key exactly as
+        the server's does — the invariant client-side routing rests
+        on."""
+        nodes = info.get("nodes")
+        if not isinstance(nodes, list) or not all(
+            isinstance(n, str) for n in nodes
+        ):
+            raise ValueError(f"malformed ring description {info!r}")
+        replicas = info.get("replicas", 128)
+        if not isinstance(replicas, int) or isinstance(replicas, bool):
+            raise ValueError(f"malformed ring replicas {replicas!r}")
+        return cls(nodes, replicas=replicas)

@@ -36,9 +36,24 @@ design extends the pool's single-node amortisation story to a fleet:
   the old pools are closed *gracefully* — their queues drain, so no
   in-flight request is dropped.
 
+* **Remote shards.**  With ``remote_shards`` the router becomes a
+  *coordinator*: each shard is a standalone ``repro shard --listen``
+  OS process (its own interpreter, workers and per-node cache
+  directory), dialed over the JSON-lines protocol through
+  :class:`~repro.service.remote.RemoteShardNode` instead of owning its
+  pools in-process.  The same codec that ships databases and deltas for
+  tenancy now *is* the replication transport; a health-check thread
+  pings every node and evicts the unreachable; in-flight work on a dead
+  shard is resubmitted to survivors reusing the original futures
+  (exactly-once, the pool's crash-resubmission contract carried across
+  machine boundaries); a joining node's cache is warmed by shipping a
+  donor's content-addressed entries over the wire, so it performs zero
+  forward reductions for already-reduced groups.
+
 Routing and pool mutation are enqueue-only and happen under one router
 lock; slow operations (process spawns in attach/reload/rescale, pool
-drains) happen outside it, so admin operations never stall traffic.
+drains, wire round-trips) happen outside it, so admin operations never
+stall traffic.
 """
 
 from __future__ import annotations
@@ -46,13 +61,16 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..core.reduction_cache import ReductionCache
 from ..core.session import canonical_form
 from ..engine.relation import Database
 from ..queries.query import Query
-from .pool import WorkerPool, _gather
+from . import protocol
+from .client import ServiceError
+from .pool import WorkerPool, _gather, _resolve
+from .remote import RemoteShardNode, RemoteShardPool, ShardUnreachable
 from .ring import HashRing
 
 __all__ = ["RouterClosed", "ShardRouter", "UnknownTenant"]
@@ -68,12 +86,15 @@ class UnknownTenant(KeyError):
 
 class _Tenant:
     """Parent-side state for one tenant: the master database (whose
-    change log is the replicated delta log) and its per-shard pools."""
+    change log is the replicated delta log) and its per-shard pools
+    (in-process :class:`~repro.service.pool.WorkerPool`\\ s, or
+    :class:`~repro.service.remote.RemoteShardPool`\\ s in remote
+    mode — same surface either way)."""
 
     def __init__(self, name: str, master: Database):
         self.name = name
         self.master = master
-        self.pools: dict[str, WorkerPool] = {}  # shard name -> pool
+        self.pools: dict[str, Any] = {}  # shard name -> pool
         self.reloads = 0
 
 
@@ -86,6 +107,15 @@ class ShardRouter:
     every tenant on every shard (content addressing keeps it correct;
     namespaces keep ownership accountable).  ``workers_per_shard``
     sizes each (shard, tenant) pool.
+
+    ``remote_shards`` — ``{name: (host, port)}`` — switches the router
+    into coordinator mode: the named addresses are dialed as standalone
+    shard node processes and ``shards``/``workers_per_shard`` no longer
+    spawn anything locally (each node sizes its own workers).  In this
+    mode ``cache_dir`` is the *coordinator's* directory (usually
+    ``None``: each node owns a per-node cache warmed over the wire) and
+    ``health_interval`` enables a background ping loop that evicts
+    unreachable nodes and fails their work over to survivors.
     """
 
     def __init__(
@@ -95,8 +125,16 @@ class ShardRouter:
         workers_per_shard: int = 1,
         replicas: int = 128,
         strategy: str = "reduction",
+        remote_shards: Mapping[str, tuple[str, int]] | None = None,
+        health_interval: float | None = None,
+        connect_timeout: float = 10.0,
         **pool_options: Any,
     ):
+        self.remote = remote_shards is not None
+        if self.remote:
+            if not remote_shards:
+                raise ValueError("need at least one remote shard")
+            shards = tuple(remote_shards)
         if not shards:
             raise ValueError("need at least one shard")
         if len(set(shards)) != len(shards):
@@ -107,6 +145,23 @@ class ShardRouter:
         self.workers_per_shard = workers_per_shard
         self.strategy = strategy
         self._pool_options = pool_options
+        self._connect_timeout = connect_timeout
+        self._nodes: dict[str, RemoteShardNode] = {}
+        if self.remote:
+            assert remote_shards is not None
+            try:
+                for name, (host, port) in remote_shards.items():
+                    self._nodes[name] = RemoteShardNode(
+                        name,
+                        str(host),
+                        int(port),
+                        connect_timeout=connect_timeout,
+                        on_down=self._node_down,
+                    )
+            except Exception:
+                for node in self._nodes.values():
+                    node.close()
+                raise
         self._ring = HashRing(shards, replicas=replicas)
         self._tenants: dict[str, _Tenant] = {}
         self._lock = threading.RLock()
@@ -116,6 +171,18 @@ class ShardRouter:
         self._admin = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-router-admin"
         )
+        self._health_stop = threading.Event()
+        self._health_thread: threading.Thread | None = None
+        if self.remote and health_interval is not None:
+            if health_interval <= 0:
+                raise ValueError("health_interval must be positive")
+            self._health_thread = threading.Thread(
+                target=self._health_loop,
+                args=(health_interval,),
+                name="repro-router-health",
+                daemon=True,
+            )
+            self._health_thread.start()
 
     # ------------------------------------------------------------------
     # introspection
@@ -137,13 +204,22 @@ class ShardRouter:
         return self._tenant(tenant).master
 
     def describe(self) -> dict:
-        """Ring topology plus tenant placement, JSON-safe."""
+        """Ring topology plus tenant placement, JSON-safe.  In remote
+        mode the ``addresses`` entry advertises each live node's
+        ``[host, port]`` — what a routing client dials directly."""
         with self._lock:
-            return {
+            info = {
                 **self._ring.describe(),
                 "tenants": sorted(self._tenants),
                 "workers_per_shard": self.workers_per_shard,
             }
+            if self.remote:
+                info["addresses"] = {
+                    name: [node.host, node.port]
+                    for name, node in self._nodes.items()
+                    if name in self._ring
+                }
+            return info
 
     def placement(self, keys: Iterable[object]) -> dict:
         """Shard for each canonical-form key — the tool behind the
@@ -167,6 +243,16 @@ class ShardRouter:
             raise UnknownTenant(tenant)
         return state
 
+    def _check_tenant(self, tenant: str, state: _Tenant) -> None:
+        """Caller holds the lock.  Re-validate that ``state`` is still
+        THE attached state for ``tenant``: it was looked up outside the
+        lock, and a concurrent ``detach_tenant`` may have popped it in
+        between — enqueueing into a zombie state's pools would answer
+        from (or mutate) a tenant the caller was told no longer
+        exists."""
+        if self._tenants.get(tenant) is not state:
+            raise UnknownTenant(tenant)
+
     def _build_pool(self, db: Database, tenant: str) -> WorkerPool:
         return WorkerPool(
             db,
@@ -179,9 +265,10 @@ class ShardRouter:
 
     def attach_tenant(self, tenant: str, db: Database) -> dict:
         """Attach ``tenant`` serving a snapshot of ``db``: one worker
-        pool per shard, all namespaced into the shared cache.  Blocks
-        until every pool is spawned; the tenant only becomes routable
-        once every shard can serve it."""
+        pool per shard (in remote mode, the snapshot is shipped to every
+        node over the wire), all namespaced into the shared cache.
+        Blocks until every shard can serve it; the tenant only becomes
+        routable once every shard can serve it."""
         if not ReductionCache.NAMESPACE_PATTERN.match(tenant):
             raise ValueError(f"invalid tenant name {tenant!r}")
         with self._lock:
@@ -190,21 +277,49 @@ class ShardRouter:
             if tenant in self._tenants:
                 raise ValueError(f"tenant {tenant!r} is already attached")
             shard_names = list(self._ring.nodes)
+            nodes = dict(self._nodes)
         state = _Tenant(tenant, db.clone())
-        try:
-            for name in shard_names:
-                state.pools[name] = self._build_pool(state.master.clone(), tenant)
-        except Exception:
-            for pool in state.pools.values():
-                pool.terminate()
-            raise
+        if self.remote:
+            encoded = protocol.encode_database(state.master)
+            attached: list[RemoteShardNode] = []
+            try:
+                for name in shard_names:
+                    node = nodes[name]
+                    node.attach_tenant(tenant, encoded)
+                    attached.append(node)
+                    state.pools[name] = RemoteShardPool(node, tenant)
+            except Exception:
+                for node in attached:
+                    try:
+                        node.detach_tenant(tenant)
+                    except (ShardUnreachable, ServiceError):
+                        pass
+                raise
+        else:
+            try:
+                for name in shard_names:
+                    state.pools[name] = self._build_pool(
+                        state.master.clone(), tenant
+                    )
+            except Exception:
+                for pool in state.pools.values():
+                    pool.terminate()
+                raise
         with self._lock:
             closed, duplicate = self._closed, tenant in self._tenants
             if not closed and not duplicate:
+                if self.remote:
+                    # a shard evicted while we were attaching must not
+                    # keep a pool: its broadcasts would strand futures
+                    # no failover sweep will ever visit
+                    state.pools = {
+                        name: pool
+                        for name, pool in state.pools.items()
+                        if name in self._nodes
+                    }
                 self._tenants[tenant] = state
         if closed or duplicate:
-            for pool in state.pools.values():
-                pool.terminate()
+            self._discard_pools(state, tenant)
             raise (
                 ValueError(f"tenant {tenant!r} is already attached")
                 if duplicate
@@ -217,19 +332,45 @@ class ShardRouter:
             "size": state.master.size,
         }
 
+    def _discard_pools(self, state: _Tenant, tenant: str) -> None:
+        """Tear down pools that never became routable (failed attach)."""
+        for name, pool in state.pools.items():
+            pool.terminate()
+            if self.remote:
+                pool.orphan()
+                node = self._nodes.get(name)
+                if node is not None:
+                    try:
+                        node.detach_tenant(tenant)
+                    except (ShardUnreachable, ServiceError):
+                        pass
+
     def detach_tenant(self, tenant: str, purge: bool = True) -> dict:
         """Detach ``tenant``: close its pools on every shard (draining
         queued work) and — with ``purge`` — evict exactly the cached
-        reductions no other tenant's namespace references."""
+        reductions no other tenant's namespace references (in remote
+        mode, on every node's own cache directory)."""
         with self._lock:
             state = self._tenants.pop(tenant, None)
+            nodes = dict(self._nodes)
         if state is None:
             raise UnknownTenant(tenant)
-        for pool in state.pools.values():
-            pool.close()
         purged = 0
+        for name, pool in state.pools.items():
+            pool.close()
+            if self.remote:
+                # no failover sweep will visit a detached tenant's
+                # pools: dead-wire completions must self-resolve
+                pool.orphan()
+                node = nodes.get(name)
+                if node is not None:
+                    try:
+                        report = node.detach_tenant(tenant, purge=purge)
+                        purged += int(report.get("purged", 0) or 0)
+                    except (ShardUnreachable, ServiceError):
+                        pass  # dead/dying node: nothing left to purge
         if purge and self.cache_dir is not None:
-            purged = ReductionCache(self.cache_dir).purge_namespace(tenant)
+            purged += ReductionCache(self.cache_dir).purge_namespace(tenant)
         return {"tenant": tenant, "shards": len(state.pools), "purged": purged}
 
     # ------------------------------------------------------------------
@@ -246,6 +387,9 @@ class ShardRouter:
         with self._lock:
             if self._closed:
                 raise RouterClosed("router is closed")
+            self._check_tenant(tenant, state)
+            if not len(self._ring):
+                raise ShardUnreachable("no shard nodes are reachable")
             pool = state.pools[self._ring.node_for(key)]
             return pool.submit(op, query)
 
@@ -270,6 +414,9 @@ class ShardRouter:
         with self._lock:
             if self._closed:
                 raise RouterClosed("router is closed")
+            self._check_tenant(tenant, state)
+            if not len(self._ring):
+                raise ShardUnreachable("no shard nodes are reachable")
             futures = [
                 state.pools[self._ring.node_for(key)].submit(
                     op, queries[indices[0]]
@@ -304,6 +451,7 @@ class ShardRouter:
         with self._lock:
             if self._closed:
                 raise RouterClosed("router is closed")
+            self._check_tenant(tenant, state)
             if kind == "insert":
                 delta = state.master.insert(relation, t)
             else:
@@ -333,15 +481,26 @@ class ShardRouter:
     # ring rescaling
     # ------------------------------------------------------------------
 
-    def add_shard(self, name: str) -> dict:
+    def add_shard(self, name: str, address: tuple[str, int] | None = None) -> dict:
         """Grow the ring by one node.  The new shard's pools are built
-        from clones of each tenant's master, caught up from the delta
-        log (mutations accepted during the build are replayed — replays
-        are idempotent, so overlap with the snapshot is harmless), and
-        only then does the node join the ring: a group is never routed
-        to a shard that cannot serve it.  Over the shared cache the new
-        shard warms content-addressed and performs zero forward
-        reductions for already-reduced groups."""
+        from clones of each tenant's master (in remote mode, ``address``
+        names the already-running shard process to dial; its per-node
+        cache is first warmed by shipping a donor's content-addressed
+        entries over the wire), caught up from the delta log (mutations
+        accepted during the build are replayed — replays are idempotent,
+        so overlap with the snapshot is harmless), and only then does
+        the node join the ring: a group is never routed to a shard that
+        cannot serve it.  Over the shared cache the new shard warms
+        content-addressed and performs zero forward reductions for
+        already-reduced groups."""
+        if self.remote:
+            if address is None:
+                raise ValueError(
+                    "a remote router needs the new shard's (host, port)"
+                )
+            return self._add_remote_shard(name, address)
+        if address is not None:
+            raise ValueError("local shards have no address")
         with self._lock:
             if self._closed:
                 raise RouterClosed("router is closed")
@@ -380,11 +539,97 @@ class ShardRouter:
                 pool.terminate()  # tenant detached mid-build
         return {"shard": name, "shards": shards, "tenants": sorted(snapshots)}
 
+    def _add_remote_shard(self, name: str, address: tuple[str, int]) -> dict:
+        host, port = address
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            if name in self._ring or name in self._nodes:
+                raise ValueError(f"shard {name!r} is already in the ring")
+            donors = list(self._nodes.values())
+            snapshots = {
+                tenant: (
+                    state,
+                    protocol.encode_database(state.master),
+                    state.master.version,
+                )
+                for tenant, state in self._tenants.items()
+            }
+        node = RemoteShardNode(
+            name,
+            str(host),
+            int(port),
+            connect_timeout=self._connect_timeout,
+            on_down=self._node_down,
+        )
+        try:
+            # warm the newcomer's cache BEFORE attaching tenants: its
+            # pools then build their sessions over a directory that
+            # already holds every donor reduction, so already-reduced
+            # groups cost zero forward reductions from the first query
+            shipped = self._warm_node_cache(node, donors)
+            for tenant, (_state, encoded, _v0) in snapshots.items():
+                node.attach_tenant(tenant, encoded)
+        except Exception:
+            node.close()
+            raise
+        with self._lock:
+            closed = self._closed
+            taken = name in self._ring or name in self._nodes
+            if not closed and not taken:
+                for tenant, (state, _encoded, v0) in snapshots.items():
+                    if self._tenants.get(tenant) is not state:
+                        continue  # detached while we were attaching
+                    pool = RemoteShardPool(node, tenant)
+                    for delta in self._replayable(state.master, v0):
+                        pool.mutate(delta.kind, delta.relation, delta.tuple)
+                    state.pools[name] = pool
+                self._nodes[name] = node
+                self._ring.add(name)
+                return {
+                    "shard": name,
+                    "shards": len(self._ring),
+                    "tenants": sorted(snapshots),
+                    "cache_entries_shipped": shipped,
+                }
+        node.close()
+        if closed:
+            raise RouterClosed("router is closed")
+        raise ValueError(f"shard {name!r} is already in the ring")
+
+    def _warm_node_cache(
+        self, node: RemoteShardNode, donors: Sequence[RemoteShardNode]
+    ) -> int:
+        """Ship every cache entry a donor holds and the newcomer lacks,
+        content-addressed and integrity-verified (``cache_keys`` →
+        ``cache_fetch`` → ``cache_push``).  Warming is an optimisation,
+        never a correctness requirement, so donor failures just move on
+        to the next donor."""
+        try:
+            have = set(node.cache_keys())
+        except (ShardUnreachable, ServiceError):
+            return 0  # node has no cache directory: nothing to warm
+        shipped = 0
+        for donor in donors:
+            try:
+                for key in donor.cache_keys():
+                    if key in have:
+                        continue
+                    node.cache_push(donor.cache_fetch(key))
+                    have.add(key)
+                    shipped += 1
+            except (ShardUnreachable, ServiceError):
+                continue  # this donor can't serve entries; try the next
+        return shipped
+
     def remove_shard(self, name: str) -> dict:
         """Shrink the ring by one node.  The node leaves the ring first
         — its ~1/N of the groups remap to survivors, every other group
-        keeps its placement — then its pools are closed *gracefully*:
-        queued tasks drain and answer, so no request is lost."""
+        keeps its placement — then its pools are closed.  Locally the
+        close is *graceful* (queued tasks drain and answer); a remote
+        node is decommissioned through the same eviction path a failed
+        health check uses, so its in-flight work is resubmitted to
+        survivors and still answers."""
         with self._lock:
             if self._closed:
                 raise RouterClosed("router is closed")
@@ -392,16 +637,132 @@ class ShardRouter:
                 raise ValueError(f"shard {name!r} is not in the ring")
             if len(self._ring) == 1:
                 raise ValueError("cannot remove the last shard")
-            self._ring.remove(name)
-            orphans = [
-                state.pools.pop(name)
-                for state in self._tenants.values()
-                if name in state.pools
-            ]
-            shards = len(self._ring)
+            if not self.remote:
+                self._ring.remove(name)
+                orphans = [
+                    state.pools.pop(name)
+                    for state in self._tenants.values()
+                    if name in state.pools
+                ]
+                shards = len(self._ring)
+        if self.remote:
+            report = self._shard_down(name)
+            return {
+                "shard": name,
+                "shards": report["shards"],
+                "tenants": report["tenants"],
+                "resubmitted": report["resubmitted"],
+            }
         for pool in orphans:
             pool.close()
         return {"shard": name, "shards": shards, "tenants": len(orphans)}
+
+    # ------------------------------------------------------------------
+    # remote failure handling
+    # ------------------------------------------------------------------
+
+    def _node_down(self, node: RemoteShardNode) -> None:
+        """Connection-loss callback, fired on a node's reader thread
+        after every pending wire future has been failed."""
+        try:
+            self._shard_down(node.name)
+        except Exception:  # pragma: no cover - eviction must not raise
+            pass
+
+    def _shard_down(self, name: str) -> dict:
+        """Evict a dead (or decommissioned) remote shard: drop it from
+        the ring and every tenant's pool map, sweep its in-flight work
+        and resubmit the routed tasks to surviving shards — *reusing
+        the original futures*, so a caller waiting on an answer still
+        gets exactly one, from a shard that converged on the same data.
+        Broadcast acks (mutate/stats) resolve benignly, as the pool's
+        crash path does.  Runs under the router lock, so no new work
+        can be routed to the node mid-eviction and a concurrent
+        :meth:`_submit` sees either the full fleet or the survivors."""
+        resubmitted = failed = 0
+        with self._lock:
+            if self._closed:
+                node = self._nodes.pop(name, None)
+                orphans: list[tuple[_Tenant, Any]] = []
+            else:
+                node = self._nodes.pop(name, None)
+                if node is None and name not in self._ring:
+                    return {
+                        "shard": name,
+                        "shards": len(self._ring),
+                        "tenants": 0,
+                        "resubmitted": 0,
+                        "failed": 0,
+                    }
+                if name in self._ring:
+                    self._ring.remove(name)
+                orphans = []
+                for state in self._tenants.values():
+                    pool = state.pools.pop(name, None)
+                    if pool is not None:
+                        orphans.append((state, pool))
+                for state, pool in orphans:
+                    entries = pool.sweep()
+                    pool.close()
+                    for op, query, future in entries:
+                        if (
+                            op in ("evaluate", "count")
+                            and query is not None
+                            and len(self._ring)
+                        ):
+                            target = state.pools.get(
+                                self._ring.node_for(canonical_form(query).key)
+                            )
+                            if target is not None:
+                                target.submit(op, query, future=future)
+                                resubmitted += 1
+                                continue
+                        if op == "mutate":
+                            # already applied to the master and every
+                            # survivor; the dead shard's ack is moot
+                            _resolve(future, None)
+                        elif op == "stats":
+                            _resolve(
+                                future,
+                                {"workers": [], "aggregate": {}, "node": name},
+                            )
+                        else:
+                            failed += 1
+                            _resolve(
+                                future,
+                                error=ShardUnreachable(
+                                    f"shard {name!r} died and no surviving "
+                                    f"shard can take the work"
+                                ),
+                            )
+            shards = len(self._ring)
+        if node is not None:
+            node.close()
+        return {
+            "shard": name,
+            "shards": shards,
+            "tenants": len(orphans),
+            "resubmitted": resubmitted,
+            "failed": failed,
+        }
+
+    def _health_loop(self, interval: float) -> None:
+        """Ping every node each ``interval`` seconds (the cheap ``ring``
+        verb); evict the ones that are down or silent.  Eviction is how
+        a *hung* (not crashed) node's in-flight work fails over: the
+        eviction closes the connection, which fails its wire futures,
+        whose entries the eviction already swept and resubmitted."""
+        timeout = min(interval, 5.0)
+        while not self._health_stop.wait(interval):
+            with self._lock:
+                nodes = list(self._nodes.values())
+            for node in nodes:
+                if self._health_stop.is_set():
+                    return
+                if node.connection.is_down or not node.connection.ping(
+                    timeout=timeout
+                ):
+                    self._node_down(node)
 
     # ------------------------------------------------------------------
     # hot-reload
@@ -424,7 +785,13 @@ class ShardRouter:
         onto the new master and pools; the swap is atomic under the
         router lock; the old pools close gracefully afterwards, so
         requests in flight at swap time still answer (from the old
-        data — the same answer they'd have gotten a moment earlier)."""
+        data — the same answer they'd have gotten a moment earlier).
+        In remote mode each node performs its own local swap and the
+        coordinator then replays its delta-log suffix to every pool —
+        replays are idempotent under set semantics, so the fleet
+        converges no matter how the swap interleaved with traffic."""
+        if self.remote:
+            return self._reload_remote(tenant, db)
         state = self._tenant(tenant)
         with self._lock:
             if self._closed:
@@ -469,6 +836,51 @@ class ShardRouter:
             "shards": len(new_pools),
         }
 
+    def _reload_remote(self, tenant: str, db: Database) -> dict:
+        state = self._tenant(tenant)
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            self._check_tenant(tenant, state)
+            v0 = state.master.version
+            nodes = [
+                self._nodes[name]
+                for name in state.pools
+                if name in self._nodes
+            ]
+        new_master = db.clone()
+        encoded = protocol.encode_database(new_master)
+        reloaded = 0
+        for node in nodes:
+            # fan out OUTSIDE the lock: each node swaps locally while
+            # the coordinator keeps routing (to old data — the same
+            # answers a moment earlier would have given)
+            try:
+                node.reload(tenant, encoded)
+                reloaded += 1
+            except ShardUnreachable:
+                continue  # the health check will evict it
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            self._check_tenant(tenant, state)
+            replayed = 0
+            for delta in self._replayable(state.master, v0):
+                new_master.apply_delta(delta)
+                for pool in state.pools.values():
+                    pool.mutate(delta.kind, delta.relation, delta.tuple)
+                replayed += 1
+            state.master = new_master
+            state.reloads += 1
+            shards = len(state.pools)
+        return {
+            "tenant": tenant,
+            "replayed": replayed,
+            "version": new_master.version,
+            "shards": shards,
+            "reloaded": reloaded,
+        }
+
     # ------------------------------------------------------------------
     # stats and lifecycle
     # ------------------------------------------------------------------
@@ -509,16 +921,40 @@ class ShardRouter:
         return self.stats_async().result()
 
     def close(self) -> dict:
-        """Close every pool gracefully and stop the admin executor."""
+        """Close every pool gracefully and stop the admin executor (in
+        remote mode: also the health thread and the node connections —
+        anything still in flight resolves, typed, rather than hanging)."""
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=10)
         with self._lock:
             if self._closed:
                 return {"tenants": {}}
             self._closed = True
             tenants = dict(self._tenants)
+            nodes = list(self._nodes.values())
+            self._nodes = {}
         reports = {
             tenant: {name: pool.close() for name, pool in state.pools.items()}
             for tenant, state in tenants.items()
         }
+        if self.remote:
+            for state in tenants.values():
+                for name, pool in state.pools.items():
+                    for op, _query, future in pool.sweep():
+                        if op == "mutate":
+                            _resolve(future, None)
+                        elif op == "stats":
+                            _resolve(
+                                future,
+                                {"workers": [], "aggregate": {}, "node": name},
+                            )
+                        else:
+                            _resolve(
+                                future, error=RouterClosed("router is closed")
+                            )
+            for node in nodes:
+                node.close()
         self._admin.shutdown(wait=True)
         return {"tenants": reports}
 

@@ -23,9 +23,12 @@ import asyncio
 from concurrent.futures import Future, InvalidStateError
 from typing import Any
 
+from ..core.reduction_cache import ReductionCache
 from ..intervals.interval import Interval
 from ..queries.parser import parse_query
+from .client import ServiceError
 from .pool import PoolClosed, WorkerCrash, WorkerPool
+from .remote import ShardUnreachable
 from .router import RouterClosed, ShardRouter, UnknownTenant
 from . import protocol
 from .protocol import (
@@ -33,6 +36,7 @@ from .protocol import (
     ERROR_DEADLINE,
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
+    ERROR_SHARD_UNREACHABLE,
     ERROR_SHUTTING_DOWN,
     ProtocolError,
     error_response,
@@ -281,6 +285,8 @@ class ServiceServer:
         op = request["op"]
         try:
             future = self._dispatch(op, request)
+        except ShardUnreachable as error:
+            return error_response(request_id, ERROR_SHARD_UNREACHABLE, str(error))
         except (ProtocolError, ValueError, KeyError, TypeError) as error:
             # TypeError included: malformed payload values surface as
             # one (e.g. an interval endpoint of null), and an unanswered
@@ -303,6 +309,18 @@ class ServiceServer:
                 request_id,
                 ERROR_DEADLINE,
                 "deadline elapsed before a worker answered",
+            )
+        except ShardUnreachable as error:
+            # failover already ran (the eviction resubmits what it can);
+            # this request's work could not reach any surviving shard
+            return error_response(request_id, ERROR_SHARD_UNREACHABLE, str(error))
+        except ServiceError as error:
+            # a remote shard node answered with a typed error: pass its
+            # code through instead of laundering it as `internal`
+            return error_response(
+                request_id,
+                error.code or ERROR_INTERNAL,
+                error.message or str(error),
             )
         except (WorkerCrash, PoolClosed, RouterClosed) as error:
             return error_response(request_id, ERROR_INTERNAL, str(error))
@@ -438,7 +456,23 @@ class RouterServer(ServiceServer):
             db = protocol.decode_database(_field(request, "database", dict))
             return router.admin(router.reload, tenant, db)
         if op == "ring_add":
-            return router.admin(router.add_shard, _field(request, "shard", str))
+            shard = _field(request, "shard", str)
+            address = request.get("address")
+            if address is None:
+                return router.admin(router.add_shard, shard)
+            if (
+                not isinstance(address, list)
+                or len(address) != 2
+                or not isinstance(address[0], str)
+                or not isinstance(address[1], int)
+                or isinstance(address[1], bool)
+            ):
+                raise ProtocolError(
+                    f"address must be [host, port], got {address!r}"
+                )
+            return router.admin(
+                router.add_shard, shard, (address[0], address[1])
+            )
         if op == "ring_remove":
             return router.admin(
                 router.remove_shard, _field(request, "shard", str)
@@ -447,7 +481,35 @@ class RouterServer(ServiceServer):
             done: Future = Future()
             done.set_result(router.describe())
             return done
+        if op == "cache_keys":
+            return router.admin(self._cache_keys)
+        if op == "cache_fetch":
+            return router.admin(self._cache_fetch, _field(request, "key", str))
+        if op == "cache_push":
+            # the request itself carries the encoded entry fields
+            # (key/sha256/data); decoding verifies the integrity digest
+            key, raw = protocol.decode_cache_entry(request)
+            return router.admin(self._cache_push, key, raw)
         raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    # -- cache shipping (runs on the admin executor: disk I/O) ---------
+
+    def _cache(self) -> ReductionCache:
+        if self.router.cache_dir is None:
+            raise ProtocolError("this node has no cache directory")
+        return ReductionCache(self.router.cache_dir)
+
+    def _cache_keys(self) -> list[str]:
+        return self._cache().entry_keys()
+
+    def _cache_fetch(self, key: str) -> dict:
+        raw = self._cache().export_entry(key)
+        if raw is None:
+            raise ValueError(f"no cache entry {key!r}")
+        return protocol.encode_cache_entry(key, raw)
+
+    def _cache_push(self, key: str, raw: bytes) -> dict:
+        return {"key": key, "stored": self._cache().import_entry(key, raw)}
 
     async def _execute(self, request_id: Any, request: dict) -> dict:
         response = await super()._execute(request_id, request)
@@ -459,7 +521,7 @@ class RouterServer(ServiceServer):
             if response["error"].get(
                 "code"
             ) == ERROR_INTERNAL and message.startswith(
-                ("UnknownTenant", "ValueError")
+                ("UnknownTenant", "ValueError", "ProtocolError")
             ):
                 self.counters["bad_requests"] += 1
                 response["error"]["code"] = ERROR_BAD_REQUEST

@@ -1,7 +1,7 @@
 """CI pipeline sanity: the workflow file must stay parseable and keep
 its jobs (tests / fuzz / lint / bench smoke / service smoke / router
-smoke / coverage gate / perf gate), and the packaging metadata must
-stay consistent with it."""
+smoke / distributed smoke / coverage gate / perf gate), and the
+packaging metadata must stay consistent with it."""
 
 import re
 from pathlib import Path
@@ -35,7 +35,7 @@ class TestWorkflow:
         jobs = workflow["jobs"]
         assert {
             "tests", "fuzz", "lint", "bench-smoke", "service-smoke",
-            "perf-gate", "router-smoke", "coverage",
+            "perf-gate", "router-smoke", "distributed-smoke", "coverage",
         } <= set(jobs)
 
     def test_tests_job_matrix_covers_310_to_313(self, workflow):
@@ -149,6 +149,28 @@ class TestWorkflow:
         assert uploads
         assert (
             "benchmarks/results/router_smoke.json"
+            in uploads[0]["with"]["path"]
+        )
+
+    def test_distributed_smoke_runs_remote_suite_and_uploads_report(
+        self, workflow
+    ):
+        """Satellite: the distributed-smoke job spawns real shard OS
+        processes with per-node cache directories, drives differential
+        loadgen traffic with a mid-run shard kill and a warm join (all
+        asserted inside tests/test_remote.py), and uploads the JSON
+        report."""
+        job = workflow["jobs"]["distributed-smoke"]
+        runs = " ".join(step.get("run", "") for step in job["steps"])
+        assert "tests/test_remote.py" in runs
+        uploads = [
+            step
+            for step in job["steps"]
+            if str(step.get("uses", "")).startswith("actions/upload-artifact@")
+        ]
+        assert uploads
+        assert (
+            "benchmarks/results/distributed_smoke.json"
             in uploads[0]["with"]["path"]
         )
 

@@ -181,3 +181,94 @@ class TestRoute:
         captured = capsys.readouterr()
         assert code == 2
         assert "tenants" in captured.err
+
+
+class TestRemoteShardArgs:
+    def test_parse_remote_shards_accepts_names_and_addresses(self):
+        from repro.cli import _parse_remote_shards
+
+        assert _parse_remote_shards(
+            " sA=127.0.0.1:7001 , sB=10.0.0.2:7002 "
+        ) == {"sA": ("127.0.0.1", 7001), "sB": ("10.0.0.2", 7002)}
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            " , ",
+            "sA127.0.0.1:7001",  # no '='
+            "sA=127.0.0.1",  # no port
+            "sA=127.0.0.1:http",  # non-numeric port
+            "sA=127.0.0.1:1,sA=127.0.0.1:2",  # duplicate name
+        ],
+    )
+    def test_parse_remote_shards_rejects_malformed(self, text):
+        from repro.cli import _parse_remote_shards
+
+        with pytest.raises(ValueError):
+            _parse_remote_shards(text)
+
+    def test_route_serve_with_bad_remote_spec_is_an_error(self, capsys):
+        code = main(
+            [
+                "route", TestRoute.TRIANGLE, "--serve", "--port", "0",
+                "--remote-shards", "not-a-spec",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "remote-shards" in captured.err
+
+    def test_route_serve_with_unreachable_shard_is_an_error(self, capsys):
+        import socket
+
+        with socket.create_server(("127.0.0.1", 0)) as listener:
+            port = listener.getsockname()[1]
+        code = main(
+            [
+                "route", TestRoute.TRIANGLE, "--serve", "--port", "0",
+                "--remote-shards", f"sA=127.0.0.1:{port}",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot dial" in captured.err
+
+
+class TestShardCommand:
+    def test_rejects_malformed_listen(self, capsys):
+        code = main(["shard", "--name", "s0", "--listen", "nope"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "HOST:PORT" in captured.err
+
+    def test_rejects_zero_workers(self, capsys):
+        code = main(
+            ["shard", "--name", "s0", "--listen", "127.0.0.1:0",
+             "--workers", "0"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "workers" in captured.err
+
+    def test_serves_and_prints_the_parseable_startup_line(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        # an instantly-returning serve_forever turns the command into a
+        # start/announce/close round-trip without blocking the test
+        from repro.service.server import RouterServer
+
+        async def instant(self):
+            return None
+
+        monkeypatch.setattr(RouterServer, "serve_forever", instant)
+        code = main(
+            [
+                "shard", "--name", "s9", "--listen", "127.0.0.1:0",
+                "--cache-dir", str(tmp_path / "cache"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "repro.service shard s9 listening on 127.0.0.1:" in captured.out
+        assert "shard s9 closed" in captured.out

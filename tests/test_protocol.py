@@ -22,16 +22,19 @@ from repro.queries import parse_query
 from repro.core.session import canonical_form
 from repro.service import protocol
 from repro.service.protocol import (
+    CACHE_OPS,
     MUTATION_KINDS,
     OPS,
     ROUTER_ADMIN_OPS,
     ROUTER_OPS,
     ProtocolError,
+    decode_cache_entry,
     decode_database,
     decode_delta,
     decode_tuple,
     decode_value,
     dump_line,
+    encode_cache_entry,
     encode_database,
     encode_delta,
     encode_tuple,
@@ -194,12 +197,52 @@ class TestDeltaCodec:
             decode_delta(bad)
 
 
+class TestCacheEntryCodec:
+    def test_round_trips_arbitrary_bytes(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            raw = rng.randbytes(rng.randrange(0, 4096))
+            key = "%064x" % rng.getrandbits(256)
+            payload = encode_cache_entry(key, raw)
+            assert json.loads(dump_line(payload)) == payload
+            assert decode_cache_entry(payload) == (key, raw)
+
+    def test_superset_payloads_decode(self):
+        # the wire request itself carries the entry fields, so id/op
+        # riding along must not break decoding
+        payload = encode_cache_entry("k", b"envelope")
+        payload.update({"id": 3, "op": "cache_push"})
+        assert decode_cache_entry(payload) == ("k", b"envelope")
+
+    def test_corruption_is_a_typed_error(self):
+        good = encode_cache_entry("k", b"some envelope bytes")
+        for breakage in (
+            {"data": good["data"][:-4] + "AAAA"},  # payload swapped
+            {"sha256": "0" * 64},  # digest mismatch
+            {"data": "!!! not base64 !!!"},
+            {"data": 7},
+            {"sha256": None},
+            {"key": 9},
+        ):
+            with pytest.raises(ProtocolError):
+                decode_cache_entry({**good, **breakage})
+        for malformed in (None, [], "x", {"key": "k"}, {}):
+            with pytest.raises(ProtocolError):
+                decode_cache_entry(malformed)
+        with pytest.raises(ProtocolError):
+            encode_cache_entry("k", "not bytes")
+
+
 class TestVerbsAndFraming:
     def test_router_verb_table_extends_the_pool_verbs(self):
         assert set(OPS) <= set(ROUTER_OPS)
-        assert set(ROUTER_ADMIN_OPS) == set(ROUTER_OPS) - set(OPS)
+        assert set(ROUTER_ADMIN_OPS) | set(CACHE_OPS) == set(ROUTER_OPS) - set(
+            OPS
+        )
         assert not set(ROUTER_ADMIN_OPS) & set(OPS)
+        assert not set(CACHE_OPS) & (set(OPS) | set(ROUTER_ADMIN_OPS))
         assert "attach_tenant" in ROUTER_ADMIN_OPS
+        assert set(CACHE_OPS) == {"cache_keys", "cache_fetch", "cache_push"}
         assert set(MUTATION_KINDS) == {"insert", "delete"}
 
     def test_query_text_round_trips_to_an_isomorphic_query(self):

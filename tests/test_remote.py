@@ -1,0 +1,1081 @@
+"""Remote shard nodes (:mod:`repro.service.remote`) and the
+distributed-path races the move across machine boundaries exposed.
+
+Layers under test:
+
+* the :class:`AsyncServiceClient` pending-future regressions — an
+  id-less error response must fail *every* pipelined caller (nothing
+  can ever be matched again), and a send failure must unregister the
+  future it minted (a leaked entry would hang its caller forever);
+* the blocking :class:`ServiceClient` timeout-desync regression — a
+  ``socket.timeout`` mid-readline leaves the late reply in the buffer,
+  so reusing the connection would return the *previous* request's
+  answer; the client must mark itself broken and raise the typed
+  :class:`StaleConnection` instead;
+* the :class:`ShardRouter` detach race — tenant state fetched outside
+  the lock must be re-validated under it, or a request races a
+  concurrent detach into a zombie tenant's pools;
+* :class:`ShardConnection` — pipelined out-of-order matching, typed
+  :class:`ShardUnreachable` on dial failure / connection loss / id-less
+  errors, and the exactly-once ``on_down`` contract;
+* :class:`RemoteShardPool` — the pop-based exactly-once protocol
+  between wire completion and the failover sweep, pinned with scripted
+  futures (no sockets);
+* client-side routing — a client learns the ring, dials the owning
+  shard directly, and falls back to the router on connection loss or a
+  typed can't-serve response;
+* the CI ``distributed-smoke`` — two real shard OS processes with
+  separate per-node cache directories behind an in-process
+  coordinator: differential wire traffic, a mid-run SIGSTOP+SIGKILL of
+  one shard with in-flight work (every future still answers, correctly,
+  exactly once), and a third shard joining *warm*: its cache is
+  populated purely by content-addressed entries shipped over the wire,
+  and serving the whole workload afterwards costs it **zero** forward
+  reductions.  The JSON report lands under ``benchmarks/results/``.
+"""
+
+import asyncio
+import contextlib
+import json
+import socket
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+
+import pytest
+
+from repro.core import naive_count, naive_evaluate
+from repro.core.reduction_cache import ReductionCache
+from repro.engine import Database
+from repro.intervals import Interval
+from repro.queries import parse_query
+from repro.service import (
+    AsyncServiceClient,
+    PoolClosed,
+    RemoteShardPool,
+    RouterServer,
+    ServiceClient,
+    ServiceError,
+    ShardConnection,
+    ShardRouter,
+    ShardUnreachable,
+    StaleConnection,
+    UnknownTenant,
+    generate_requests,
+    run_load,
+    spawn_shard_process,
+)
+from repro.service import protocol
+from repro.service.loadgen import LoadReport
+from repro.service.pool import _resolve
+from repro.service.protocol import decode_tuple, query_text
+from repro.workloads import isomorphic_variants, random_database
+
+TRIANGLE = "R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])"
+PATH2 = "U([A],[B]) ∧ V([B],[C])"
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "benchmarks" / "results"
+
+
+def small_db(n: int = 14, seed: int = 11) -> Database:
+    q1, q2 = parse_query(TRIANGLE), parse_query(PATH2)
+    db = random_database(q1, n, seed=seed)
+    for relation in random_database(q2, n, seed=seed + 1):
+        db.add(relation)
+    return db
+
+
+# ----------------------------------------------------------------------
+# scripted wire peers (no worker pools: connection semantics in isolation)
+# ----------------------------------------------------------------------
+
+
+class StubServer:
+    """A threaded JSON-lines server: every connection is answered by
+    ``respond(request) -> response dict | None`` (``None`` drops the
+    connection).  :meth:`close` also severs live connections, so
+    clients observe a real peer death."""
+
+    def __init__(self, respond):
+        self.respond = respond
+        self.listener = socket.create_server(("127.0.0.1", 0))
+        self.host, self.port = self.listener.getsockname()
+        self._conns: list[socket.socket] = []
+        self._lock = threading.Lock()
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self):
+        while True:
+            try:
+                conn, _ = self.listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                self._conns.append(conn)
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn):
+        try:
+            with conn, conn.makefile("rwb") as file:
+                while True:
+                    line = file.readline()
+                    if not line:
+                        return
+                    response = self.respond(protocol.parse_line(line))
+                    if response is None:
+                        return
+                    file.write(protocol.dump_line(response))
+                    file.flush()
+        except (OSError, ValueError):
+            pass
+
+    def close(self):
+        self.listener.close()
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+
+
+@contextlib.contextmanager
+def scripted_peer(handler):
+    """One-connection scripted peer: ``handler(file)`` runs the whole
+    conversation, then the connection drops."""
+    listener = socket.create_server(("127.0.0.1", 0))
+    host, port = listener.getsockname()
+
+    def serve():
+        try:
+            conn, _ = listener.accept()
+            with conn, conn.makefile("rwb") as file:
+                handler(file)
+        except OSError:
+            pass
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    try:
+        yield host, port
+    finally:
+        listener.close()
+        thread.join(timeout=5)
+
+
+def free_port() -> int:
+    """A port that was just free (and is closed again): dial-failure
+    tests' target."""
+    with socket.create_server(("127.0.0.1", 0)) as listener:
+        return listener.getsockname()[1]
+
+
+# ----------------------------------------------------------------------
+# satellite regressions: the async client's pending-future bookkeeping
+# ----------------------------------------------------------------------
+
+
+class TestAsyncClientPendingRegressions:
+    def test_idless_error_fails_every_pipelined_caller(self):
+        """An ``id: null`` error cannot be matched to one request, so
+        every pending future must fail — before the fix both callers
+        hung forever on futures nothing would ever resolve."""
+
+        async def scenario():
+            async def handle(reader, writer):
+                for _ in range(2):
+                    await reader.readline()
+                writer.write(
+                    protocol.dump_line(
+                        protocol.error_response(
+                            None, "bad_request", "unframeable"
+                        )
+                    )
+                )
+                await writer.drain()
+                # keep the connection OPEN: the hang only reproduces
+                # when no EOF arrives to fail the pending futures
+                await asyncio.sleep(10)
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                async with AsyncServiceClient(host, port) as client:
+                    callers = [
+                        asyncio.ensure_future(client.request("stats"))
+                        for _ in range(2)
+                    ]
+                    results = await asyncio.wait_for(
+                        asyncio.gather(*callers, return_exceptions=True),
+                        timeout=10,
+                    )
+                    assert all(
+                        isinstance(r, ServiceError) for r in results
+                    ), results
+                    assert all(r.code == "bad_request" for r in results)
+                    assert client._pending == {}
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_oversized_request_gets_a_prompt_typed_failure(self):
+        """End-to-end against a real (tenant-less) router server with a
+        tiny line limit: the oversized request's own future must fail
+        promptly — typed, or via the dropped connection — not hang."""
+        router = ShardRouter(shards=("s0",), cache_dir=None)
+        server = RouterServer(router, max_line_bytes=2048)
+
+        async def scenario():
+            host, port = await server.start()
+            try:
+                async with AsyncServiceClient(host, port) as client:
+                    big = " ∧ ".join(["R([A],[B])"] * 400)
+                    with pytest.raises((ServiceError, ConnectionError)):
+                        await asyncio.wait_for(
+                            client.request(
+                                "evaluate", tenant="ghost", query=big
+                            ),
+                            timeout=10,
+                        )
+                    assert client._pending == {}
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            router.close()
+
+    def test_send_failure_unregisters_the_pending_future(self):
+        """A write/drain failure means the request never reached the
+        wire: its future must leave ``_pending`` (nothing will resolve
+        it) and the send error must surface — before the fix the entry
+        leaked and a later ``gather`` on it waited forever."""
+
+        async def scenario():
+            async def handle(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    request = protocol.parse_line(line)
+                    writer.write(
+                        protocol.dump_line(
+                            protocol.ok_response(request["id"], "pong")
+                        )
+                    )
+                    await writer.drain()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            try:
+                async with AsyncServiceClient(host, port) as client:
+                    real_drain = client._writer.drain
+
+                    async def bad_drain():
+                        raise OSError("send buffer gone")
+
+                    client._writer.drain = bad_drain
+                    with pytest.raises(OSError):
+                        await client.request("stats")
+                    assert client._pending == {}
+                    # the transport itself is intact: later requests
+                    # (with the real drain) still work
+                    client._writer.drain = real_drain
+                    response = await client.request("stats")
+                    assert response["result"] == "pong"
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# satellite regression: blocking-client timeout desync
+# ----------------------------------------------------------------------
+
+
+class TestStaleConnectionRegression:
+    def test_timeout_mid_readline_breaks_the_client(self):
+        """After a timeout mid-response the late reply sits in the
+        socket buffer; before the fix the next request consumed it and
+        returned the *previous* request's answer.  Now every later call
+        raises the typed :class:`StaleConnection`."""
+        release = threading.Event()
+
+        def handler(file):
+            request = protocol.parse_line(file.readline())
+            release.wait(10)  # answer only after the client gave up
+            file.write(
+                protocol.dump_line(protocol.ok_response(request["id"], "late"))
+            )
+            file.flush()
+            file.readline()  # hold the connection open
+
+        with scripted_peer(handler) as (host, port):
+            client = ServiceClient(host, port, timeout=0.3)
+            with pytest.raises(TimeoutError):
+                client.request("stats")
+            release.set()
+            time.sleep(0.2)  # let the late reply land in the buffer
+            with pytest.raises(StaleConnection):
+                client.request("ring")
+            with pytest.raises(StaleConnection):
+                client.evaluate("R([A],[B])")
+            client.close()
+
+    def test_server_eof_breaks_the_client(self):
+        def handler(file):
+            file.readline()  # read the request, answer nothing, drop
+
+        with scripted_peer(handler) as (host, port):
+            client = ServiceClient(host, port, timeout=5)
+            with pytest.raises(ConnectionError):
+                client.request("stats")
+            with pytest.raises(StaleConnection):
+                client.request("stats")
+            client.close()
+
+
+# ----------------------------------------------------------------------
+# satellite regression: the router's detach race
+# ----------------------------------------------------------------------
+
+
+class TestDetachRaceRegression:
+    def test_stale_tenant_state_is_revalidated_under_the_lock(
+        self, tmp_path, monkeypatch
+    ):
+        """Pin the interleaving: tenant state looked up *before* a
+        concurrent detach, used *after*.  The fix re-validates identity
+        under the lock and raises :class:`UnknownTenant` instead of
+        enqueueing into (or mutating) a zombie tenant's pools."""
+        db = small_db(8, seed=3)
+        q = parse_query(TRIANGLE)
+        t = (Interval(1.0, 2.0), Interval(3.0, 4.0))
+        with ShardRouter(
+            shards=("s0",), cache_dir=tmp_path, workers_per_shard=1
+        ) as router:
+            router.attach_tenant("acme", db)
+            stale = router._tenant("acme")
+            router.detach_tenant("acme")
+            monkeypatch.setattr(router, "_tenant", lambda name: stale)
+            with pytest.raises(UnknownTenant):
+                router.evaluate("acme", q)
+            with pytest.raises(UnknownTenant):
+                router.submit_many([q], "acme")
+            with pytest.raises(UnknownTenant):
+                router.mutate("acme", "insert", "R", t)
+            # the stale master must not have absorbed the mutation
+            assert t not in stale.master["R"].tuples
+
+    def test_concurrent_detach_fuzz(self, tmp_path):
+        """Seeded concurrency: traffic races attach/detach cycles.
+        Every call either answers correctly or raises the typed
+        :class:`UnknownTenant` — never a zombie answer, a stray
+        ``PoolClosed``, or a hang."""
+        db = small_db(8, seed=3)
+        q = parse_query(TRIANGLE)
+        want = naive_evaluate(q, db)
+        variants = isomorphic_variants(q, 4, seed=1)
+        outcomes: list = []
+        stop = threading.Event()
+
+        with ShardRouter(
+            shards=("s0",), cache_dir=tmp_path, workers_per_shard=1
+        ) as router:
+
+            def traffic():
+                i = 0
+                while not stop.is_set():
+                    i += 1
+                    try:
+                        outcomes.append(
+                            router.evaluate(
+                                "acme", variants[i % len(variants)]
+                            ).result(60)
+                        )
+                    except UnknownTenant:
+                        outcomes.append("unknown")
+                    except Exception as error:  # anything else is the bug
+                        outcomes.append(repr(error))
+                        return
+
+            thread = threading.Thread(target=traffic, daemon=True)
+            thread.start()
+            try:
+                for _ in range(3):
+                    router.attach_tenant("acme", db)
+                    time.sleep(0.15)
+                    router.detach_tenant("acme")
+                    time.sleep(0.05)
+            finally:
+                stop.set()
+                thread.join(timeout=120)
+        assert not thread.is_alive()
+        assert set(outcomes) <= {want, "unknown"}, set(outcomes)
+        assert want in outcomes  # the traffic actually got answers
+
+
+# ----------------------------------------------------------------------
+# the pipelined shard connection
+# ----------------------------------------------------------------------
+
+
+class TestShardConnection:
+    def test_pipelined_responses_match_out_of_order(self):
+        def handler(file):
+            first = protocol.parse_line(file.readline())
+            second = protocol.parse_line(file.readline())
+            file.write(
+                protocol.dump_line(
+                    protocol.ok_response(second["id"], "second")
+                )
+            )
+            file.write(
+                protocol.dump_line(protocol.ok_response(first["id"], "first"))
+            )
+            file.flush()
+            file.readline()  # hold until the client closes
+
+        with scripted_peer(handler) as (host, port):
+            conn = ShardConnection(host, port)
+            a = conn.request_async("stats")
+            b = conn.request_async("stats")
+            assert b.result(10)["result"] == "second"
+            assert a.result(10)["result"] == "first"
+            conn.close()
+            assert conn.is_down
+
+    def test_connection_loss_fails_pending_and_fires_on_down_once(self):
+        def handler(file):
+            file.readline()  # swallow the request, then die
+
+        downs: list = []
+        with scripted_peer(handler) as (host, port):
+            conn = ShardConnection(host, port, on_down=downs.append)
+            future = conn.request_async("stats")
+            with pytest.raises(ShardUnreachable):
+                future.result(10)
+            deadline = time.monotonic() + 5
+            while not downs and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert downs == [conn]
+            # a dead wire resolves new work immediately, never raises
+            with pytest.raises(ShardUnreachable):
+                conn.request_async("stats").result(1)
+            assert conn.is_down and not conn.ping(timeout=1)
+            conn.close()
+            assert downs == [conn]  # close after loss fires nothing new
+
+    def test_idless_error_is_connection_loss(self):
+        def handler(file):
+            protocol.parse_line(file.readline())
+            file.write(
+                protocol.dump_line(
+                    protocol.error_response(None, "bad_request", "unframeable")
+                )
+            )
+            file.flush()
+
+        downs: list = []
+        with scripted_peer(handler) as (host, port):
+            conn = ShardConnection(host, port, on_down=downs.append)
+            with pytest.raises(ShardUnreachable):
+                conn.request_async("stats").result(10)
+            conn.close()
+        assert downs == [conn]
+
+    def test_dial_failure_is_typed(self):
+        with pytest.raises(ShardUnreachable):
+            ShardConnection("127.0.0.1", free_port(), connect_timeout=2)
+
+    def test_local_close_fires_no_on_down(self):
+        def handler(file):
+            file.readline()  # block until the peer closes
+
+        downs: list = []
+        with scripted_peer(handler) as (host, port):
+            conn = ShardConnection(host, port, on_down=downs.append)
+            conn.close()
+        assert downs == []
+
+    def test_blocking_request_unwraps_typed_errors(self):
+        def handler(file):
+            request = protocol.parse_line(file.readline())
+            file.write(
+                protocol.dump_line(
+                    protocol.error_response(
+                        request["id"], "deadline_exceeded", "too slow"
+                    )
+                )
+            )
+            file.flush()
+            request = protocol.parse_line(file.readline())
+            file.write(
+                protocol.dump_line(protocol.ok_response(request["id"], 5))
+            )
+            file.flush()
+            file.readline()
+
+        with scripted_peer(handler) as (host, port):
+            conn = ShardConnection(host, port)
+            with pytest.raises(ServiceError) as excinfo:
+                conn.request("stats")
+            assert excinfo.value.code == "deadline_exceeded"
+            assert conn.request("stats") == 5
+            conn.close()
+
+
+# ----------------------------------------------------------------------
+# the remote pool's exactly-once pop protocol (scripted futures)
+# ----------------------------------------------------------------------
+
+
+class FakeConnection:
+    def __init__(self):
+        self.wires: list[tuple[str, dict, Future]] = []
+        self.is_down = False
+
+    def request_async(self, op, **fields):
+        future: Future = Future()
+        self.wires.append((op, fields, future))
+        return future
+
+
+class FakeNode:
+    name = "s0"
+
+    def __init__(self):
+        self.connection = FakeConnection()
+
+
+class TestRemoteShardPoolExactlyOnce:
+    def setup_method(self):
+        self.node = FakeNode()
+        self.pool = RemoteShardPool(self.node, "acme")
+        self.query = parse_query(TRIANGLE)
+
+    def wire(self, index=-1) -> Future:
+        return self.node.connection.wires[index][2]
+
+    def test_ok_response_resolves_the_outer_future(self):
+        outer = self.pool.submit("evaluate", self.query)
+        op, fields, wire = self.node.connection.wires[-1]
+        assert op == "evaluate" and fields["tenant"] == "acme"
+        assert "query" in fields
+        wire.set_result(protocol.ok_response(1, True))
+        assert outer.result(1) is True
+        assert self.pool.sweep() == []  # popped: nothing outstanding
+
+    def test_typed_error_response_raises_service_error(self):
+        outer = self.pool.submit("evaluate", self.query)
+        self.wire().set_result(
+            protocol.error_response(1, "deadline_exceeded", "slow")
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            outer.result(1)
+        assert excinfo.value.code == "deadline_exceeded"
+
+    def test_dead_wire_leaves_the_entry_for_the_sweep(self):
+        outer = self.pool.submit("evaluate", self.query)
+        self.wire().set_exception(ShardUnreachable("shard died"))
+        assert not outer.done()  # deliberately NOT failed: the sweep owns it
+        entries = self.pool.sweep()
+        assert len(entries) == 1
+        op, query, future = entries[0]
+        assert (op, query, future) == ("evaluate", self.query, outer)
+
+    def test_late_wire_completion_after_sweep_backs_off(self):
+        outer = self.pool.submit("evaluate", self.query)
+        entries = self.pool.sweep()  # failover swept first
+        self.wire().set_result(protocol.ok_response(1, True))  # late answer
+        assert not outer.done()  # the sweeper owns the resolve now
+        _resolve(entries[0][2], False)  # ...and delivers exactly once
+        assert outer.result(1) is False
+
+    def test_resubmission_reuses_the_original_future(self):
+        outer = self.pool.submit("evaluate", self.query)
+        self.wire().set_exception(ShardUnreachable("shard died"))
+        (entry,) = self.pool.sweep()
+        survivor = RemoteShardPool(FakeNode(), "acme")
+        assert survivor.submit("evaluate", self.query, future=entry[2]) is outer
+        survivor.node.connection.wires[-1][2].set_result(
+            protocol.ok_response(1, False)
+        )
+        assert outer.result(1) is False
+
+    def test_orphaned_pool_self_resolves_dead_wires(self):
+        self.pool.orphan()
+        outer = self.pool.submit("evaluate", self.query)
+        self.wire().set_exception(ShardUnreachable("shard died"))
+        with pytest.raises(ShardUnreachable):
+            outer.result(1)
+        assert self.pool.sweep() == []
+
+    def test_orphan_fails_entries_already_stranded_by_a_dead_wire(self):
+        outer = self.pool.submit("evaluate", self.query)
+        self.wire().set_exception(ShardUnreachable("shard died"))
+        assert not outer.done()
+        self.node.connection.is_down = True
+        self.pool.orphan()
+        with pytest.raises(ShardUnreachable):
+            outer.result(1)
+
+    def test_closed_pool_rejects_new_work(self):
+        assert self.pool.close() == {"node": "s0", "tenant": "acme"}
+        with pytest.raises(PoolClosed):
+            self.pool.submit("evaluate", self.query)
+
+    def test_mutate_wire_shape_and_ack(self):
+        t = (Interval(1.0, 2.0), Interval(3.0, 4.0))
+        outer = self.pool.mutate("insert", "R", t)
+        op, fields, wire = self.node.connection.wires[-1]
+        assert op == "mutate" and fields["kind"] == "insert"
+        assert fields["relation"] == "R"
+        assert decode_tuple(fields["tuple"]) == t
+        wire.set_result(protocol.ok_response(1, {"applied": True}))
+        assert outer.result(1) == {"applied": True}
+
+    def test_stats_reshape_projects_this_tenants_slice(self):
+        outer = self.pool.stats_async()
+        payload = {
+            "ring": {"nodes": ["local"]},
+            "shards": {
+                "local": {
+                    "acme": {
+                        "workers": [{"worker": 0}],
+                        "aggregate": {"reductions": 3, "persistent_hits": 2},
+                    },
+                    "other": {
+                        "workers": [{"worker": 1}],
+                        "aggregate": {"reductions": 99},
+                    },
+                }
+            },
+        }
+        self.wire().set_result(protocol.ok_response(1, payload))
+        assert outer.result(1) == {
+            "workers": [{"worker": 0}],
+            "aggregate": {"reductions": 3, "persistent_hits": 2},
+            "node": "s0",
+        }
+
+
+# ----------------------------------------------------------------------
+# client-side routing: direct dial, fallback on loss and on remap
+# ----------------------------------------------------------------------
+
+
+def ring_info(shard_host, shard_port):
+    return {
+        "nodes": ["s0"],
+        "replicas": 8,
+        "addresses": {"s0": [shard_host, shard_port]},
+    }
+
+
+class TestClientDirectRouting:
+    def test_direct_dial_then_fallback_on_connection_loss(self):
+        shard_calls: list[str] = []
+
+        def shard_respond(request):
+            shard_calls.append(request["op"])
+            return protocol.ok_response(request["id"], 7)
+
+        shard = StubServer(shard_respond)
+
+        def router_respond(request):
+            if request["op"] == "ring":
+                return protocol.ok_response(
+                    request["id"], ring_info(shard.host, shard.port)
+                )
+            return protocol.ok_response(request["id"], 1)
+
+        router = StubServer(router_respond)
+        try:
+            with ServiceClient(router.host, router.port, timeout=5) as client:
+                info = client.learn_ring()
+                assert info["addresses"] == {"s0": [shard.host, shard.port]}
+                assert client.count(TRIANGLE) == 7  # the shard answered
+                assert shard_calls == ["count"]
+                shard.close()  # the shard dies under the client
+                assert client.count(TRIANGLE) == 1  # fallback: the router
+        finally:
+            router.close()
+            shard.close()
+
+    def test_typed_cant_serve_response_falls_back(self):
+        def shard_respond(request):
+            return protocol.error_response(
+                request["id"], "shard_unreachable", "remapped elsewhere"
+            )
+
+        shard = StubServer(shard_respond)
+
+        def router_respond(request):
+            if request["op"] == "ring":
+                return protocol.ok_response(
+                    request["id"], ring_info(shard.host, shard.port)
+                )
+            return protocol.ok_response(request["id"], 3)
+
+        router = StubServer(router_respond)
+        try:
+            with ServiceClient(router.host, router.port, timeout=5) as client:
+                client.learn_ring()
+                assert client.count(TRIANGLE) == 3
+        finally:
+            router.close()
+            shard.close()
+
+    def test_other_typed_errors_are_not_retried(self):
+        def shard_respond(request):
+            return protocol.error_response(
+                request["id"], "bad_request", "no such tenant"
+            )
+
+        shard = StubServer(shard_respond)
+
+        def router_respond(request):
+            if request["op"] == "ring":
+                return protocol.ok_response(
+                    request["id"], ring_info(shard.host, shard.port)
+                )
+            raise AssertionError("must not fall back on a non-routing error")
+
+        router = StubServer(router_respond)
+        try:
+            with ServiceClient(router.host, router.port, timeout=5) as client:
+                client.learn_ring()
+                with pytest.raises(ServiceError) as excinfo:
+                    client.count(TRIANGLE)
+                assert excinfo.value.code == "bad_request"
+        finally:
+            router.close()
+            shard.close()
+
+    def test_async_direct_dial_then_fallback_on_connection_loss(self):
+        async def scenario():
+            shard_writers = []
+
+            async def shard_handle(reader, writer):
+                shard_writers.append(writer)
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    request = protocol.parse_line(line)
+                    writer.write(
+                        protocol.dump_line(protocol.ok_response(request["id"], 7))
+                    )
+                    await writer.drain()
+
+            shard_server = await asyncio.start_server(
+                shard_handle, "127.0.0.1", 0
+            )
+            shard_addr = shard_server.sockets[0].getsockname()[:2]
+
+            async def router_handle(reader, writer):
+                while True:
+                    line = await reader.readline()
+                    if not line:
+                        return
+                    request = protocol.parse_line(line)
+                    if request["op"] == "ring":
+                        payload = protocol.ok_response(
+                            request["id"], ring_info(*shard_addr)
+                        )
+                    else:
+                        payload = protocol.ok_response(request["id"], 1)
+                    writer.write(protocol.dump_line(payload))
+                    await writer.drain()
+
+            router_server = await asyncio.start_server(
+                router_handle, "127.0.0.1", 0
+            )
+            host, port = router_server.sockets[0].getsockname()[:2]
+            try:
+                async with AsyncServiceClient(host, port) as client:
+                    await client.learn_ring()
+                    assert await client.count(TRIANGLE) == 7  # direct
+                    shard_server.close()
+                    await shard_server.wait_closed()
+                    for writer in shard_writers:
+                        writer.close()
+                    assert await client.count(TRIANGLE) == 1  # fallback
+            finally:
+                router_server.close()
+                await router_server.wait_closed()
+
+        asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# the CI distributed smoke: real shard OS processes
+# ----------------------------------------------------------------------
+
+
+def differential_check(client, request, mirror, report):
+    """Issue one wire request and check it against the naive-oracle
+    mirror (mutations are applied to the mirror as they are acked)."""
+    op = request["op"]
+    start = time.perf_counter()
+    response = client.request(**request)
+    report.record(
+        op,
+        time.perf_counter() - start,
+        None if response.get("ok") else response["error"]["code"],
+    )
+    assert response["ok"], response
+    result = response["result"]
+    if op == "evaluate":
+        assert result == naive_evaluate(parse_query(request["query"]), mirror)
+    elif op == "count":
+        assert result == naive_count(parse_query(request["query"]), mirror)
+    else:
+        values = decode_tuple(request["tuple"])
+        if request["kind"] == "insert":
+            changed = mirror.insert(request["relation"], values)
+        else:
+            changed = mirror.delete(request["relation"], values)
+        assert result["applied"] == (changed is not None)
+    return response["id"]
+
+
+class TestDistributedSmoke:
+    def test_distributed_differential_kill_and_warm_join(self, tmp_path):
+        """The CI ``distributed-smoke``: two real shard OS processes
+        (separate per-node cache directories) behind a coordinator.
+
+        1. Differential wire traffic (evaluate/count/mutate) through a
+           :class:`RouterServer`, answer by answer against the naive
+           oracle; plus client-side direct routing and a ``--direct``
+           closed-loop load run.
+        2. One shard is SIGSTOPped with evaluate/count futures and a
+           mutation broadcast pinned in flight, then SIGKILLed: every
+           future still answers — correctly, exactly once — because the
+           failover sweep resubmits the routed work to the survivor and
+           resolves the broadcast acks benignly.  Zero lost, zero
+           duplicated.
+        3. A third shard joins *warm*: its empty cache directory is
+           populated purely by content-addressed entries shipped over
+           the wire.  The other survivor is then decommissioned, so the
+           newcomer serves the ENTIRE workload — and performs zero
+           forward reductions doing it.
+        """
+        db = small_db(12, seed=5)
+        base_queries = [
+            parse_query(TRIANGLE),
+            parse_query(PATH2),
+            parse_query("R([A],[B]) ∧ S([A],[B])"),
+            parse_query("U([A],[B]) ∧ V([A],[B])"),
+            parse_query("T([A],[B]) ∧ U([B],[C])"),
+            parse_query("S([A],[B]) ∧ T([B],[C])"),
+        ]
+        queries = [
+            v
+            for q in base_queries
+            for v in isomorphic_variants(q, 2, seed=3)
+        ]
+        dirs = {
+            name: tmp_path / f"cache-{name}" for name in ("sA", "sB", "sC")
+        }
+        report = LoadReport(mode="closed")
+        mirror = db.clone()
+
+        with contextlib.ExitStack() as stack:
+            shard_a = stack.enter_context(
+                spawn_shard_process("sA", cache_dir=dirs["sA"])
+            )
+            shard_b = stack.enter_context(
+                spawn_shard_process("sB", cache_dir=dirs["sB"])
+            )
+            router = ShardRouter(
+                remote_shards={"sA": shard_a.address, "sB": shard_b.address},
+                health_interval=2.0,
+            )
+            stack.callback(router.close)
+
+            # ---- phase 1: differential wire traffic + client routing
+            info = router.attach_tenant("acme", db)
+            assert info["shards"] == 2
+            server = RouterServer(router)
+            requests = generate_requests(
+                base_queries[:2],
+                total=40,
+                seed=7,
+                variants_per_query=4,
+                count_fraction=0.2,
+                mutate_fraction=0.15,
+                tenants=("acme",),
+            )
+            direct_load = generate_requests(
+                base_queries[:2],
+                total=16,
+                seed=11,
+                variants_per_query=3,
+                tenants=("acme",),
+            )
+
+            def wire_body(host, port):
+                started = time.perf_counter()
+                with ServiceClient(host, port) as client:
+                    ids = [
+                        differential_check(client, request, mirror, report)
+                        for request in requests
+                    ]
+                    assert len(set(ids)) == len(requests)  # one answer each
+                report.duration_s = time.perf_counter() - started
+                # client-side routing: learn the ring, dial shards direct
+                with ServiceClient(host, port, tenant="acme") as routed:
+                    info = routed.learn_ring()
+                    assert set(info["addresses"]) == {"sA", "sB"}
+                    for q in queries[:6]:
+                        assert routed.evaluate(
+                            query_text(q)
+                        ) == naive_evaluate(q, mirror)
+                    assert routed._shard_clients  # direct dials happened
+                # the load harness's --direct path (async client)
+                load_report = asyncio.run(
+                    run_load(
+                        host,
+                        port,
+                        direct_load,
+                        mode="closed",
+                        concurrency=4,
+                        direct=True,
+                    )
+                )
+                assert load_report.ok == load_report.requests == len(
+                    direct_load
+                )
+
+            async def wire_phase():
+                host, port = await server.start()
+                try:
+                    await asyncio.to_thread(wire_body, host, port)
+                finally:
+                    await server.stop()
+
+            asyncio.run(wire_phase())
+            want = [naive_evaluate(q, mirror) for q in queries]
+            counts = [naive_count(q, mirror) for q in base_queries[:3]]
+
+            # ---- phase 2: freeze sA with work in flight, then kill it
+            shard_a.pause()
+            eval_futures = [router.evaluate("acme", q) for q in queries]
+            count_futures = [
+                router.count("acme", q) for q in base_queries[:3]
+            ]
+            ghost = (Interval(9e6, 9e6 + 1), Interval(9e6 + 2, 9e6 + 3))
+            ack = router.mutate("acme", "delete", "R", ghost)  # no-op
+            shard_a.kill()
+            answers = [f.result(300) for f in eval_futures]
+            assert answers == want  # zero lost, zero wrong
+            assert [f.result(300) for f in count_futures] == counts
+            acked = ack.result(300)
+            assert acked["applied"] is False  # the ghost tuple never existed
+            assert acked["shards"] == 2  # broadcast reached both pools
+            deadline = time.monotonic() + 60
+            while (
+                router.shard_names != ("sB",)
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            assert router.shard_names == ("sB",)
+
+            # serve every group on the survivor so its cache holds every
+            # current-digest entry (the donor side of the warm join)
+            assert router.evaluate_many(queries, "acme") == want
+
+            # ---- phase 3: warm join + decommission, zero reductions
+            shard_c = stack.enter_context(
+                spawn_shard_process("sC", cache_dir=dirs["sC"])
+            )
+            grown = router.add_shard("sC", shard_c.address)
+            assert grown["shards"] == 2
+            assert grown["cache_entries_shipped"] > 0
+            keys_b = set(ReductionCache(dirs["sB"]).entry_keys())
+            keys_c = set(ReductionCache(dirs["sC"]).entry_keys())
+            assert keys_b and keys_b <= keys_c  # shipped, content-addressed
+
+            removed = router.remove_shard("sB")
+            assert removed["shards"] == 1
+            assert router.shard_names == ("sC",)
+            # the newcomer serves the WHOLE workload purely from the
+            # shipped entries: differential-correct, zero reductions
+            assert router.evaluate_many(queries, "acme") == want
+            stats = router.stats()
+            newcomer = stats["shards"]["sC"]["acme"]
+            assert newcomer["aggregate"].get("reductions", 0) == 0
+            assert newcomer["aggregate"].get("persistent_hits", 0) >= len(
+                base_queries
+            )
+
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        payload = {
+            **report.as_dict(),
+            "distributed": {
+                "shards_spawned": 3,
+                "killed_with_inflight": "sA",
+                "decommissioned": "sB",
+                "inflight_futures_resubmitted": len(queries) + 3,
+                "cache_entries_shipped": grown["cache_entries_shipped"],
+                "warm_join_reductions": newcomer["aggregate"].get(
+                    "reductions", 0
+                ),
+                "warm_join_persistent_hits": newcomer["aggregate"].get(
+                    "persistent_hits", 0
+                ),
+            },
+        }
+        with (RESULTS_DIR / "distributed_smoke.json").open("w") as handle:
+            json.dump(payload, handle, indent=2)
+
+    def test_shard_process_serves_the_wire_protocol_standalone(
+        self, tmp_path
+    ):
+        """One shard process on its own is a complete single-node
+        service: attach, evaluate, mutate, stats over the wire."""
+        db = small_db(8, seed=3)
+        q = parse_query(TRIANGLE)
+        with spawn_shard_process(
+            "solo", cache_dir=tmp_path / "cache"
+        ) as shard:
+            with ServiceClient(*shard.address, tenant="acme") as client:
+                info = client.attach_tenant("acme", db)
+                assert info["shards"] == 1
+                assert client.evaluate(TRIANGLE) == naive_evaluate(q, db)
+                stats = client.stats()
+                assert "acme" in stats["shards"]["local"]
+
+
+# ----------------------------------------------------------------------
+# the router's remote-mode edges (no processes: stub shard servers)
+# ----------------------------------------------------------------------
+
+
+class TestRemoteRouterEdges:
+    def test_no_reachable_shard_is_a_typed_error(self):
+        with pytest.raises(ShardUnreachable):
+            ShardRouter(remote_shards={"s0": ("127.0.0.1", free_port())})
+
+    def test_empty_remote_shards_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRouter(remote_shards={})
+
+    def test_local_router_rejects_addresses_remote_requires_them(
+        self, tmp_path
+    ):
+        with ShardRouter(shards=("s0",), cache_dir=tmp_path) as router:
+            with pytest.raises(ValueError):
+                router.add_shard("s1", ("127.0.0.1", 1))
