@@ -9,6 +9,7 @@ from .ij_engine import (
     witnesses_ij,
 )
 from .session import (
+    AdmissionController,
     CanonicalForm,
     QuerySession,
     SessionStats,
@@ -57,6 +58,7 @@ __all__ = [
     "evaluate_ij",
     "witnesses_from_reduction",
     "witnesses_ij",
+    "AdmissionController",
     "CanonicalForm",
     "QuerySession",
     "SessionStats",

@@ -1,0 +1,483 @@
+"""The v5 on-disk reduction-cache layout: framed, safe, mmap-able.
+
+Versions ≤ 4 stored cache entries as pickled envelopes — compact, but
+loading one runs the pickle VM over attacker-controllable bytes (hence
+the long-standing "trust the cache directory" caveat) and rebuilds every
+derived Python tuple eagerly, which dominates warm worker start-up.
+
+Version 5 replaces the envelope with a length-framed binary layout that
+contains **no executable serialization** at all::
+
+    offset  size       field
+    0       8          magic  b"REPROV05"
+    8       32         SHA-256 of everything after this field
+    40      8          meta length (uint64, little-endian)
+    48      meta_len   UTF-8 JSON metadata
+    ...     pad        zero padding to a 64-byte boundary
+    ...                blob section: raw little-endian array bytes,
+                       each blob padded to a 16-byte boundary
+
+The JSON metadata carries the structural half of a
+:class:`~repro.reduction.forward.ForwardReductionResult` — queries,
+position maps, segment-tree endpoint domains, provenance order, variant
+specs, the shared codebook — using the service wire codec
+(:mod:`repro.service.protocol`) for attribute values, so intervals and
+nested tuples survive without pickle.  The heavy half — each columnar
+relation's ``uint32`` code matrix and ``int64`` refcount array — lives
+in the blob section, described per blob by dtype/shape/offset in the
+metadata.  Loading opens the file as one ``np.memmap`` and hands out
+array *views* into it: a warm worker maps a cached reduction zero-copy
+and decodes Python tuples only if evaluation actually demands them.
+
+Integrity: the digest is verified over the mapped bytes before any
+field is trusted, so truncated, bit-flipped or version-skewed frames
+degrade to cache misses, never to errors — mirroring (and replacing)
+the pickled envelope's digest check.  Everything here is pure data;
+a hostile cache entry can at worst fail validation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from typing import Any
+
+import numpy as np
+
+from ..engine.relation import Database, Relation
+from ..intervals.interval import Interval
+from ..intervals.segment_tree import SegmentTree
+from ..queries.query import Atom, Query, Variable
+from ..reduction.columnar import (
+    CODE_DTYPE,
+    COL_CODE,
+    COL_ID,
+    COUNT_DTYPE,
+    CodeBook,
+    ColumnBlock,
+    ColumnarCounts,
+)
+from ..reduction.encoding_store import EncodingStore
+from ..reduction.forward import (
+    EncodedQuery,
+    ForwardReductionResult,
+    _VariantSpec,
+)
+
+
+def _wire():
+    """The service wire codec (tagged-JSON attribute values: Interval ↔
+    ``{"interval": [l, r]}`` and so on).  Imported lazily because the
+    module-scope import would close the package-initialization cycle
+    ``core.reduction_cache → cache_format → service → service.pool →
+    core.reduction_cache``."""
+    from ..service import protocol
+
+    return protocol
+
+__all__ = [
+    "MAGIC",
+    "CacheFormatError",
+    "serialize_result",
+    "deserialize_result",
+    "load_result",
+    "validate_entry_bytes",
+]
+
+MAGIC = b"REPROV05"
+_HEADER = struct.Struct("<8s32sQ")  # magic, sha256, meta length
+_META_ALIGN = 64
+_BLOB_ALIGN = 16
+
+#: Column kinds a v5 frame may declare; anything else fails validation.
+_KINDS = (COL_CODE, COL_ID)
+
+
+class CacheFormatError(ValueError):
+    """A reduction artifact that cannot be expressed in (or recovered
+    from) the v5 layout — unknown value types, malformed frames,
+    inconsistent blob descriptors.  Writers treat it as "skip the
+    store"; readers as a cache miss."""
+
+
+def _pad(n: int, align: int) -> int:
+    return (-n) % align
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+
+
+def _encode_query(query: Query) -> dict:
+    return {
+        "name": query.name,
+        "atoms": [
+            [
+                atom.label,
+                atom.relation,
+                [[v.name, v.is_interval] for v in atom.variables],
+            ]
+            for atom in query.atoms
+        ],
+    }
+
+
+def _decode_query(payload: Any) -> Query:
+    atoms = tuple(
+        Atom(
+            label,
+            relation,
+            tuple(Variable(name, bool(is_iv)) for name, is_iv in variables),
+        )
+        for label, relation, variables in payload["atoms"]
+    )
+    return Query(atoms, name=payload["name"])
+
+
+class _BlobWriter:
+    """Accumulates the blob section: appends arrays as little-endian
+    contiguous bytes at 16-byte-aligned relative offsets and hands back
+    their descriptor index."""
+
+    def __init__(self) -> None:
+        self.descriptors: list[dict] = []
+        self.chunks: list[bytes] = []
+        self.offset = 0
+
+    def add(self, array: np.ndarray) -> int:
+        data = np.ascontiguousarray(array)
+        dtype = data.dtype.newbyteorder("<")
+        data = data.astype(dtype, copy=False)
+        raw = data.tobytes()
+        pad = _pad(self.offset, _BLOB_ALIGN)
+        if pad:
+            self.chunks.append(b"\x00" * pad)
+            self.offset += pad
+        descriptor = {
+            "dtype": dtype.str,
+            "shape": list(data.shape),
+            "offset": self.offset,
+            "nbytes": len(raw),
+        }
+        self.chunks.append(raw)
+        self.offset += len(raw)
+        self.descriptors.append(descriptor)
+        return len(self.descriptors) - 1
+
+
+def _relation_entry(
+    relation: Relation,
+    counts,
+    book: CodeBook | None,
+    blobs: _BlobWriter,
+) -> tuple[dict, CodeBook | None]:
+    """One relation (plus its refcounts, if any) as a metadata entry,
+    appending its arrays to the blob section when it is still columnar.
+    Returns the entry and the (possibly newly adopted) shared book."""
+    entry: dict = {
+        "name": relation.name,
+        "schema": list(relation.schema),
+    }
+    block = relation.columnar
+    counts_ok = (
+        counts is None
+        or (
+            isinstance(counts, ColumnarCounts)
+            and not counts.materialized
+            and counts.block is block
+        )
+    )
+    if block is not None and counts_ok and (book is None or block.book is book):
+        book = block.book if book is None else book
+        entry["kind"] = "columnar"
+        entry["kinds"] = list(block.kinds)
+        entry["codes"] = blobs.add(block.codes)
+        entry["counts"] = (
+            None if counts is None else blobs.add(counts.array)
+        )
+        return entry, book
+    # fallback: decoded rows (reference-path artifacts, relations
+    # already materialized by evaluation or patching, foreign books)
+    encode_value = _wire().encode_value
+    rows = list(relation.tuples)
+    entry["kind"] = "rows"
+    entry["rows"] = [[encode_value(v) for v in t] for t in rows]
+    if counts is None:
+        entry["counts"] = None
+    else:
+        try:
+            entry["counts"] = [counts[t] for t in rows]
+        except KeyError as exc:  # pragma: no cover - invariant breach
+            raise CacheFormatError(
+                f"refcounts of {relation.name} do not cover its rows"
+            ) from exc
+        if len(counts) != len(rows):
+            raise CacheFormatError(
+                f"refcounts of {relation.name} disagree with its rows"
+            )
+    return entry, book
+
+
+def serialize_result(result: ForwardReductionResult, version: int) -> bytes:
+    """One reduction artifact as a v5 frame (bytes, ready for an atomic
+    write).  Raises :class:`CacheFormatError` for artifacts the layout
+    cannot express — callers skip the store (the cache is best-effort).
+    """
+    wire = _wire()
+    encode_value = wire.encode_value
+    blobs = _BlobWriter()
+    book: CodeBook | None = None
+    relations = []
+    try:
+        for relation in result.database:
+            entry, book = _relation_entry(
+                relation,
+                result.variant_counts.get(relation.name),
+                book,
+                blobs,
+            )
+            relations.append(entry)
+        meta = {
+            "format_version": int(version),
+            "query": _encode_query(result.original),
+            "encoded_queries": [
+                {
+                    "query": _encode_query(eq.query),
+                    "positions": eq.positions,
+                }
+                for eq in result.encoded_queries
+            ],
+            "trees": {
+                name: sorted(tree.endpoints)
+                for name, tree in result.segment_trees.items()
+            },
+            "tuple_order": {
+                label: [
+                    None if t is None else encode_value(t) for t in order
+                ]
+                for label, order in result.tuple_order.items()
+            },
+            "atom_variants": {
+                label: [
+                    [
+                        spec.atom_label,
+                        [list(p) for p in spec.parts],
+                        list(spec.nonempty_last),
+                        spec.provenance,
+                    ]
+                    for spec in specs
+                ]
+                for label, specs in result.atom_variants.items()
+            },
+            "codebook": (
+                None
+                if book is None
+                else [encode_value(v) for v in book.values]
+            ),
+            "relations": relations,
+            "blobs": blobs.descriptors,
+        }
+        meta_bytes = json.dumps(meta, ensure_ascii=False).encode("utf-8")
+    except wire.ProtocolError as exc:
+        raise CacheFormatError(str(exc)) from exc
+    # the digest covers everything after itself: meta length, meta, blobs
+    body = bytearray()
+    body += struct.pack("<Q", len(meta_bytes))
+    body += meta_bytes
+    body += b"\x00" * _pad(_HEADER.size + len(meta_bytes), _META_ALIGN)
+    for chunk in blobs.chunks:
+        body += chunk
+    digest = hashlib.sha256(bytes(body)).digest()
+    return MAGIC + digest + bytes(body)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+
+def _parse_frame(buffer, expected_version: int) -> tuple[dict, int] | None:
+    """Validate header, digest and metadata of one frame (``buffer`` is
+    bytes or a uint8 memmap).  Returns ``(meta, blob_base)`` or ``None``
+    on any mismatch."""
+    n = len(buffer)
+    if n < _HEADER.size:
+        return None
+    header = bytes(buffer[: _HEADER.size])
+    magic, digest, meta_len = _HEADER.unpack(header)
+    if magic != MAGIC:
+        return None
+    if hashlib.sha256(buffer[40:]).digest() != digest:
+        return None
+    if _HEADER.size + meta_len > n:
+        return None
+    try:
+        meta = json.loads(bytes(buffer[_HEADER.size : _HEADER.size + meta_len]))
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(meta, dict):
+        return None
+    if meta.get("format_version") != expected_version:
+        return None
+    blob_base = _HEADER.size + meta_len
+    blob_base += _pad(blob_base, _META_ALIGN)
+    return meta, blob_base
+
+
+def validate_entry_bytes(raw: bytes, expected_version: int) -> bool:
+    """True iff ``raw`` is a structurally valid v5 frame of the
+    expected version — the pickle-free receiver-side check for shipped
+    cache entries (``cache_push``)."""
+    try:
+        return _parse_frame(raw, expected_version) is not None
+    except Exception:  # pragma: no cover - defensive
+        return False
+
+
+def _blob_view(
+    buffer, blob_base: int, descriptors: list, index: int
+) -> np.ndarray:
+    descriptor = descriptors[index]
+    dtype = np.dtype(descriptor["dtype"])
+    shape = tuple(int(s) for s in descriptor["shape"])
+    offset = blob_base + int(descriptor["offset"])
+    nbytes = int(descriptor["nbytes"])
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if nbytes != expected or offset + nbytes > len(buffer):
+        raise CacheFormatError("blob descriptor out of bounds")
+    view = np.frombuffer(buffer, dtype=np.uint8, count=nbytes, offset=offset)
+    return view.view(dtype).reshape(shape)
+
+
+def deserialize_result(
+    buffer, expected_version: int
+) -> ForwardReductionResult | None:
+    """Rebuild a reduction artifact from one validated frame.  Array
+    fields are *views* into ``buffer`` — pass an ``np.memmap`` to get
+    zero-copy cache loads, or bytes to materialize from a wire frame.
+    Returns ``None`` on any validation failure (callers treat it as a
+    cache miss)."""
+    parsed = _parse_frame(buffer, expected_version)
+    if parsed is None:
+        return None
+    meta, blob_base = parsed
+    wire = _wire()
+    decode_value = wire.decode_value
+    try:
+        original = _decode_query(meta["query"])
+        encoded = [
+            EncodedQuery(
+                _decode_query(eq["query"]),
+                {
+                    x: {label: int(i) for label, i in positions.items()}
+                    for x, positions in eq["positions"].items()
+                },
+            )
+            for eq in meta["encoded_queries"]
+        ]
+        trees = {
+            name: SegmentTree(Interval(p, p) for p in endpoints)
+            for name, endpoints in meta["trees"].items()
+        }
+        tuple_order = {
+            label: [None if t is None else decode_value(t) for t in order]
+            for label, order in meta["tuple_order"].items()
+        }
+        atom_variants = {
+            label: tuple(
+                _VariantSpec(
+                    atom_label,
+                    tuple((str(x), int(i)) for x, i in parts),
+                    tuple(str(x) for x in nonempty),
+                    bool(provenance),
+                )
+                for atom_label, parts, nonempty, provenance in specs
+            )
+            for label, specs in meta["atom_variants"].items()
+        }
+        book = (
+            None
+            if meta["codebook"] is None
+            else CodeBook(decode_value(v) for v in meta["codebook"])
+        )
+        descriptors = meta["blobs"]
+        database = Database()
+        variant_counts: dict = {}
+        for entry in meta["relations"]:
+            name = entry["name"]
+            schema = [str(a) for a in entry["schema"]]
+            if entry["kind"] == "columnar":
+                if book is None:
+                    raise CacheFormatError("columnar relation without a codebook")
+                kinds = [str(k) for k in entry["kinds"]]
+                if any(k not in _KINDS for k in kinds):
+                    raise CacheFormatError("unknown column kind")
+                codes = _blob_view(buffer, blob_base, descriptors, entry["codes"])
+                if codes.dtype != CODE_DTYPE or codes.ndim != 2:
+                    raise CacheFormatError("code matrix has the wrong dtype")
+                block = ColumnBlock(codes, kinds, book)
+                relation = Relation.from_columns(name, schema, block)
+                if entry["counts"] is not None:
+                    counts = _blob_view(
+                        buffer, blob_base, descriptors, entry["counts"]
+                    )
+                    if counts.dtype != COUNT_DTYPE or counts.shape != (
+                        codes.shape[0],
+                    ):
+                        raise CacheFormatError("refcount array mismatch")
+                    variant_counts[name] = ColumnarCounts(block, counts)
+            elif entry["kind"] == "rows":
+                rows = [tuple(decode_value(v) for v in t) for t in entry["rows"]]
+                relation = Relation(name, schema, rows)
+                if entry["counts"] is not None:
+                    counts_list = [int(c) for c in entry["counts"]]
+                    if len(counts_list) != len(rows):
+                        raise CacheFormatError("refcount list mismatch")
+                    variant_counts[name] = dict(zip(rows, counts_list))
+            else:
+                raise CacheFormatError(f"unknown relation kind {entry['kind']!r}")
+            database.add(relation)
+        k = {
+            x: len(original.atoms_containing(x))
+            for x in (v.name for v in original.interval_variables)
+        }
+        store = EncodingStore(trees, k)
+        store.codebook = book
+        return ForwardReductionResult(
+            original,
+            encoded,
+            database,
+            trees,
+            tuple_order,
+            atom_variants,
+            variant_counts,
+            encoding_store=store,
+        )
+    except (
+        CacheFormatError,
+        wire.ProtocolError,
+        KeyError,
+        IndexError,
+        TypeError,
+        ValueError,
+    ):
+        return None
+
+
+def load_result(path, expected_version: int) -> ForwardReductionResult | None:
+    """Map one cache entry and rebuild its artifact zero-copy: the
+    file becomes a read-only ``np.memmap`` and every code matrix and
+    refcount array is a view into it.  Any failure — missing file,
+    torn write, digest mismatch, version skew — is ``None`` (a miss).
+    """
+    try:
+        mapped = np.memmap(path, dtype=np.uint8, mode="r")
+    except (OSError, ValueError):
+        return None
+    result = deserialize_result(mapped, expected_version)
+    if result is None:
+        del mapped  # drop the mapping eagerly on a miss
+        return None
+    return result

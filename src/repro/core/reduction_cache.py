@@ -14,16 +14,23 @@ fingerprint of PR 1 could not deliver:
   mutation identifies exactly *which* relations changed and the session
   can keep every cached artifact whose query does not touch them.
 
-:class:`ReductionCache` is the on-disk store: pickled
-:class:`~repro.reduction.forward.ForwardReductionResult` payloads under
-``<dir>/<key[:2]>/<key>.pkl``, written atomically (temp file + rename)
+:class:`ReductionCache` is the on-disk store:
+:class:`~repro.reduction.forward.ForwardReductionResult` artifacts in
+the framed binary layout of :mod:`repro.core.cache_format` under
+``<dir>/<key[:2]>/<key>.red``, written atomically (temp file + rename)
 so concurrent workers sharing one directory never observe a torn entry.
 Keys commit to the reduction pipeline flags and the digests of every
 relation the query references, so a stale entry is unreachable by
 construction — mutations change the digests, which change the key.
 
-The store uses :mod:`pickle`; point it only at cache directories you
-trust (the same trust level as the code itself).
+Since format version 5 the store is **pickle-free by default**: entries
+are pure data (JSON metadata + raw array bytes behind a SHA-256), loaded
+via ``np.memmap`` so warm workers map cached code matrices zero-copy,
+and a hostile cache directory can at worst produce misses.  Directories
+holding version-≤4 pickled envelopes are readable only behind an
+explicit ``allow_pickle=True`` opt-in (CLI: ``--cache-allow-pickle``),
+which restores the old trust requirement for exactly those legacy
+entries; new stores always write the framed layout.
 """
 
 from __future__ import annotations
@@ -40,6 +47,12 @@ from ..engine.relation import Database, Relation
 from ..intervals.interval import Interval
 from ..queries.query import Query
 from ..reduction.forward import ForwardReductionResult
+from .cache_format import (
+    CacheFormatError,
+    load_result,
+    serialize_result,
+    validate_entry_bytes,
+)
 
 #: Bumped whenever the serialized payload layout or the semantics of the
 #: reduction change incompatibly; old entries are then simply misses.
@@ -50,7 +63,15 @@ from ..reduction.forward import ForwardReductionResult
 #: Version 4: results carry the memoized
 #: :class:`~repro.reduction.encoding_store.EncodingStore` (the memo
 #: itself is dropped at pickle time; the field must exist on load).
-FORMAT_VERSION = 4
+#: Version 5: pickle-free framed binary layout (``.red``, see
+#: :mod:`repro.core.cache_format`): JSON structural metadata plus raw
+#: little-endian array blobs behind one SHA-256, memmap-loadable.
+FORMAT_VERSION = 5
+
+#: The last pickle-envelope version.  ``.pkl`` entries of exactly this
+#: version remain readable when the cache is opened with
+#: ``allow_pickle=True``; they are never written any more.
+LEGACY_PICKLE_VERSION = 4
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +285,7 @@ class ReductionCache:
         directory: str | os.PathLike,
         max_bytes: int | None = None,
         namespace: str | None = None,
+        allow_pickle: bool = False,
     ):
         if max_bytes is not None and max_bytes < 0:
             raise ValueError("max_bytes must be non-negative")
@@ -278,10 +300,17 @@ class ReductionCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.namespace = namespace
         self.max_bytes = max_bytes
+        #: opt-in for reading legacy version-4 pickled ``.pkl`` entries;
+        #: off by default because unpickling runs code from cache bytes
+        self.allow_pickle = allow_pickle
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.pruned = 0
+        #: stores skipped because the artifact cannot be expressed in
+        #: the framed layout (exotic value types); the cache is
+        #: best-effort, so these are accounting, not errors
+        self.unserializable = 0
         # running size estimate so capped stores stay O(1): the O(N)
         # directory scan runs only when the estimate crosses the cap
         # (prune resyncs it to the exact total, absorbing any drift
@@ -289,7 +318,17 @@ class ReductionCache:
         self._tracked_bytes: int | None = None
 
     def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.red"
+
+    def _legacy_path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
+
+    def _entry_paths(self) -> "list[Path]":
+        """Every entry file on disk, current format and legacy."""
+        return [
+            *self.directory.glob("*/*.red"),
+            *self.directory.glob("*/*.pkl"),
+        ]
 
     def _namespace_dir(self, namespace: str) -> Path:
         return self.directory / "_namespaces" / namespace
@@ -307,37 +346,57 @@ class ReductionCache:
         except OSError:  # pragma: no cover - marker loss degrades purge
             pass
 
-    def get(self, key: str) -> ForwardReductionResult | None:
-        """The stored reduction for ``key``, or ``None``.  Any failure —
-        missing file, truncated write from a crashed worker, a payload
-        whose integrity digest does not match its bytes, pickle from
-        an incompatible version — is a plain miss, never an error."""
-        path = self._path(key)
+    def _get_legacy(self, key: str) -> ForwardReductionResult | None:
+        """Read one legacy version-4 pickled envelope.  Only reachable
+        behind ``allow_pickle=True`` — unpickling executes constructors
+        chosen by the cache bytes, which is exactly the exposure the v5
+        layout removed."""
+        path = self._legacy_path(key)
         try:
             with path.open("rb") as handle:
                 envelope = pickle.load(handle)
         except Exception:
-            self.misses += 1
             return None
         if (
             not isinstance(envelope, dict)
-            or envelope.get("version") != FORMAT_VERSION
+            or envelope.get("version") != LEGACY_PICKLE_VERSION
             or not isinstance(envelope.get("payload"), bytes)
             or envelope.get("sha256")
             != hashlib.sha256(envelope["payload"]).hexdigest()
         ):
-            self.misses += 1
             return None
         try:
             result = pickle.loads(envelope["payload"])
         except Exception:  # pragma: no cover - digest already vouched
-            self.misses += 1
             return None
         if not isinstance(result, ForwardReductionResult):
-            self.misses += 1
             return None
         try:
             os.utime(path)  # refresh the LRU clock for prune()
+        except OSError:
+            pass
+        return result
+
+    def get(self, key: str) -> ForwardReductionResult | None:
+        """The stored reduction for ``key``, or ``None``.  Any failure —
+        missing file, truncated write from a crashed worker, a frame
+        whose integrity digest does not match its bytes, a frame from
+        an incompatible version — is a plain miss, never an error.
+
+        Current entries are loaded through ``np.memmap``: the returned
+        artifact's code matrices and refcount arrays are views into the
+        mapped file, so a warm load costs the metadata parse plus one
+        digest pass, never an array copy.  Legacy ``.pkl`` entries are
+        consulted only when the cache was opened with
+        ``allow_pickle=True``."""
+        result = load_result(self._path(key), FORMAT_VERSION)
+        if result is None and self.allow_pickle:
+            result = self._get_legacy(key)
+        if result is None:
+            self.misses += 1
+            return None
+        try:
+            os.utime(self._path(key))  # refresh the LRU clock for prune()
         except OSError:
             pass
         self._mark(key)
@@ -347,26 +406,27 @@ class ReductionCache:
     def put(self, key: str, result: ForwardReductionResult) -> None:
         """Store ``result`` under ``key`` atomically (write to a temp
         file in the same directory, then rename over the target).  The
-        result pickle is framed as opaque bytes next to its SHA-256, so
-        readers verify integrity before unpickling the heavy payload.
-        Losing a race against a concurrent prune of the same directory
-        is silently absorbed — the cache is best-effort by contract."""
+        artifact is serialized to the framed v5 layout — readers verify
+        the frame's SHA-256 before trusting any field.  Artifacts the
+        layout cannot express (exotic value types) skip the store and
+        bump :attr:`unserializable`; losing a race against a concurrent
+        prune of the same directory is silently absorbed — the cache is
+        best-effort by contract."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         try:
             replaced = path.stat().st_size
         except OSError:  # includes FileNotFoundError: pruned or fresh
             replaced = 0
-        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        envelope = {
-            "version": FORMAT_VERSION,
-            "sha256": hashlib.sha256(payload).hexdigest(),
-            "payload": payload,
-        }
+        try:
+            frame = serialize_result(result, FORMAT_VERSION)
+        except CacheFormatError:
+            self.unserializable += 1
+            return
         fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
-                pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(frame)
             written = os.stat(tmp).st_size
             os.replace(tmp, path)
         except FileNotFoundError:
@@ -400,7 +460,7 @@ class ReductionCache:
         that vanish concurrently (another worker pruned them) are
         skipped, never an error."""
         entries: list[tuple[float, int, Path]] = []
-        for path in self.directory.glob("*/*.pkl"):
+        for path in self._entry_paths():
             try:
                 stat = path.stat()
             except OSError:
@@ -427,21 +487,22 @@ class ReductionCache:
     # ------------------------------------------------------------------
 
     def entry_keys(self) -> list[str]:
-        """Every entry key currently on disk, sorted — the donor side of
-        the ``cache_keys`` verb."""
+        """Every current-format entry key on disk, sorted — the donor
+        side of the ``cache_keys`` verb.  Legacy ``.pkl`` entries are
+        never offered for shipping: peers could not validate them
+        without unpickling."""
         return sorted(
             path.stem
-            for path in self.directory.glob("*/*.pkl")
+            for path in self.directory.glob("*/*.red")
             if self.ENTRY_KEY_PATTERN.match(path.stem)
         )
 
     def export_entry(self, key: str) -> bytes | None:
-        """The raw on-disk envelope bytes for ``key`` (the unit
+        """The raw on-disk frame bytes for ``key`` (the unit
         ``cache_fetch`` ships), or ``None`` if the entry is missing or
-        the key is malformed.  The bytes are the pickled envelope —
-        already framed with its own payload SHA-256 — so the receiver
-        verifies integrity twice: once on the wire frame, once when the
-        entry is eventually loaded."""
+        the key is malformed.  The bytes are the framed v5 layout —
+        carrying its own SHA-256 — so the receiver validates the frame
+        as pure data before it ever touches the cache directory."""
         if not self.ENTRY_KEY_PATTERN.match(key):
             return None
         try:
@@ -452,23 +513,15 @@ class ReductionCache:
     def import_entry(self, key: str, raw: bytes) -> bool:
         """Install one shipped entry under ``key`` (the ``cache_push``
         receiver).  The key must be a well-formed entry key (path-
-        traversal defense) and ``raw`` must be a valid current-version
-        envelope whose payload matches its integrity digest — anything
-        else is rejected with ``False`` and never touches the
-        directory.  Returns ``True`` once the entry is present."""
+        traversal defense) and ``raw`` must be a structurally valid
+        current-version frame whose digest matches its bytes — checked
+        **without unpickling anything** (the frame is pure data), so a
+        hostile peer can at worst waste disk.  Anything else is
+        rejected with ``False`` and never touches the directory.
+        Returns ``True`` once the entry is present."""
         if not self.ENTRY_KEY_PATTERN.match(key):
             return False
-        try:
-            envelope = pickle.loads(raw)
-        except Exception:
-            return False
-        if (
-            not isinstance(envelope, dict)
-            or envelope.get("version") != FORMAT_VERSION
-            or not isinstance(envelope.get("payload"), bytes)
-            or envelope.get("sha256")
-            != hashlib.sha256(envelope["payload"]).hexdigest()
-        ):
+        if not validate_entry_bytes(raw, FORMAT_VERSION):
             return False
         path = self._path(key)
         if path.exists():
@@ -539,11 +592,15 @@ class ReductionCache:
                 pass
             if key in others:
                 continue
-            try:
-                self._path(key).unlink()
+            unlinked = False
+            for path in (self._path(key), self._legacy_path(key)):
+                try:
+                    path.unlink()
+                    unlinked = True
+                except OSError:
+                    continue
+            if unlinked:
                 removed += 1
-            except OSError:
-                continue
         try:
             self._namespace_dir(namespace).rmdir()
         except OSError:  # pragma: no cover - left non-empty concurrently
@@ -553,9 +610,9 @@ class ReductionCache:
         return removed
 
     def size_bytes(self) -> int:
-        """Total payload bytes currently on disk."""
+        """Total payload bytes currently on disk (both formats)."""
         total = 0
-        for path in self.directory.glob("*/*.pkl"):
+        for path in self._entry_paths():
             try:
                 total += path.stat().st_size
             except OSError:
@@ -563,8 +620,8 @@ class ReductionCache:
         return total
 
     def __len__(self) -> int:
-        """Number of stored entries currently on disk."""
-        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+        """Number of stored entries currently on disk (both formats)."""
+        return len(self._entry_paths())
 
     def stats(self) -> dict[str, int]:
         return {
@@ -572,4 +629,5 @@ class ReductionCache:
             "misses": self.misses,
             "stores": self.stores,
             "pruned": self.pruned,
+            "unserializable": self.unserializable,
         }

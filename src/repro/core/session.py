@@ -37,11 +37,12 @@ computed per group, and every member receives it.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from itertools import permutations, product
 from math import factorial
+from statistics import median
 from time import perf_counter
 from typing import Iterator, Literal, Sequence
 
@@ -66,6 +67,7 @@ from .reduction_cache import (
 from .sweep import sweep_evaluate_binary
 
 __all__ = [
+    "AdmissionController",
     "CanonicalForm",
     "QuerySession",
     "SessionStats",
@@ -244,6 +246,114 @@ def canonical_form(query: Query) -> CanonicalForm:
 
 
 # ----------------------------------------------------------------------
+# adaptive answer-cache admission
+# ----------------------------------------------------------------------
+
+
+class AdmissionController:
+    """Adaptive cost floor for the answer cache.
+
+    Active when the session has no static
+    ``answer_admission_min_intervals`` threshold (a positive threshold
+    keeps the old fixed-cutoff semantics).  The *cost* of an answer is
+    the number of input tuples its reduction reads — the reduction runs
+    in ``O(N polylog N)`` of exactly this ``N``, so cost is a latency
+    proxy — and the pressure signal is eviction churn relative to cache
+    hits.  The controller maintains a floor below which answers are
+    denied slots:
+
+    * during the **warmup** (the first ``warmup`` admissions) everything
+      is admitted and only observed, so small workloads — unit tests,
+      one-shot CLI runs — never activate the policy at all;
+    * when a full observation window shows **churn** (more evictions
+      than hits: the cache is thrashing), the floor rises to the median
+      recently-admitted cost — the cheap half of the working set stops
+      competing for slots that expensive answers need;
+    * the floor **decays** again on every calm window, and immediately
+      on a *readmission* (a previously rejected answer is requested
+      again, i.e. the rejection caused a recomputation) — mistaken
+      strictness heals instead of ratcheting.
+    """
+
+    def __init__(
+        self,
+        warmup: int = 512,
+        window: int = 64,
+        decay: float = 0.5,
+        rejected_limit: int = 1024,
+    ):
+        if warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < decay < 1.0:
+            raise ValueError("decay must be strictly between 0 and 1")
+        self.warmup = warmup
+        self.window = window
+        self.decay = decay
+        self.floor = 0.0
+        self.admitted = 0
+        self.raises = 0          # windows that tightened the floor
+        self.readmissions = 0    # rejected answers requested again
+        self._costs: deque[float] = deque(maxlen=window)
+        self._window_hits = 0
+        self._window_evictions = 0
+        self._window_events = 0
+        # rejected-key memory (LRU-bounded): how readmissions are seen
+        self._rejected: OrderedDict[tuple, bool] = OrderedDict()
+        self._rejected_limit = rejected_limit
+
+    def admit(self, cost: float) -> bool:
+        """Whether an answer of ``cost`` earns a cache slot now."""
+        if self.admitted >= self.warmup and cost < self.floor:
+            return False
+        self.admitted += 1
+        self._costs.append(float(cost))
+        return True
+
+    def note_hit(self) -> None:
+        self._window_hits += 1
+        self._tick()
+
+    def note_eviction(self) -> None:
+        self._window_evictions += 1
+        self._tick()
+
+    def note_rejected(self, key: tuple) -> None:
+        self._rejected[key] = True
+        while len(self._rejected) > self._rejected_limit:
+            self._rejected.popitem(last=False)
+
+    def note_miss(self, key: tuple) -> None:
+        """A cache miss: if this key was previously denied a slot, the
+        denial just cost a recomputation — relax the floor."""
+        if self._rejected.pop(key, None) is None:
+            return
+        self.readmissions += 1
+        self._relax()
+
+    def _relax(self) -> None:
+        self.floor *= self.decay
+        if self.floor < 1.0:
+            self.floor = 0.0
+
+    def _tick(self) -> None:
+        self._window_events += 1
+        if self._window_events < self.window:
+            return
+        if self._window_evictions > self._window_hits and self._costs:
+            raised = float(median(self._costs))
+            if raised > self.floor:
+                self.floor = raised
+                self.raises += 1
+        else:
+            self._relax()
+        self._window_events = 0
+        self._window_hits = 0
+        self._window_evictions = 0
+
+
+# ----------------------------------------------------------------------
 # the session
 # ----------------------------------------------------------------------
 
@@ -267,6 +377,8 @@ class SessionStats:
     evictions: int = 0         # answer-cache entries dropped by the LRU bound
     delta_patches: int = 0     # deltas applied to cached reductions in place
     admission_rejects: int = 0  # answers denied a cache slot (too cheap)
+    admission_raises: int = 0   # adaptive-floor tightenings (churn windows)
+    admission_readmissions: int = 0  # rejected answers requested again
     #: accumulated wall seconds per phase — the built-in flame-sketch
     #: behind ``repro evaluate --profile``
     phase_seconds: dict[str, float] = field(
@@ -283,6 +395,8 @@ class SessionStats:
             "evictions": self.evictions,
             "delta_patches": self.delta_patches,
             "admission_rejects": self.admission_rejects,
+            "admission_raises": self.admission_raises,
+            "admission_readmissions": self.admission_readmissions,
         }
 
     def profile(self) -> dict[str, float]:
@@ -310,10 +424,13 @@ class QuerySession:
 
     The answer cache is LRU-bounded at ``answer_cache_size`` entries
     (reductions and plans are far fewer — one per canonical form — and
-    stay unbounded), and admission is cost-aware:
-    ``answer_admission_min_intervals`` denies slots to answers whose
-    reduction reads fewer input tuples than the threshold, so a mixed
-    workload's cheap queries cannot evict its expensive ones.
+    stay unbounded), and admission is cost-aware.  By default an
+    :class:`AdmissionController` adapts the cost floor to the observed
+    hit/eviction balance (warmup-gated, so small workloads admit
+    everything); setting ``answer_admission_min_intervals`` to a
+    positive value replaces it with the old static cutoff — answers
+    whose reduction reads fewer input tuples than the threshold are
+    denied slots unconditionally.
     """
 
     def __init__(
@@ -325,6 +442,8 @@ class QuerySession:
         cache_max_bytes: int | None = None,
         answer_admission_min_intervals: int = 0,
         cache_namespace: str | None = None,
+        cache_allow_pickle: bool = False,
+        admission: AdmissionController | None = None,
     ):
         if answer_cache_size < 1:
             raise ValueError("answer_cache_size must be at least 1")
@@ -335,6 +454,14 @@ class QuerySession:
         self.db = db
         self.naive_budget = naive_budget
         self.answer_admission_min_intervals = answer_admission_min_intervals
+        # a positive static threshold takes full precedence (its exact
+        # semantics are part of the public contract); otherwise the
+        # adaptive controller governs, with injectable knobs for tests
+        self._admission = (
+            None
+            if answer_admission_min_intervals > 0
+            else (admission if admission is not None else AdmissionController())
+        )
         self.stats = SessionStats()
         # cache_namespace tags this session's persistent hits/stores as
         # belonging to one tenant (see ReductionCache namespaces); the
@@ -345,6 +472,7 @@ class QuerySession:
                 cache_dir,
                 max_bytes=cache_max_bytes,
                 namespace=cache_namespace,
+                allow_pickle=cache_allow_pickle,
             )
             if cache_dir is not None
             else None
@@ -667,42 +795,62 @@ class QuerySession:
     def _answer_get(self, key: tuple):
         """The cached answer under ``key`` (refreshing its LRU slot), or
         ``None``."""
+        ctrl = self._admission
         entry = self._answers.get(key)
         if entry is None:
+            if ctrl is not None:
+                ctrl.note_miss(key)  # readmission feedback
+                self.stats.admission_readmissions = ctrl.readmissions
             return None
         self._answers.move_to_end(key)
+        if ctrl is not None:
+            ctrl.note_hit()
         return entry[0]
 
-    def _admit_answer(self, deps: frozenset[str]) -> bool:
-        """Cost-aware admission: an answer earns a cache slot only when
-        recomputing it is expensive — i.e. the reduction behind it reads
-        at least ``answer_admission_min_intervals`` input tuples (the
-        reduction runs in ``O(N polylog N)`` of exactly this ``N``).
-        Cheap answers are recomputed on demand instead of evicting
-        expensive ones; rejections are counted in
-        ``stats.admission_rejects``.  The default threshold of 0 admits
-        everything."""
-        threshold = self.answer_admission_min_intervals
-        if threshold <= 0:
-            return True
-        cost = sum(
-            len(self.db[name].tuples) for name in deps if name in self.db
+    def _answer_cost(self, deps: frozenset[str]) -> int:
+        """The admission cost proxy: input tuples the answer's
+        reduction reads (its ``O(N polylog N)`` ``N``)."""
+        return sum(
+            len(self.db[name]) for name in deps if name in self.db
         )
-        if cost >= threshold:
+
+    def _admit_answer(self, key: tuple, deps: frozenset[str]) -> bool:
+        """Cost-aware admission: an answer earns a cache slot only when
+        recomputing it is expensive enough.  With a positive
+        ``answer_admission_min_intervals`` the cutoff is that static
+        threshold; otherwise the adaptive :class:`AdmissionController`
+        floor applies (everything is admitted until its warmup ends).
+        Either way, cheap answers are recomputed on demand instead of
+        evicting expensive ones; rejections are counted in
+        ``stats.admission_rejects``."""
+        threshold = self.answer_admission_min_intervals
+        if threshold > 0:
+            if self._answer_cost(deps) >= threshold:
+                return True
+            self.stats.admission_rejects += 1
+            return False
+        ctrl = self._admission
+        if ctrl is None or ctrl.admit(self._answer_cost(deps)):
             return True
+        ctrl.note_rejected(key)
         self.stats.admission_rejects += 1
         return False
 
     def _answer_put(self, key: tuple, value, deps: frozenset[str]) -> None:
-        if not self._admit_answer(deps):
+        if not self._admit_answer(key, deps):
             return
+        ctrl = self._admission
         if key in self._answers:
             self._answers.move_to_end(key)
         else:
             while len(self._answers) >= self.answer_cache_size:
                 self._answers.popitem(last=False)
                 self.stats.evictions += 1
+                if ctrl is not None:
+                    ctrl.note_eviction()
         self._answers[key] = (value, deps)
+        if ctrl is not None:
+            self.stats.admission_raises = ctrl.raises
 
     # ------------------------------------------------------------------
     # evaluation

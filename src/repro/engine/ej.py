@@ -19,6 +19,7 @@ from ..hypergraph.hypergraph import Hypergraph
 from ..queries.query import Query
 from ..widths.fhtw import fhtw_with_decomposition
 from ..widths.tree_decomposition import TreeDecomposition
+from .columnar_join import columnar_yannakakis_boolean
 from .decomposition import (
     count_with_decomposition,
     evaluate_boolean_with_decomposition,
@@ -108,6 +109,11 @@ def evaluate_ej(query: Query, db: Database, method: Method = "auto") -> bool:
     if not query.is_ej:
         raise ValueError(f"{query.name} is not an EJ query")
     atoms = join_atoms_for(query, db)
+    # an empty relation empties the conjunction — O(atoms), and len()
+    # is array-cheap for columnar relations, so reduced disjuncts over
+    # pruned variants short-circuit before any join machinery runs
+    if query.atoms and any(len(a.relation) == 0 for a in atoms):
+        return False
     strategy = _plan(query, method)
     if strategy == "generic":
         return generic_join_boolean(atoms)
@@ -115,7 +121,13 @@ def evaluate_ej(query: Query, db: Database, method: Method = "auto") -> bool:
         tree = join_tree(query.hypergraph())
         if tree is None:
             raise ValueError(f"{query.name} is not alpha-acyclic")
-        return yannakakis_boolean(atoms, _label_tree_to_index_tree(query, tree))
+        index_tree = _label_tree_to_index_tree(query, tree)
+        # code-array semijoin sweep when every relation is still
+        # columnar (no tuple materialization); None means fall back
+        fast = columnar_yannakakis_boolean(atoms, index_tree)
+        if fast is not None:
+            return fast
+        return yannakakis_boolean(atoms, index_tree)
     td = optimal_decomposition(query.hypergraph())
     return evaluate_boolean_with_decomposition(atoms, td)
 
@@ -125,6 +137,8 @@ def count_ej(query: Query, db: Database, method: Method = "auto") -> int:
     if not query.is_ej:
         raise ValueError(f"{query.name} is not an EJ query")
     atoms = join_atoms_for(query, db)
+    if query.atoms and any(len(a.relation) == 0 for a in atoms):
+        return 0
     strategy = _plan(query, method)
     if strategy == "generic":
         return generic_join_count(atoms)

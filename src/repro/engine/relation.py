@@ -42,7 +42,20 @@ class Delta:
 
 
 class Relation:
-    """An in-memory relation with set semantics."""
+    """An in-memory relation with set semantics.
+
+    A relation normally holds its tuple set eagerly.  The forward
+    reduction instead builds *columnar* relations
+    (:meth:`from_columns`): the rows live as a ``uint32`` code matrix
+    (:class:`~repro.reduction.columnar.ColumnBlock`, possibly an
+    ``np.memmap`` view of a cache entry) and the Python tuple set is
+    decoded lazily on first access to :attr:`tuples`.  Cardinality
+    (:meth:`__len__`) and per-column distinct counts
+    (:meth:`distinct_count`) are served from the arrays without
+    decoding.  Because the returned set is mutable and mutations cannot
+    be observed, materializing drops the column block — consumers that
+    want the arrays (:attr:`columnar`) must ask before touching tuples.
+    """
 
     def __init__(
         self,
@@ -63,12 +76,72 @@ class Relation:
                     f"tuple {tt} does not match schema {self.schema}"
                 )
             data.add(tt)
-        self.tuples: set[tuple] = data
+        self.tuples = data
+
+    @classmethod
+    def from_columns(cls, name: str, schema: Sequence[str], block) -> "Relation":
+        """A lazily-decoded columnar relation over ``block`` (a
+        :class:`~repro.reduction.columnar.ColumnBlock` whose width must
+        match the schema).  Rows are decoded on first ``tuples`` access;
+        until then length/distinct statistics come from the arrays."""
+        self = cls.__new__(cls)
+        self.name = name
+        self.schema = tuple(schema)
+        if block.width != len(self.schema):
+            raise ValueError(
+                f"column block width {block.width} does not match "
+                f"schema {self.schema}"
+            )
+        self._tuples = None
+        self._columns = block
+        return self
+
+    @property
+    def tuples(self) -> set[tuple]:
+        if self._tuples is None:
+            # the set is handed out mutable, so the block could go
+            # silently stale — drop it at the materialization boundary
+            self._tuples = self._columns.tuple_set()
+            self._columns = None
+        return self._tuples
+
+    @tuples.setter
+    def tuples(self, value: Iterable[tuple]) -> None:
+        self._tuples = value if isinstance(value, set) else set(value)
+        self._columns = None
+
+    @property
+    def columnar(self):
+        """The live :class:`~repro.reduction.columnar.ColumnBlock`, or
+        ``None`` once the relation has materialized its tuple set."""
+        return self._columns if self._tuples is None else None
+
+    # ------------------------------------------------------------------
+    # persistence: always pickle the materialized form — column blocks
+    # (possibly memmap-backed) never cross a pickle boundary, and the
+    # emitted state matches what pre-columnar pickles carried, so old
+    # artifacts load into the new class and vice versa
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "name": self.name,
+            "schema": self.schema,
+            "tuples": self.tuples,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.schema = tuple(state["schema"])
+        self._tuples = set(state["tuples"])
+        self._columns = None
 
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.tuples)
+        if self._tuples is None:
+            return self._columns.row_count
+        return len(self._tuples)
 
     def __iter__(self):
         return iter(self.tuples)
@@ -147,6 +220,15 @@ class Relation:
     def distinct_values(self, attribute: str) -> set[Value]:
         i = self.position(attribute)
         return {t[i] for t in self.tuples}
+
+    def distinct_count(self, attribute: str) -> int:
+        """Number of distinct values in a column — answered from the
+        code arrays when this relation is still columnar (codes are
+        injective, so distinct codes = distinct values), else by
+        materializing the column."""
+        if self._tuples is None:
+            return self._columns.distinct_count(self.position(attribute))
+        return len(self.distinct_values(attribute))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{self.name}({', '.join(self.schema)})[{len(self)}]"

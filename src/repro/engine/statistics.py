@@ -12,18 +12,39 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from ..hypergraph.acyclicity import is_alpha_acyclic
 from ..queries.query import Query
 from .relation import Database, Relation
 
+#: memo type threaded through one ranking pass: ``(relation name,
+#: attribute) -> distinct count``.  The reduction's disjuncts share a
+#: handful of variant relations, so most lookups repeat across
+#: disjuncts — and each first lookup is itself array-cheap
+#: (``np.unique`` over a ``uint32`` code column) while the relation is
+#: columnar.
+StatsCache = dict[tuple[str, str], int]
 
-def distinct_count(relation: Relation, attribute: str) -> int:
+
+def distinct_count(
+    relation: Relation, attribute: str, cache: StatsCache | None = None
+) -> int:
     """Number of distinct values in a column (exact; these relations
-    are in memory anyway)."""
-    return len(relation.distinct_values(attribute))
+    are in memory anyway).  Columnar relations answer from their code
+    arrays without decoding tuples."""
+    if cache is None:
+        return relation.distinct_count(attribute)
+    key = (relation.name, attribute)
+    count = cache.get(key)
+    if count is None:
+        count = cache[key] = relation.distinct_count(attribute)
+    return count
 
 
-def estimate_join_cardinality(query: Query, db: Database) -> float:
+def estimate_join_cardinality(
+    query: Query, db: Database, cache: StatsCache | None = None
+) -> float:
     """A System-R style estimate of the full join cardinality:
     product of relation sizes divided by, per join variable, the
     largest (n-1) distinct counts among the atoms sharing it."""
@@ -39,7 +60,7 @@ def estimate_join_cardinality(query: Query, db: Database) -> float:
             continue
         counts = sorted(
             (
-                max(distinct_count(db[a.relation], v.name), 1)
+                max(distinct_count(db[a.relation], v.name, cache), 1)
                 for a in atoms
             ),
             reverse=True,
@@ -49,7 +70,9 @@ def estimate_join_cardinality(query: Query, db: Database) -> float:
     return size_product * selectivity
 
 
-def estimate_evaluation_cost(query: Query, db: Database) -> float:
+def estimate_evaluation_cost(
+    query: Query, db: Database, cache: StatsCache | None = None
+) -> float:
     """Cost estimate for Boolean evaluation of one disjunct.
 
     Acyclic queries cost about the input size (Yannakakis); cyclic ones
@@ -59,14 +82,26 @@ def estimate_evaluation_cost(query: Query, db: Database) -> float:
     input_size = sum(len(db[a.relation]) for a in query.atoms)
     if is_alpha_acyclic(query.hypergraph()):
         return float(input_size)
-    blowup = estimate_join_cardinality(query, db)
+    blowup = estimate_join_cardinality(query, db, cache)
     return input_size + math.sqrt(max(blowup, 0.0)) + 10.0 * input_size
 
 
 def rank_disjuncts(
     queries: Sequence[Query], db: Database
 ) -> list[Query]:
-    """Order disjuncts cheapest-first for short-circuit evaluation."""
-    return sorted(
-        queries, key=lambda q: estimate_evaluation_cost(q, db)
+    """Order disjuncts cheapest-first for short-circuit evaluation.
+
+    One ranking pass shares a distinct-count memo across disjuncts
+    (they draw from the same shared variant relations) and orders the
+    cost vector with a stable ``np.argsort`` — ties keep the disjunct
+    enumeration order, exactly like the ``sorted`` it replaces.
+    """
+    if len(queries) < 2:
+        return list(queries)
+    cache: StatsCache = {}
+    costs = np.fromiter(
+        (estimate_evaluation_cost(q, db, cache) for q in queries),
+        dtype=np.float64,
+        count=len(queries),
     )
+    return [queries[i] for i in np.argsort(costs, kind="stable")]

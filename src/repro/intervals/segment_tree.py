@@ -215,8 +215,11 @@ class SegmentTree:
 
     @property
     def endpoints(self) -> frozenset:
-        """The endpoint domain the tree was built over: the set of all
-        left/right endpoints of its input intervals."""
+        """The endpoint domain.  A segment tree's *structure* (elementary
+        segments, node bitstrings) is a pure function of this set, so a
+        tree serialized as its endpoints and rebuilt from degenerate
+        ``[p, p]`` intervals is bit-identical for every encoding
+        purpose — the basis of the v5 cache layout."""
         return self._endpoints
 
     def in_domain(self, x: Interval) -> bool:

@@ -1,0 +1,250 @@
+"""Columnar (NumPy) representation of transformed relations.
+
+The forward reduction's derived rows are tuples over a tiny value
+universe: interval part encodings are short bitstrings served from one
+:class:`~repro.reduction.encoding_store.EncodingStore`, point values
+repeat across tuples, and provenance ids are small ints.  That makes
+the whole transformed database naturally *dictionary-encodable*: one
+shared :class:`CodeBook` interns every distinct value once and each
+relation becomes a dense ``uint32`` code matrix — a :class:`ColumnBlock`
+— with derived-row refcounts held as a parallel ``int64`` array in a
+:class:`ColumnarCounts`.
+
+Nothing downstream is forced to change: a columnar
+:class:`~repro.engine.relation.Relation` *materializes* its Python
+tuple set lazily on first access (decoding each column once through the
+codebook), and :class:`ColumnarCounts` is a ``MutableMapping`` that
+behaves exactly like the ``dict[row, count]`` it replaces — the delta
+patch path mutates it, at which point it degrades gracefully to a plain
+dict.  Until that first touch, Boolean evaluation, cardinality
+statistics and the v5 cache serializer all operate on the raw arrays —
+including arrays backed by an ``np.memmap`` of a cache entry, which is
+how warm workers serve reductions zero-copy.
+
+Equality of codes is equality of values (the codebook is injective), so
+columnar joins compare ``uint32`` codes directly; decoding happens only
+when actual tuples are demanded.
+"""
+
+from __future__ import annotations
+
+from collections.abc import MutableMapping
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "CODE_DTYPE",
+    "COUNT_DTYPE",
+    "COL_CODE",
+    "COL_ID",
+    "CodeBook",
+    "ColumnBlock",
+    "ColumnarCounts",
+    "pack_key_columns",
+]
+
+#: Per-cell dtype of every code matrix.  Interval encodings, point
+#: values and provenance ids all fit comfortably: the codebook refuses
+#: to grow past the uint32 code space.
+CODE_DTYPE = np.dtype(np.uint32)
+
+#: Refcount dtype — exact integer counts (``np.bincount`` sums are
+#: exact well below 2**53 and are cast back immediately).
+COUNT_DTYPE = np.dtype(np.int64)
+
+#: Column kinds: ``code`` cells are :class:`CodeBook` codes (decode via
+#: the book), ``id`` cells are small non-negative ints stored verbatim
+#: (provenance ids — already integers, interning them would be a
+#: pointless indirection).
+COL_CODE = "code"
+COL_ID = "id"
+
+
+class CodeBook:
+    """A shared value ↔ ``uint32`` dictionary encoding.
+
+    One book serves every column block of one reduction artifact, so a
+    code is meaningful across relations: two cells holding the same
+    code hold the same value, which is what lets the columnar join path
+    compare codes instead of decoded tuples.  Values must be hashable
+    (they are set members already); insertion order is the code order,
+    so serializing ``values`` and rebuilding the index reproduces the
+    exact same assignment.
+    """
+
+    __slots__ = ("values", "_index")
+
+    def __init__(self, values: Iterable[Hashable] = ()):
+        self.values: list = list(values)
+        self._index: dict = {v: i for i, v in enumerate(self.values)}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def code(self, value: Hashable) -> int:
+        """The code for ``value``, interning it on first sight."""
+        idx = self._index.get(value)
+        if idx is None:
+            idx = len(self.values)
+            if idx >= 2**32:  # pragma: no cover - 4e9 distinct values
+                raise OverflowError("codebook exceeds the uint32 code space")
+            self.values.append(value)
+            self._index[value] = idx
+        return idx
+
+    def encode_column(
+        self, values: Iterable[Hashable], count: int = -1
+    ) -> np.ndarray:
+        """One value sequence as a ``uint32`` code array."""
+        code = self.code
+        return np.fromiter(
+            (code(v) for v in values), dtype=CODE_DTYPE, count=count
+        )
+
+    def decode_column(self, codes: np.ndarray) -> list:
+        values = self.values
+        return [values[c] for c in codes.tolist()]
+
+
+class ColumnBlock:
+    """One relation's rows as an ``(n, width)`` ``uint32`` code matrix.
+
+    ``kinds[j]`` says how column ``j`` decodes (:data:`COL_CODE` through
+    the shared book, :data:`COL_ID` verbatim).  The decoded row list is
+    memoized: a block decodes each column exactly once no matter how
+    many consumers (relation tuple set, refcount mapping, digests) ask
+    for rows.  The matrix may be a read-only ``np.memmap`` view of a
+    cache entry — nothing here writes into it.
+    """
+
+    __slots__ = ("codes", "kinds", "book", "_rows")
+
+    def __init__(
+        self,
+        codes: np.ndarray,
+        kinds: Sequence[str],
+        book: CodeBook | None,
+    ):
+        self.codes = codes
+        self.kinds = tuple(kinds)
+        self.book = book
+        self._rows: list[tuple] | None = None
+
+    @property
+    def row_count(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def width(self) -> int:
+        return int(self.codes.shape[1])
+
+    def column(self, j: int) -> np.ndarray:
+        return self.codes[:, j]
+
+    def distinct_count(self, j: int) -> int:
+        if self.codes.shape[0] == 0:
+            return 0
+        return int(np.unique(self.codes[:, j]).size)
+
+    def rows(self) -> list[tuple]:
+        """The decoded rows, in matrix order (memoized)."""
+        if self._rows is None:
+            n = self.row_count
+            columns: list[list] = []
+            for j, kind in enumerate(self.kinds):
+                raw = self.codes[:, j].tolist()
+                if kind == COL_CODE:
+                    values = self.book.values
+                    columns.append([values[c] for c in raw])
+                else:
+                    columns.append(raw)
+            if columns:
+                self._rows = list(zip(*columns))
+            else:
+                self._rows = [()] * n
+        return self._rows
+
+    def tuple_set(self) -> set[tuple]:
+        return set(self.rows())
+
+
+class ColumnarCounts(MutableMapping):
+    """Derived-row refcounts as an ``int64`` array parallel to a
+    :class:`ColumnBlock`'s rows.
+
+    Read-only consumers (the ``result_digest`` oracle iterates
+    :meth:`items`) never build a dict.  The delta-patch path mutates
+    entries, at which point the mapping materializes into a plain dict
+    once and behaves identically to the ``dict[row, count]`` it
+    replaces.  Pickling always yields a plain dict — array form is an
+    in-process/v5-cache optimization, not a wire format.
+    """
+
+    __slots__ = ("block", "array", "_dict")
+
+    def __init__(self, block: ColumnBlock, array: np.ndarray):
+        self.block = block
+        self.array = array
+        self._dict: dict[tuple, int] | None = None
+
+    @property
+    def materialized(self) -> bool:
+        return self._dict is not None
+
+    def _materialize(self) -> dict[tuple, int]:
+        if self._dict is None:
+            self._dict = dict(zip(self.block.rows(), self.array.tolist()))
+        return self._dict
+
+    def __getitem__(self, key):
+        return self._materialize()[key]
+
+    def __setitem__(self, key, value):
+        self._materialize()[key] = value
+
+    def __delitem__(self, key):
+        del self._materialize()[key]
+
+    def __iter__(self):
+        if self._dict is not None:
+            return iter(self._dict)
+        return iter(self.block.rows())
+
+    def __len__(self) -> int:
+        if self._dict is not None:
+            return len(self._dict)
+        return self.block.row_count
+
+    def items(self):
+        if self._dict is not None:
+            return self._dict.items()
+        return zip(self.block.rows(), self.array.tolist())
+
+    def __reduce__(self):
+        # pickle as the plain dict it emulates: arrays (possibly memmap
+        # views of a cache entry) must never cross a pickle boundary
+        return (dict, (list(self.items()),))
+
+
+def pack_key_columns(
+    columns: Sequence[np.ndarray], radices: Sequence[int]
+) -> np.ndarray | None:
+    """Fold multi-column join keys into one comparable ``int64`` array.
+
+    Codes from one shared :class:`CodeBook` are directly comparable, so
+    a mixed-radix fold over per-column code ranges gives an injective
+    scalar key — provided the radix product fits ``int64`` (returns
+    ``None`` otherwise and the caller falls back to tuples).  The
+    radices must be shared by both sides of a join (max code across both
+    arrays, plus one), so equal packed keys mean equal value tuples.
+    """
+    total = 1
+    for radix in radices:
+        total *= max(int(radix), 1)
+        if total > 2**62:
+            return None
+    packed = columns[0].astype(np.int64)
+    for col, radix in zip(columns[1:], radices[1:]):
+        packed = packed * int(radix) + col.astype(np.int64)
+    return packed

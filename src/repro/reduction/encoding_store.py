@@ -34,9 +34,12 @@ from __future__ import annotations
 
 from typing import Mapping
 
+import numpy as np
+
 from ..intervals.bitstring import split_tuples
 from ..intervals.interval import Interval
 from ..intervals.segment_tree import SegmentTree
+from .columnar import CODE_DTYPE, CodeBook
 
 __all__ = ["EncodingStore"]
 
@@ -51,7 +54,15 @@ class EncodingStore:
     callers never do (the store travels with its reduction artifact).
     """
 
-    __slots__ = ("trees", "k", "_encodings", "hits", "misses")
+    __slots__ = (
+        "trees",
+        "k",
+        "_encodings",
+        "hits",
+        "misses",
+        "codebook",
+        "_code_arrays",
+    )
 
     def __init__(
         self, trees: Mapping[str, SegmentTree], k: Mapping[str, int]
@@ -62,6 +73,13 @@ class EncodingStore:
         self._encodings: dict[tuple, tuple[tuple[str, ...], ...]] = {}
         self.hits = 0
         self.misses = 0
+        #: the shared value <-> uint32 dictionary the vectorized kernel
+        #: interns encodings through — one book per reduction artifact
+        #: (attached by the reducer, or by the v5 cache loader so later
+        #: interning stays consistent with the loaded code matrices)
+        self.codebook: CodeBook | None = None
+        # (variable, value, i, nonempty_last) -> (n_options, i) uint32
+        self._code_arrays: dict[tuple, np.ndarray] = {}
 
     def interval_encodings(
         self, variable: str, value: Interval, i: int, nonempty_last: bool
@@ -94,6 +112,31 @@ class EncodingStore:
         self._encodings[key] = result
         return result
 
+    def encoded_parts(
+        self, variable: str, value: Interval, i: int, nonempty_last: bool
+    ) -> np.ndarray:
+        """The same encodings as :meth:`interval_encodings`, interned
+        through the store's :class:`~repro.reduction.columnar.CodeBook`
+        into an ``(n_options, i)`` ``uint32`` code matrix — the unit the
+        vectorized kernel tiles.  Memoized per key like the tuple form;
+        row order matches the tuple form exactly."""
+        key = (variable, value, i, nonempty_last)
+        arr = self._code_arrays.get(key)
+        if arr is not None:
+            self.hits += 1
+            return arr
+        options = self.interval_encodings(variable, value, i, nonempty_last)
+        book = self.codebook
+        if book is None:
+            book = self.codebook = CodeBook()
+        code = book.code
+        arr = np.array(
+            [[code(part) for part in option] for option in options],
+            dtype=CODE_DTYPE,
+        ).reshape(len(options), i)
+        self._code_arrays[key] = arr
+        return arr
+
     def stats(self) -> dict[str, int]:
         """Memo accounting: distinct encodings held, hit/miss counts."""
         return {
@@ -118,3 +161,5 @@ class EncodingStore:
         self._encodings = {}
         self.hits = 0
         self.misses = 0
+        self.codebook = None
+        self._code_arrays = {}

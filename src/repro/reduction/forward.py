@@ -39,7 +39,9 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import permutations, product
-from typing import Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, MutableMapping, Sequence
+
+import numpy as np
 
 from ..engine.relation import Database, Delta, Relation
 from ..intervals.bitstring import splits
@@ -47,6 +49,15 @@ from ..intervals.interval import Interval
 from ..intervals.segment_tree import SegmentTree
 from ..queries.query import Atom, Query, Variable, pvar
 from ..hypergraph.transform import part_vertex
+from .columnar import (
+    CODE_DTYPE,
+    COL_CODE,
+    COL_ID,
+    COUNT_DTYPE,
+    CodeBook,
+    ColumnBlock,
+    ColumnarCounts,
+)
 from .encoding_store import EncodingStore
 
 # variable name -> atom label -> 1-based permutation position
@@ -108,6 +119,36 @@ def _interval_encodings(
                 continue
             out.append(split)
     return out
+
+
+def _unique_rows(rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``np.unique(rows, axis=0, return_inverse=True)``, faster.
+
+    ``axis=0`` uniqueness argsorts a void view of the matrix — byte-wise
+    row comparisons dominate the whole vectorized build.  Our rows are
+    narrow matrices of small codes, so almost always each row packs
+    into one ``uint64`` under a mixed radix of per-column value ranges;
+    deduplicating the packed scalars sorts one machine word per row
+    instead.  Packing most-significant-column-first makes the scalar
+    order *equal* to the lexicographic row order, so the output is
+    bit-identical to the ``axis=0`` call (which remains the fallback
+    for the astronomically wide/deep case that overflows 64 bits).
+    """
+    n, n_cols = rows.shape
+    if n == 0 or n_cols == 0:
+        return np.unique(rows, axis=0, return_inverse=True)
+    radices = rows.max(axis=0).astype(np.uint64) + 1
+    capacity = 1
+    for r in radices:
+        capacity *= int(r)
+        if capacity > 0xFFFF_FFFF_FFFF_FFFF:
+            return np.unique(rows, axis=0, return_inverse=True)
+    keys = rows[:, 0].astype(np.uint64)
+    for j in range(1, n_cols):
+        keys *= radices[j]
+        keys += rows[:, j]
+    _, first, inverse = np.unique(keys, return_index=True, return_inverse=True)
+    return rows[first], inverse
 
 
 def transform_tuple(
@@ -193,8 +234,11 @@ class ForwardReductionResult:
     #: variant relation name -> derived row -> number of distinct input
     #: tuples deriving it.  Needed to delete safely under set semantics:
     #: a derived row disappears only when its last deriving input tuple
-    #: does.
-    variant_counts: dict[str, dict[tuple, int]] = field(default_factory=dict)
+    #: does.  Vectorized reductions hold these as
+    #: :class:`~repro.reduction.columnar.ColumnarCounts` (an ``int64``
+    #: array behind a ``MutableMapping`` facade); the patch path treats
+    #: both forms identically.
+    variant_counts: dict[str, MutableMapping] = field(default_factory=dict)
     #: the memoized-encoding store the reduction was built with (shares
     #: its segment trees with :attr:`segment_trees`), re-used by
     #: :meth:`apply_delta` so patching pays memo lookups, not tree
@@ -254,6 +298,13 @@ class ForwardReductionResult:
         ``remove``), an insert with an endpoint outside a tree's
         domain, or an artifact without patch metadata.  A delta whose
         relation is not referenced by the query is a no-op.
+
+        Vectorized artifacts patch through the same code: their column
+        arrays feed the first patch (one decode pass per touched
+        variant — the ``int64`` refcount array and code matrix become
+        the dict/set the incremental logic mutates) and every later
+        patch is incremental.  Untouched variants stay columnar, and
+        the re-persisted artifact keeps them as arrays.
         """
         if delta.relation not in self.source_relations:
             return
@@ -380,10 +431,17 @@ class ForwardReductionResult:
 class ForwardReducer:
     """Shared-variant forward reduction for one (query, database) pair.
 
-    ``reference=True`` selects the naive per-tuple transform loop (no
-    encoding memo, no columnar grouping) — retained as the differential
-    oracle and benchmark baseline for the memoized path.  Both paths
-    produce bit-identical results.
+    Three selectable builder paths, all bit-identical:
+
+    * ``reference=True`` — the naive per-tuple transform loop (no
+      encoding memo, no columnar grouping), retained as the
+      differential oracle;
+    * ``vectorized=False`` — the pure-Python columnar builder of PR 5
+      (grouped tuple concats + ``Counter`` refcounts), retained as the
+      benchmark baseline for the NumPy kernel;
+    * the default — the vectorized kernel: ``uint32`` code matrices
+      expanded with ``np.repeat``/``np.tile`` and ``int64`` refcount
+      arrays (:meth:`_vectorized_counts`).
     """
 
     def __init__(
@@ -393,12 +451,14 @@ class ForwardReducer:
         disjoint: bool = False,
         provenance: bool = False,
         reference: bool = False,
+        vectorized: bool = True,
     ):
         self.query = query
         self.db = db
         self.disjoint = disjoint
         self.provenance = provenance
         self.reference = reference
+        self.vectorized = vectorized and not reference
         self.interval_vars = [v.name for v in query.interval_variables]
         self.k: dict[str, int] = {
             x: len(query.atoms_containing(x)) for x in self.interval_vars
@@ -414,8 +474,11 @@ class ForwardReducer:
         self.store: EncodingStore | None = (
             None if reference else EncodingStore(self.trees, self.k)
         )
+        if self.vectorized:
+            assert self.store is not None
+            self.store.codebook = CodeBook()
         self._variants: dict[_VariantSpec, Relation] = {}
-        self._variant_counts: dict[str, dict[tuple, int]] = {}
+        self._variant_counts: dict[str, MutableMapping] = {}
         self._atom_variants: dict[str, dict[_VariantSpec, None]] = {}
         self._tuple_order: dict[str, list[tuple]] = {}
 
@@ -522,7 +585,7 @@ class ForwardReducer:
         if spec.provenance and parts:
             schema.append(f"__id_{atom.label}")
         order = self.relation_order(atom.relation)
-        counts: dict[tuple, int]
+        counts: MutableMapping
         if self.store is None:
             # reference path: the naive per-tuple transform loop
             counts = {}
@@ -530,6 +593,12 @@ class ForwardReducer:
                 for row in self.transform_tuple(atom, spec, t, tuple_id):
                     counts[row] = counts.get(row, 0) + 1
             result = Relation(spec.name(), schema, set(counts))
+        elif self.vectorized:
+            # array path: uint32 code matrix + int64 refcount array;
+            # Python tuples are decoded only if a consumer demands them
+            block, count_array = self._vectorized_counts(atom, spec, order)
+            counts = ColumnarCounts(block, count_array)
+            result = Relation.from_columns(spec.name(), schema, block)
         else:
             # a Counter (dict subclass) so batched C-level .update calls
             # do the refcounting; content-identical to the reference dict
@@ -542,6 +611,130 @@ class ForwardReducer:
         self._variants[spec] = result
         self._variant_counts[spec.name()] = counts
         return result
+
+    def _vectorized_counts(
+        self,
+        atom: Atom,
+        spec: _VariantSpec,
+        order: Sequence[tuple],
+    ) -> tuple[ColumnBlock, np.ndarray]:
+        """The vectorized variant builder: the same per-projection-group
+        expansion as :meth:`_columnar_counts`, but as array ops on
+        ``uint32`` codes.  Per group, the cartesian product of part
+        encodings is laid out with mixed-radix ``np.repeat``/``np.tile``
+        index arrays, member point columns and provenance ids are
+        broadcast across the templates, and the per-group matrices are
+        deduplicated globally with ``np.unique(axis=0)`` — whose inverse
+        bin-counts are exactly the reference path's refcounts (two
+        groups can derive equal rows when distinct intervals share a
+        canonical partition, so dedup must be global).
+
+        Bit-identical to the reference loop by the same argument as the
+        pure-Python columnar path: within one input tuple, distinct
+        template combinations never collide, so each (member, template)
+        pair contributes exactly one count to its row.
+        """
+        store = self.store
+        assert store is not None
+        book = store.codebook
+        assert book is not None
+        parts = dict(spec.parts)
+        nonempty = set(spec.nonempty_last)
+        # output column layout (must mirror the schema construction in
+        # variant_relation): per interval variable its i part columns,
+        # point columns in place, provenance id last
+        n_cols = 0
+        kinds: list[str] = []
+        slots: list[tuple[int, str, int, bool, int]] = []
+        point_cols: list[tuple[int, int]] = []  # (output col, tuple col)
+        interval_tuple_cols: list[int] = []
+        for col, v in enumerate(atom.variables):
+            if v.is_interval:
+                i = parts[v.name]
+                slots.append((n_cols, v.name, i, v.name in nonempty, col))
+                interval_tuple_cols.append(col)
+                kinds.extend([COL_CODE] * i)
+                n_cols += i
+            else:
+                point_cols.append((n_cols, col))
+                kinds.append(COL_CODE)
+                n_cols += 1
+        provenance = spec.provenance and bool(parts)
+        if provenance:
+            prov_col = n_cols
+            kinds.append(COL_ID)
+            n_cols += 1
+        member_dep = bool(point_cols) or provenance
+        n_src = len(order)
+        pt_codes: dict[int, np.ndarray] = {
+            col: book.encode_column((t[col] for t in order), count=n_src)
+            for _, col in point_cols
+        }
+        groups: dict[tuple, list[int]] = {}
+        for tuple_id, t in enumerate(order):
+            key = tuple(t[c] for c in interval_tuple_cols)
+            groups.setdefault(key, []).append(tuple_id)
+        blocks: list[np.ndarray] = []
+        weight_scalars: list[int] = []
+        encoded_parts = store.encoded_parts
+        for projection, members in groups.items():
+            option_arrays = [
+                encoded_parts(name, value, i, flag)
+                for (_, name, i, flag, _), value in zip(slots, projection)
+            ]
+            sizes = [arr.shape[0] for arr in option_arrays]
+            if 0 in sizes:
+                continue  # an empty option list empties the product
+            total = 1
+            for s in sizes:
+                total *= s
+            template = np.empty((total, n_cols), dtype=CODE_DTYPE)
+            repeat, tile = total, 1
+            for (first, _, i, _, _), arr, s in zip(
+                slots, option_arrays, sizes
+            ):
+                repeat //= s
+                idx = np.tile(np.repeat(np.arange(s), repeat), tile)
+                template[:, first : first + i] = arr[idx]
+                tile *= s
+            if member_dep:
+                m = len(members)
+                members_arr = np.asarray(members, dtype=np.int64)
+                rows_g = np.tile(template, (m, 1))
+                for out_col, col in point_cols:
+                    rows_g[:, out_col] = np.repeat(
+                        pt_codes[col][members_arr], total
+                    )
+                if provenance:
+                    rows_g[:, prov_col] = np.repeat(
+                        members_arr.astype(CODE_DTYPE), total
+                    )
+                blocks.append(rows_g)
+                weight_scalars.append(1)
+            else:
+                # interval-only, no provenance: every member derives the
+                # very same template rows — one weighted block per group
+                blocks.append(template)
+                weight_scalars.append(len(members))
+        if not blocks:
+            return (
+                ColumnBlock(np.empty((0, n_cols), dtype=CODE_DTYPE), kinds, book),
+                np.empty(0, dtype=COUNT_DTYPE),
+            )
+        all_rows = np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+        weights = np.concatenate(
+            [
+                np.full(b.shape[0], w, dtype=COUNT_DTYPE)
+                for b, w in zip(blocks, weight_scalars)
+            ]
+        )
+        unique_rows, inverse = _unique_rows(all_rows)
+        # float64 bincount sums are exact here (counts stay far below
+        # 2**53); cast straight back to the integer refcount dtype
+        counts = np.bincount(
+            inverse.ravel(), weights=weights, minlength=unique_rows.shape[0]
+        ).astype(COUNT_DTYPE)
+        return ColumnBlock(unique_rows, kinds, book), counts
 
     def _columnar_counts(
         self,
@@ -723,10 +916,18 @@ def forward_reduce(
     disjoint: bool = False,
     provenance: bool = False,
     reference: bool = False,
+    vectorized: bool = True,
 ) -> ForwardReductionResult:
     """Full forward reduction of an IJ/EIJ query and database.
 
     ``reference=True`` runs the retained naive per-tuple path (no
     encoding memo, no columnar grouping) — the differential oracle; its
-    output is bit-identical to the default memoized path."""
-    return ForwardReducer(query, db, disjoint, provenance, reference).reduce()
+    output is bit-identical to the default memoized path.
+    ``vectorized=False`` selects the pure-Python columnar builder
+    (tuple concats + ``Counter`` refcounts) instead of the NumPy kernel
+    — retained as the comparison baseline for
+    ``benchmarks/bench_vectorized_kernels.py``; all three paths are
+    bit-identical."""
+    return ForwardReducer(
+        query, db, disjoint, provenance, reference, vectorized
+    ).reduce()

@@ -113,6 +113,7 @@ class TestWorkflow:
         steps = workflow["jobs"]["perf-gate"]["steps"]
         runs = " ".join(str(step.get("run", "")) for step in steps)
         assert "benchmarks/bench_forward_reduction.py" in runs
+        assert "benchmarks/bench_vectorized_kernels.py" in runs
         assert "benchmarks/bench_delta_maintenance.py" in runs
         assert "benchmarks/bench_service_throughput.py" in runs
         assert "--quick" in runs
@@ -240,3 +241,30 @@ class TestPyproject:
 
     def test_setup_py_is_gone(self):
         assert not (REPO / "setup.py").exists()
+
+
+class TestRepoHygiene:
+    def test_no_bytecode_artifacts_are_tracked(self):
+        """Compiled bytecode must never be committed: a stale tracked
+        ``.pyc`` shadows source edits in subtle ways, and ``__pycache__``
+        directories bloat every checkout."""
+        import subprocess
+
+        listing = subprocess.run(
+            ["git", "ls-files"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+        )
+        if listing.returncode != 0:  # not a git checkout (e.g. sdist)
+            pytest.skip("git ls-files unavailable")
+        offenders = [
+            path
+            for path in listing.stdout.splitlines()
+            if path.endswith(".pyc") or "__pycache__" in path
+        ]
+        assert offenders == []
+
+    def test_gitignore_covers_bytecode(self):
+        ignore = (REPO / ".gitignore").read_text()
+        assert "__pycache__" in ignore

@@ -315,10 +315,11 @@ def _patchable_deltas(
 def test_memoized_reduction_digest_identical_to_reference(index):
     """The tentpole's oracle, over the same fuzz seed family as the
     engine-agreement suite: for every scenario query/database (and both
-    pipeline flag combinations) the encoding-memoized columnar
-    reduction must be **digest-identical** to the retained reference
-    path — and must *stay* identical after the same sequence of
-    ``apply_delta`` patches is applied to both artifacts."""
+    pipeline flag combinations) the vectorized columnar reduction and
+    the retained pure-Python columnar builder (``vectorized=False``,
+    the PR 5 baseline) must both be **digest-identical** to the
+    reference path — and must *stay* identical after the same sequence
+    of ``apply_delta`` patches is applied to all three artifacts."""
     seed = scenario_seed(index)
     rng = random.Random(seed)
     queries = random_queries(rng)
@@ -329,13 +330,20 @@ def test_memoized_reduction_digest_identical_to_reference(index):
             reference = forward_reduce(
                 query, db, disjoint, provenance, reference=True
             )
-            memoized = forward_reduce(query, db, disjoint, provenance)
-            assert result_digest(reference) == result_digest(memoized), (
-                seed,
-                query,
-                disjoint,
-                provenance,
-            )
+            contenders = [
+                forward_reduce(query, db, disjoint, provenance),
+                forward_reduce(
+                    query, db, disjoint, provenance, vectorized=False
+                ),
+            ]
+            expected = result_digest(reference)
+            for contender in contenders:
+                assert result_digest(contender) == expected, (
+                    seed,
+                    query,
+                    disjoint,
+                    provenance,
+                )
             deltas = _patchable_deltas(
                 random.Random(seed + 1), query, db, reference
             )
@@ -344,11 +352,16 @@ def test_memoized_reduction_digest_identical_to_reference(index):
                     reference.apply_delta(delta)
                 except DomainChanged:
                     continue
-                memoized.apply_delta(delta)  # must agree on patchability
                 patched_any = True
-                assert result_digest(reference) == result_digest(
-                    memoized
-                ), (seed, query, delta)
+                expected = result_digest(reference)
+                for contender in contenders:
+                    # must agree on patchability too
+                    contender.apply_delta(delta)
+                    assert result_digest(contender) == expected, (
+                        seed,
+                        query,
+                        delta,
+                    )
     assert patched_any, f"seed={seed}: no delta patch exercised"
 
 

@@ -176,7 +176,8 @@ class TestStore:
         assert loaded.source_relations == {"R", "S"}
         assert len(cache) == 1
         assert cache.stats() == {
-            "hits": 1, "misses": 1, "stores": 1, "pruned": 0
+            "hits": 1, "misses": 1, "stores": 1, "pruned": 0,
+            "unserializable": 0,
         }
 
     def test_corrupt_entry_is_a_miss_not_an_error(self, tmp_path):
@@ -185,8 +186,8 @@ class TestStore:
         cache = ReductionCache(tmp_path)
         key = reduction_key(query, database_digests(db))
         cache.put(key, forward_reduce(query, db))
-        path = next(tmp_path.glob("*/*.pkl"))
-        path.write_bytes(b"not a pickle")
+        path = next(tmp_path.glob("*/*.red"))
+        path.write_bytes(b"not a cache frame")
         assert cache.get(key) is None
 
     def test_version_skew_is_a_miss(self, tmp_path, monkeypatch):
@@ -208,9 +209,9 @@ class TestStore:
 
 
 class TestIntegrityDigest:
-    """Entries carry a SHA-256 of the pickled payload, verified on
-    load: a torn or tampered concurrent write is a miss, never an
-    unpickle error surfacing mid-query."""
+    """Entries carry a SHA-256 of everything after the frame header,
+    verified on load: a torn or tampered concurrent write is a miss,
+    never an error surfacing mid-query."""
 
     def _stored(self, tmp_path):
         query = parse_query("R([A],[B]) ∧ S([B],[C])")
@@ -218,7 +219,7 @@ class TestIntegrityDigest:
         cache = ReductionCache(tmp_path)
         key = reduction_key(query, database_digests(db))
         cache.put(key, forward_reduce(query, db))
-        return cache, key, next(tmp_path.glob("*/*.pkl"))
+        return cache, key, next(tmp_path.glob("*/*.red"))
 
     def test_round_trip_verifies(self, tmp_path):
         cache, key, _ = self._stored(tmp_path)
@@ -232,11 +233,127 @@ class TestIntegrityDigest:
         assert cache.get(key) is None
         assert cache.misses == 1
 
+    def test_flipped_blob_byte_is_a_miss(self, tmp_path):
+        # the digest covers the raw array section too, not just the
+        # JSON metadata — a bit-flip in a code matrix must not produce
+        # a silently wrong artifact
+        cache, key, path = self._stored(tmp_path)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0x01
+        path.write_bytes(bytes(blob))
+        assert cache.get(key) is None
+
     def test_truncated_write_is_a_miss(self, tmp_path):
         cache, key, path = self._stored(tmp_path)
         blob = path.read_bytes()
         path.write_bytes(blob[: len(blob) - 7])
         assert cache.get(key) is None
+
+
+class TestFramedFormat:
+    """The v5 layout itself: digest-equal round trips, zero-copy memmap
+    loads, and the explicit opt-in gate on legacy pickled entries."""
+
+    @staticmethod
+    def _stored(tmp_path, **cache_kwargs):
+        query = parse_query("R([A],[B]) ∧ S([B],[C]) ∧ T([A],[C])")
+        db = random_database(query, 12, seed=11)
+        cache = ReductionCache(tmp_path, **cache_kwargs)
+        key = reduction_key(query, database_digests(db))
+        result = forward_reduce(query, db)
+        cache.put(key, result)
+        return cache, key, result
+
+    def test_round_trip_is_digest_identical(self, tmp_path):
+        from repro.core.reduction_cache import result_digest
+
+        cache, key, result = self._stored(tmp_path)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert result_digest(loaded) == result_digest(result)
+
+    def test_loaded_arrays_are_memmap_views(self, tmp_path):
+        import numpy as np
+
+        cache, key, result = self._stored(tmp_path)
+        loaded = cache.get(key)
+        blocks = [
+            r.columnar for r in loaded.database if r.columnar is not None
+        ]
+        assert blocks, "vectorized artifact should load columnar"
+        for block in blocks:
+            base = block.codes
+            while isinstance(base.base, np.ndarray):  # walk the views
+                base = base.base
+            assert isinstance(base, np.memmap)
+
+    def test_contains_no_pickle_opcodes(self, tmp_path):
+        # the frame is magic + digest + JSON + raw array bytes; the
+        # pickle protocol-2+ preamble must never appear at its head
+        _, key, _ = self._stored(tmp_path)
+        raw = next(tmp_path.glob("*/*.red")).read_bytes()
+        assert raw[:8] == b"REPROV05"
+        assert not raw.startswith(b"\x80")
+
+    def _legacy_entry(self, cache, key, result):
+        import hashlib
+        import pickle
+
+        from repro.core.reduction_cache import LEGACY_PICKLE_VERSION
+
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "version": LEGACY_PICKLE_VERSION,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "payload": payload,
+        }
+        path = cache._legacy_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps(envelope))
+        return path
+
+    def test_legacy_pickle_requires_explicit_opt_in(self, tmp_path):
+        query = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(query, 6, seed=12)
+        key = reduction_key(query, database_digests(db))
+        result = forward_reduce(query, db)
+        default = ReductionCache(tmp_path)
+        self._legacy_entry(default, key, result)
+        # default-off: the pickled envelope is invisible
+        assert default.get(key) is None
+        assert default.misses == 1
+        # explicit opt-in restores the migration path
+        trusting = ReductionCache(tmp_path, allow_pickle=True)
+        loaded = trusting.get(key)
+        assert loaded is not None
+        assert loaded.database.size == result.database.size
+
+    def test_legacy_entries_are_never_exported(self, tmp_path):
+        query = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(query, 6, seed=13)
+        key = reduction_key(query, database_digests(db))
+        cache = ReductionCache(tmp_path, allow_pickle=True)
+        self._legacy_entry(cache, key, forward_reduce(query, db))
+        assert cache.get(key) is not None  # readable locally...
+        assert cache.entry_keys() == []  # ...but never shipped
+        assert cache.export_entry(key) is None
+
+    def test_import_entry_rejects_pickled_bytes(self, tmp_path):
+        import pickle
+
+        cache, key, result = self._stored(tmp_path)
+        hostile = pickle.dumps({"version": 5, "payload": b"x"})
+        other = "f" * 64
+        assert cache.import_entry(other, hostile) is False
+        assert cache.get(other) is None
+
+    def test_import_entry_accepts_exported_frames(self, tmp_path):
+        donor, key, result = self._stored(tmp_path / "donor")
+        raw = donor.export_entry(key)
+        assert raw is not None
+        receiver = ReductionCache(tmp_path / "receiver")
+        assert receiver.import_entry(key, raw) is True
+        assert receiver.get(key) is not None
 
 
 #: Two processes hammer one cache directory: A stores/loads, B prunes

@@ -6,6 +6,7 @@ import random
 import pytest
 
 from repro.core import (
+    AdmissionController,
     IntersectionJoinEngine,
     QuerySession,
     canonical_form,
@@ -457,6 +458,96 @@ class TestAnswerAdmission:
         db, _, _ = self._db()
         with pytest.raises(ValueError):
             QuerySession(db, answer_admission_min_intervals=-1)
+
+
+class TestAdaptiveAdmission:
+    """The zero-config admission policy: with no static
+    ``answer_admission_min_intervals`` threshold, an
+    :class:`AdmissionController` learns a cost floor from eviction
+    churn and relaxes it when rejections cause recomputation."""
+
+    def _db(self):
+        q_cheap = parse_query("C([A],[B])")
+        q_costly = parse_query("R([A],[B]) ∧ S([B],[C])")
+        db = random_database(q_costly, 30, seed=1)
+        for relation in random_database(q_cheap, 2, seed=2):
+            db.add(relation)
+        return db, q_cheap, q_costly
+
+    def test_warmup_admits_everything(self):
+        ctrl = AdmissionController(warmup=3, window=4)
+        ctrl.floor = 100.0  # even an absurd floor is dormant in warmup
+        assert all(ctrl.admit(1.0) for _ in range(3))
+        assert not ctrl.admit(1.0)  # warmup over, floor applies
+
+    def test_churn_raises_the_floor_and_readmission_relaxes_it(self):
+        ctrl = AdmissionController(warmup=0, window=2, decay=0.5)
+        ctrl.admit(10.0)
+        ctrl.admit(30.0)
+        ctrl.note_eviction()  # a full window of pure churn
+        ctrl.note_eviction()
+        assert ctrl.floor == 20.0  # the median admitted cost
+        assert ctrl.raises == 1
+        assert not ctrl.admit(5.0)
+        ctrl.note_rejected(("q",))
+        ctrl.note_miss(("q",))  # the rejection forced a recomputation
+        assert ctrl.readmissions == 1
+        assert ctrl.floor == 10.0  # decayed
+        ctrl.note_miss(("q",))  # no longer remembered: a no-op
+        assert ctrl.readmissions == 1
+
+    def test_calm_windows_decay_the_floor_to_zero(self):
+        ctrl = AdmissionController(warmup=0, window=2, decay=0.5)
+        ctrl.floor = 1.5
+        ctrl.note_hit()
+        ctrl.note_hit()  # hits >= evictions: calm
+        assert ctrl.floor == 0.0  # 0.75 snaps to fully open
+
+    def test_parameters_are_validated(self):
+        for kwargs in (
+            {"warmup": -1},
+            {"window": 0},
+            {"decay": 0.0},
+            {"decay": 1.0},
+        ):
+            with pytest.raises(ValueError):
+                AdmissionController(**kwargs)
+
+    def test_session_thrash_rejects_cheap_answers_then_heals(self):
+        db, q_cheap, q_costly = self._db()
+        ctrl = AdmissionController(warmup=0, window=2, decay=0.5)
+        session = QuerySession(db, answer_cache_size=1, admission=ctrl)
+        session.evaluate(q_costly)  # cost 60, admitted
+        session.evaluate(q_cheap)   # cost 2, admitted; evicts the costly
+        session.evaluate(q_costly)  # second eviction closes the window
+        assert session.stats.admission_raises == 1
+        assert ctrl.floor > 2
+        session.evaluate(q_cheap)   # now below the floor: denied a slot
+        assert session.stats.admission_rejects == 1
+        floor_before = ctrl.floor
+        session.evaluate(q_cheap)   # the denial cost this recomputation
+        assert session.stats.admission_readmissions == 1
+        assert ctrl.floor < floor_before
+        assert session.evaluate(q_cheap) == naive_evaluate(q_cheap, db)
+
+    def test_small_workloads_never_activate_the_policy(self):
+        db, q_cheap, _ = self._db()
+        session = QuerySession(db, answer_cache_size=1)
+        for _ in range(3):
+            session.evaluate(q_cheap)
+        assert session.stats.admission_rejects == 0  # inside warmup
+        assert session.stats.hits == 2
+
+    def test_static_threshold_disables_the_controller(self):
+        db, q_cheap, _ = self._db()
+        ctrl = AdmissionController(warmup=0, window=2)
+        session = QuerySession(
+            db, answer_admission_min_intervals=10, admission=ctrl
+        )
+        session.evaluate(q_cheap)
+        session.evaluate(q_cheap)
+        assert session.stats.admission_rejects == 2  # static semantics
+        assert ctrl.admitted == 0  # the controller never saw a thing
 
 
 class TestSharedRegistry:
