@@ -15,6 +15,14 @@ Commands
     queries share one session — isomorphic ones share one reduction —
     and ``--repeat`` re-runs the batch to show the warm-cache speedup.
 
+``sql "SELECT COUNT(*) FROM R r, S s WHERE r.t OVERLAPS s.t" [--explain]``
+    Evaluate SQL (the :mod:`repro.sql` dialect: ``COUNT(*)``/``EXISTS``
+    heads, equality and ``OVERLAPS``/``CONTAINS``/``INSIDE`` predicates,
+    ``UNION`` disjunctions) on a synthetic database whose schemas are
+    inferred from the query text.  ``--explain`` prints the cost-based
+    optimizer's per-disjunct plan — widths, candidate costs, chosen
+    strategy — without running.
+
 ``reduce "<query>" --n 50 [--factored]``
     Show the forward reduction: number of disjuncts, shared variants,
     and the measured polylog blowup.
@@ -97,8 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval = sub.add_parser("evaluate", help="evaluate on a synthetic database")
     p_eval.add_argument(
         "query",
-        nargs="+",
+        nargs="*",
         help="one or more query texts; a batch shares one session cache",
+    )
+    p_eval.add_argument(
+        "--query-file", default=None, metavar="FILE",
+        help=(
+            "read additional queries from FILE, one per line; lines "
+            "starting with SELECT are parsed as SQL, the rest as "
+            "conjunction syntax (blank lines and #-comments skipped)"
+        ),
     )
     p_eval.add_argument("--n", type=int, default=50, help="tuples per relation")
     p_eval.add_argument("--seed", type=int, default=0)
@@ -145,6 +161,30 @@ def build_parser() -> argparse.ArgumentParser:
             "print a per-phase timing breakdown (canonicalize / reduce "
             "/ evaluate / cache-I/O) from the session's timing stats"
         ),
+    )
+
+    p_sql = sub.add_parser(
+        "sql", help="evaluate SQL through the cost-based optimizer"
+    )
+    p_sql.add_argument(
+        "sql",
+        help=(
+            "SQL text, e.g. \"SELECT COUNT(*) FROM R r, S s "
+            "WHERE r.t OVERLAPS s.t\""
+        ),
+    )
+    p_sql.add_argument("--n", type=int, default=50, help="tuples per relation")
+    p_sql.add_argument("--seed", type=int, default=0)
+    p_sql.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="random"
+    )
+    p_sql.add_argument(
+        "--explain", action="store_true",
+        help="print the optimizer's per-disjunct plan instead of running",
+    )
+    p_sql.add_argument(
+        "--check", action="store_true",
+        help="cross-check against the strategy-free naive oracle",
     )
 
     p_reduce = sub.add_parser("reduce", help="inspect the forward reduction")
@@ -427,8 +467,48 @@ def _evaluation_database(queries, args: argparse.Namespace) -> Database:
     return db
 
 
+def _read_query_file(path: str) -> tuple[list[str], list[str]]:
+    """Split FILE into (conjunction texts, SQL texts), one query per
+    line: a line starting with ``SELECT`` (any case) is SQL, anything
+    else is the engine's conjunction syntax; blanks and ``#`` comments
+    are skipped."""
+    texts: list[str] = []
+    sql_texts: list[str] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if stripped.upper().startswith("SELECT"):
+                sql_texts.append(stripped)
+            else:
+                texts.append(stripped)
+    return texts, sql_texts
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
-    queries = [parse_query(text) for text in args.query]
+    from .sql import SqlError, compile_sql, naive_program, run_program
+
+    texts = list(args.query)
+    sql_texts: list[str] = []
+    if args.query_file is not None:
+        try:
+            file_texts, sql_texts = _read_query_file(args.query_file)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        texts.extend(file_texts)
+    if not texts and not sql_texts:
+        print("error: no queries given (args or --query-file)", file=sys.stderr)
+        return 2
+    try:
+        queries = [parse_query(text) for text in texts]
+        # db-less compile: infers each program's schemas and kinds, so
+        # the workload generator below can cover its relations too
+        programs = [compile_sql(text) for text in sql_texts]
+    except (SqlError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     if args.cache_max_bytes is not None:
         if args.cache_dir is None:
             print(
@@ -443,7 +523,11 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             )
             return 2
     try:
-        db = _evaluation_database(queries, args)
+        # SQL programs contribute their lowered disjunct queries, so one
+        # generated database covers the whole mixed batch
+        db = _evaluation_database(
+            queries + [d.query for p in programs for d in p.disjuncts], args
+        )
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -456,14 +540,19 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"|D| = {db.size} tuples ({args.workload} workload)")
     timings: list[float] = []
     answers: list[bool] = []
+    sql_answers: list[bool | int] = []
     for _ in range(max(args.repeat, 1)):
         start = time.perf_counter()
         answers = session.evaluate_many(queries, strategy="reduction")
+        sql_answers = [run_program(p, session) for p in programs]
         timings.append(time.perf_counter() - start)
     for i, (query, answer) in enumerate(zip(queries, answers), start=1):
         suffix = f"   [{timings[0] * 1e3:.1f} ms]" if len(queries) == 1 else ""
         label = query.name if len(queries) == 1 else f"#{i} {query.name}"
         print(f"Q(D) = {answer}{suffix}   ({label})")
+    for text, program, value in zip(sql_texts, programs, sql_answers):
+        head = "COUNT(*)" if program.head == "count" else "EXISTS"
+        print(f"{head} = {value}   (sql: {text})")
     if len(timings) > 1:
         warm = min(timings[1:])
         speedup = timings[0] / warm if warm > 0 else float("inf")
@@ -521,7 +610,73 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             total = session.count(query)
             elapsed = time.perf_counter() - start
             print(f"#witnesses = {total}   [{elapsed * 1e3:.1f} ms]")
+    if args.check:
+        for text, program, value in zip(sql_texts, programs, sql_answers):
+            expected = naive_program(program, db)
+            status = "OK" if expected == value else "MISMATCH"
+            print(f"naive oracle: {expected}   [{status}]   (sql: {text})")
+            if expected != value:  # pragma: no cover - defensive
+                failed = True
     return 1 if failed else 0
+
+
+def cmd_sql(args: argparse.Namespace) -> int:
+    from .sql import (
+        SqlError,
+        compile_sql,
+        explain_program,
+        naive_program,
+        render_explain,
+        run_program,
+    )
+
+    try:
+        # first pass is db-less: it infers each relation's schema and
+        # kinds from the query text, which defines the generated data
+        probe = compile_sql(args.sql)
+    except SqlError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    class _Args:
+        n, seed, workload = args.n, args.seed, args.workload
+
+    try:
+        generated = _evaluation_database(
+            [d.query for d in probe.disjuncts], _Args
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # rebind relations under the SQL-visible column names, then compile
+    # db-backed so the optimizer sees real statistics
+    from .engine import Relation
+
+    db = Database()
+    for relation in generated:
+        db.add(
+            Relation(
+                relation.name, probe.schemas[relation.name], relation.tuples
+            )
+        )
+    program = compile_sql(args.sql, db)
+    print(f"|D| = {db.size} tuples ({args.workload} workload)")
+    if args.explain:
+        print(render_explain(explain_program(program, db)))
+        return 0
+    session = QuerySession.for_database(db)
+    start = time.perf_counter()
+    answer = run_program(program, session)
+    elapsed = time.perf_counter() - start
+    head = "COUNT(*)" if program.head == "count" else "EXISTS"
+    print(f"{head} = {answer}   [{elapsed * 1e3:.1f} ms]")
+    if args.check:
+        expected = naive_program(program, db)
+        status = "OK" if expected == answer else "MISMATCH"
+        print(f"naive oracle: {expected}   [{status}]")
+        if expected != answer:  # pragma: no cover - defensive
+            return 1
+    return 0
 
 
 def cmd_reduce(args: argparse.Namespace) -> int:
@@ -873,6 +1028,7 @@ def cmd_shard(args: argparse.Namespace) -> int:
 COMMANDS = {
     "analyze": cmd_analyze,
     "evaluate": cmd_evaluate,
+    "sql": cmd_sql,
     "reduce": cmd_reduce,
     "catalog": cmd_catalog,
     "serve": cmd_serve,

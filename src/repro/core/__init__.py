@@ -49,7 +49,7 @@ from .membership import (
     count_membership,
     evaluate_membership,
 )
-from .planner import Plan, execute, explain, plan_query
+from .planner import Plan, execute, execute_sql, explain, explain_sql, plan_query
 from .analysis import QueryAnalysis, analyze_query, nice_fraction
 
 __all__ = [
@@ -93,7 +93,9 @@ __all__ = [
     "evaluate_membership",
     "Plan",
     "execute",
+    "execute_sql",
     "explain",
+    "explain_sql",
     "plan_query",
     "QueryAnalysis",
     "analyze_query",

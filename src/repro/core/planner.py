@@ -131,3 +131,32 @@ def explain(query: Query, db: Database) -> str:
         f"reason: {plan.reason}\n"
         f"input sizes: {sizes}"
     )
+
+
+def execute_sql(
+    text: str,
+    db: Database,
+    session: "QuerySession | None" = None,
+) -> bool | int:
+    """Evaluate SQL ``text`` against ``db`` through the cost-based
+    optimizer (:mod:`repro.sql`): ``bool`` for ``EXISTS`` heads, ``int``
+    for ``COUNT(*)``.  Without an explicit session the database's shared
+    session is used, so repeated text queries hit warm caches."""
+    from repro.sql import compile_sql, run_program
+
+    from .session import QuerySession
+
+    if session is None:
+        session = QuerySession.for_database(db)
+    elif session.db is not db:
+        raise ValueError("session is pinned to a different database")
+    return run_program(compile_sql(text, db), session)
+
+
+def explain_sql(text: str, db: Database) -> str:
+    """Human-readable EXPLAIN for SQL ``text``: per disjunct, the
+    lowered query, the width report, candidate costs and the chosen
+    strategy."""
+    from repro.sql import explain_data, render_explain
+
+    return render_explain(explain_data(text, db))

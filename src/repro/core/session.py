@@ -379,6 +379,7 @@ class SessionStats:
     admission_rejects: int = 0  # answers denied a cache slot (too cheap)
     admission_raises: int = 0   # adaptive-floor tightenings (churn windows)
     admission_readmissions: int = 0  # rejected answers requested again
+    sql_plan_hits: int = 0     # SQL optimizer plans served from cache
     #: accumulated wall seconds per phase — the built-in flame-sketch
     #: behind ``repro evaluate --profile``
     phase_seconds: dict[str, float] = field(
@@ -397,6 +398,7 @@ class SessionStats:
             "admission_rejects": self.admission_rejects,
             "admission_raises": self.admission_raises,
             "admission_readmissions": self.admission_readmissions,
+            "sql_plan_hits": self.sql_plan_hits,
         }
 
     def profile(self) -> dict[str, float]:
@@ -485,6 +487,7 @@ class QuerySession:
         self._reductions: dict[tuple, tuple[ForwardReductionResult, frozenset[str]]] = {}
         self._disjoint: dict[tuple, tuple[ForwardReductionResult, frozenset[str]]] = {}
         self._plans: dict[tuple, tuple[object, frozenset[str]]] = {}
+        self._sql_plans: dict[tuple, tuple[object, frozenset[str]]] = {}
         self._answers: OrderedDict[tuple, tuple[object, frozenset[str]]] = (
             OrderedDict()
         )
@@ -533,6 +536,7 @@ class QuerySession:
         self._reductions.clear()
         self._disjoint.clear()
         self._plans.clear()
+        self._sql_plans.clear()
         self._answers.clear()
         self._stamp = _quick_stamp(self.db)
         self._digests = database_digests(self.db)
@@ -546,6 +550,7 @@ class QuerySession:
             self._reductions,
             self._disjoint,
             self._plans,
+            self._sql_plans,
             self._answers,
         )
         for store in stores:
@@ -687,7 +692,7 @@ class QuerySession:
         # the disjoint-shifted pipeline reduces over the G.1 shifted
         # database, whose epsilon depends on every interval — never
         # patched, always rebuilt
-        for store in (self._disjoint, self._plans, self._answers):
+        for store in (self._disjoint, self._plans, self._sql_plans, self._answers):
             dead = [
                 key for key, (_, deps) in store.items() if deps & changed
             ]
@@ -786,6 +791,51 @@ class QuerySession:
             plan = plan_query(form.query, self.db, budget)
             entry = (plan, _form_deps(form))
             self._plans[key] = entry
+        return entry[0]
+
+    # ------------------------------------------------------------------
+    # the SQL front-end (repro.sql)
+    # ------------------------------------------------------------------
+
+    def sql(self, text: str):
+        """Compile and evaluate a SQL program against this database.
+
+        Returns a ``bool`` for ``EXISTS`` heads and an ``int`` for
+        ``COUNT(*)`` heads.  Pure join disjuncts run through the
+        session's cached evaluate/count paths; per-disjunct optimizer
+        plans are memoized in :attr:`_sql_plans` and invalidated by
+        relation like every other artifact.  Malformed or unbindable
+        text raises :class:`repro.sql.SqlError`.
+        """
+        from repro.sql import compile_sql, run_program
+
+        self._ensure_current()
+        return run_program(compile_sql(text, self.db), self)
+
+    def explain_sql(self, text: str) -> dict:
+        """The optimizer's EXPLAIN payload for ``text`` (JSON-safe):
+        per disjunct, the canonical SQL, the lowered query, the width
+        report, candidate costs and the chosen strategy.  Render with
+        :func:`repro.sql.render_explain`."""
+        from repro.sql import explain_data
+
+        self._ensure_current()
+        return explain_data(text, self.db, self)
+
+    def sql_plan(self, disjunct):
+        """The (memoized) optimizer plan for one compiled disjunct,
+        keyed by its canonical SQL text and invalidated when any
+        relation it reads changes (plans embed cardinality stats)."""
+        key = ("sql", disjunct.sql)
+        entry = self._sql_plans.get(key)
+        if entry is None:
+            from repro.sql.cost import plan_disjunct
+
+            plan = plan_disjunct(disjunct, self.db, self.naive_budget)
+            entry = (plan, disjunct.query.relations)
+            self._sql_plans[key] = entry
+        else:
+            self.stats.sql_plan_hits += 1
         return entry[0]
 
     # ------------------------------------------------------------------

@@ -12,7 +12,9 @@ the first consumer that turns that substrate into a *service*:
   computed once cluster-wide;
 * :mod:`repro.service.server` — an asyncio front-end speaking a small
   line-delimited JSON protocol (``evaluate``, ``count``,
-  ``evaluate_many``, ``mutate``, ``stats``) with admission control: a
+  ``evaluate_many``, ``mutate``, ``stats``, plus ``sql``/``explain``
+  for the :mod:`repro.sql` front-end — malformed query text answers
+  with the typed ``bad_query`` code) with admission control: a
   bounded in-flight window, per-request deadlines, and typed
   backpressure responses.  Mutations go through the logged
   :class:`~repro.engine.relation.Database` delta API, so warm workers
@@ -48,6 +50,7 @@ load harness on the command line.
 
 from .client import (
     AsyncServiceClient,
+    BadQuery,
     ServiceClient,
     ServiceError,
     StaleConnection,
@@ -55,6 +58,7 @@ from .client import (
 from .loadgen import LoadReport, generate_requests, run_load
 from .pool import PoolClosed, WorkerCrash, WorkerPool
 from .protocol import (
+    ERROR_BAD_QUERY,
     ERROR_BAD_REQUEST,
     ERROR_DEADLINE,
     ERROR_INTERNAL,
@@ -85,6 +89,7 @@ from .server import RouterServer, ServiceServer
 
 __all__ = [
     "AsyncServiceClient",
+    "BadQuery",
     "ServiceClient",
     "ServiceError",
     "StaleConnection",
@@ -94,6 +99,7 @@ __all__ = [
     "PoolClosed",
     "WorkerCrash",
     "WorkerPool",
+    "ERROR_BAD_QUERY",
     "ERROR_BAD_REQUEST",
     "ERROR_DEADLINE",
     "ERROR_INTERNAL",

@@ -27,6 +27,7 @@ from . import protocol
 
 __all__ = [
     "AsyncServiceClient",
+    "BadQuery",
     "ServiceClient",
     "ServiceError",
     "StaleConnection",
@@ -41,6 +42,12 @@ class ServiceError(RuntimeError):
         self.code = error.get("code")
         self.message = error.get("message")
         self.details = error
+
+
+class BadQuery(ServiceError):
+    """The server answered ``bad_query``: the request's query text —
+    conjunction syntax or SQL — does not parse or compile.  Never
+    retryable; :attr:`message` carries the parser diagnostic."""
 
 
 class StaleConnection(ConnectionError):
@@ -64,7 +71,10 @@ _FALLBACK_CODES = (
 def _unwrap(response: dict) -> Any:
     if response.get("ok"):
         return response["result"]
-    raise ServiceError(response.get("error") or {"code": "internal"})
+    error = response.get("error") or {"code": "internal"}
+    if error.get("code") == protocol.ERROR_BAD_QUERY:
+        raise BadQuery(error)
+    raise ServiceError(error)
 
 
 def _canonical_key(query: str, cache: dict[str, Any]) -> Any | None:
@@ -173,6 +183,19 @@ class ServiceClient:
 
     def count(self, query: str, **fields: Any) -> int:
         return int(_unwrap(self._routed("count", query=query, **fields)))
+
+    def sql(self, text: str, **fields: Any) -> bool | int:
+        """Evaluate SQL ``text`` server-side: ``bool`` for ``EXISTS``
+        heads, ``int`` for ``COUNT(*)``.  Malformed SQL raises the
+        typed :class:`BadQuery`."""
+        result = _unwrap(self.request("sql", sql=text, **fields))
+        return result if isinstance(result, bool) else int(result)
+
+    def explain(self, text: str, **fields: Any) -> dict:
+        """The server's EXPLAIN payload for SQL ``text``: per disjunct,
+        the lowered query, widths, candidate costs and the chosen
+        strategy."""
+        return _unwrap(self.request("explain", sql=text, **fields))
 
     # ------------------------------------------------------------------
     # client-side routing
@@ -454,6 +477,16 @@ class AsyncServiceClient:
 
     async def count(self, query: str, **fields: Any) -> int:
         return int(_unwrap(await self._routed("count", query=query, **fields)))
+
+    async def sql(self, text: str, **fields: Any) -> bool | int:
+        """Evaluate SQL ``text`` server-side (see
+        :meth:`ServiceClient.sql`)."""
+        result = _unwrap(await self.request("sql", sql=text, **fields))
+        return result if isinstance(result, bool) else int(result)
+
+    async def explain(self, text: str, **fields: Any) -> dict:
+        """The server's EXPLAIN payload for SQL ``text``."""
+        return _unwrap(await self.request("explain", sql=text, **fields))
 
     # ------------------------------------------------------------------
     # client-side routing

@@ -120,6 +120,14 @@ def _worker_execute(
         else:
             raise ValueError(f"unknown mutation kind {kind!r}")
         return {"applied": delta is not None, "version": db.version}
+    if op == "sql":
+        from repro.sql import compile_sql, run_program
+
+        # one single-disjunct SQL text per task: recompile against the
+        # worker's own database (schemas may differ from the submitter's
+        # view only in statistics, never in shape) and run through the
+        # session so SQL plans and answers share its memoization.
+        return run_program(compile_sql(payload["sql"], db), session)
     if op == "stats":
         return _worker_stats(session)
     raise ValueError(f"unknown op {op!r}")

@@ -24,6 +24,11 @@ failure.  Error codes are *typed* so clients can react mechanically:
     the response is abandoned.
 ``bad_request``
     unparsable JSON, unknown op, or malformed fields.  Never retry.
+``bad_query``
+    a ``query``/``queries``/``sql`` field that is syntactically or
+    semantically malformed (text that does not parse, or SQL that fails
+    to compile).  Never retry — the request itself is wrong, not the
+    server; ``error.message`` carries the parser diagnostic.
 ``shutting_down``
     the server is draining; reconnect elsewhere.
 ``shard_unreachable``
@@ -53,13 +58,14 @@ from ..queries.query import Query
 ERROR_OVERLOADED = "overloaded"
 ERROR_DEADLINE = "deadline_exceeded"
 ERROR_BAD_REQUEST = "bad_request"
+ERROR_BAD_QUERY = "bad_query"
 ERROR_SHUTTING_DOWN = "shutting_down"
 ERROR_SHARD_UNREACHABLE = "shard_unreachable"
 ERROR_INTERNAL = "internal"
 
 #: Ops the single-pool server understands; anything else is a
 #: ``bad_request``.
-OPS = ("evaluate", "count", "evaluate_many", "mutate", "stats")
+OPS = ("evaluate", "count", "evaluate_many", "mutate", "stats", "sql", "explain")
 
 #: Additional ops the sharded router tier understands.  Query/mutation
 #: ops gain a required ``tenant`` field; the admin verbs manage tenants
@@ -93,6 +99,13 @@ MUTATION_KINDS = ("insert", "delete")
 
 class ProtocolError(ValueError):
     """A malformed request or value encoding."""
+
+
+class BadQueryError(ProtocolError):
+    """A request whose *query text* — conjunction syntax or SQL — does
+    not parse or compile.  Servers map this to the typed ``bad_query``
+    error code so clients can distinguish "your query is wrong" from
+    "your request framing is wrong"."""
 
 
 # ----------------------------------------------------------------------

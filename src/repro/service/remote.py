@@ -55,7 +55,7 @@ import sys
 import threading
 import time
 from concurrent.futures import Future
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, NamedTuple, Sequence
 
 from ..queries.query import Query
 from . import protocol
@@ -77,6 +77,16 @@ class ShardUnreachable(ConnectionError):
     loss mid-request, or a failed health check.  The coordinator maps
     this to the typed ``shard_unreachable`` wire error after failover
     has been attempted."""
+
+
+class SqlTask(NamedTuple):
+    """What the outstanding registry remembers about one routed ``sql``
+    task: the lowered query (whose canonical form placed it — the
+    failover sweep re-routes by it) and the single-disjunct SQL text
+    that actually crosses the wire."""
+
+    query: Query
+    sql: str
 
 
 # ----------------------------------------------------------------------
@@ -386,16 +396,32 @@ class RemoteShardPool:
                 error=ServiceError(response.get("error") or {"code": "internal"}),
             )
 
-    def submit(self, op: str, query: Query, future: Future | None = None) -> Future:
+    def submit(
+        self,
+        op: str,
+        query: Query,
+        future: Future | None = None,
+        sql: str | None = None,
+    ) -> Future:
         """Submit one routed task.  ``future`` — used by the failover
         sweep — resubmits an *existing* outer future instead of minting
         a new one, preserving the original caller's handle across the
-        shard death."""
+        shard death.  For ``op="sql"``, ``sql`` is the single-disjunct
+        SQL text shipped on the wire (the shard recompiles it against
+        its own replica); ``query`` stays the lowered form whose
+        canonical key placed the task."""
         outer = future if future is not None else Future()
-        entry_id = self._register(op, query, outer)
-        wire = self.node.connection.request_async(
-            op, tenant=self.tenant, query=protocol.query_text(query)
-        )
+        if op == "sql":
+            assert sql is not None
+            entry_id = self._register(op, SqlTask(query, sql), outer)
+            wire = self.node.connection.request_async(
+                op, tenant=self.tenant, sql=sql
+            )
+        else:
+            entry_id = self._register(op, query, outer)
+            wire = self.node.connection.request_async(
+                op, tenant=self.tenant, query=protocol.query_text(query)
+            )
         wire.add_done_callback(lambda f: self._finish(entry_id, f))
         return outer
 

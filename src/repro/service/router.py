@@ -438,6 +438,43 @@ class ShardRouter:
     def evaluate_many(self, queries: Sequence[Query], tenant: str) -> list[bool]:
         return self.submit_many(queries, tenant).result()
 
+    def sql(self, tenant: str, text: str) -> Future:
+        """Future answer for a SQL program.  The program is compiled
+        (and cost-based-optimized) once here against the tenant's master
+        database; each disjunct is then routed by the canonical form of
+        its *lowered* query — so a disjunct isomorphic to an already-hot
+        conjunctive query lands on the same shard and worker.  Remote
+        shards receive the disjunct's canonical SQL text and recompile
+        it against their own replica.  The disjunct answers are combined
+        per the head (``EXISTS``: any, ``COUNT(*)``: sum)."""
+        from repro.sql import compile_sql
+
+        state = self._tenant(tenant)
+        program = compile_sql(text, state.master)
+        result: Future = Future()
+        with self._lock:
+            if self._closed:
+                raise RouterClosed("router is closed")
+            self._check_tenant(tenant, state)
+            if not len(self._ring):
+                raise ShardUnreachable("no shard nodes are reachable")
+            futures = [
+                state.pools[
+                    self._ring.node_for(canonical_form(d.query).key)
+                ].submit("sql", d.query, sql=d.sql)
+                for d in program.disjuncts
+            ]
+        _gather(futures, result, program.combine)
+        return result
+
+    def explain(self, tenant: str, text: str) -> dict:
+        """JSON-safe EXPLAIN for SQL ``text`` against the tenant's
+        master database — compiled and costed at the router; nothing is
+        routed or executed."""
+        from repro.sql import explain_data
+
+        return explain_data(text, self._tenant(tenant).master)
+
     def mutate(self, tenant: str, kind: str, relation: str, t: tuple) -> Future:
         """Apply one tuple-level mutation to the tenant's master
         database (logging it into the replicated delta log) and
@@ -715,6 +752,20 @@ class ShardRouter:
                             )
                             if target is not None:
                                 target.submit(op, query, future=future)
+                                resubmitted += 1
+                                continue
+                        if op == "sql" and query is not None and len(self._ring):
+                            # the registry slot holds a SqlTask: re-route
+                            # by the lowered query, reship the SQL text
+                            target = state.pools.get(
+                                self._ring.node_for(
+                                    canonical_form(query.query).key
+                                )
+                            )
+                            if target is not None:
+                                target.submit(
+                                    op, query.query, future=future, sql=query.sql
+                                )
                                 resubmitted += 1
                                 continue
                         if op == "mutate":

@@ -27,23 +27,46 @@ from ..core.reduction_cache import ReductionCache
 from ..intervals.interval import Interval
 from ..queries.parser import parse_query
 from .client import ServiceError
-from .pool import PoolClosed, WorkerCrash, WorkerPool
+from .pool import PoolClosed, WorkerCrash, WorkerPool, _gather
 from .remote import ShardUnreachable
 from .router import RouterClosed, ShardRouter, UnknownTenant
 from . import protocol
 from .protocol import (
+    ERROR_BAD_QUERY,
     ERROR_BAD_REQUEST,
     ERROR_DEADLINE,
     ERROR_INTERNAL,
     ERROR_OVERLOADED,
     ERROR_SHARD_UNREACHABLE,
     ERROR_SHUTTING_DOWN,
+    BadQueryError,
     ProtocolError,
     error_response,
     ok_response,
 )
 
 __all__ = ["RouterServer", "ServiceServer"]
+
+
+def _parse_query_text(text: str):
+    """:func:`~repro.queries.parser.parse_query`, with parse failures
+    mapped to the typed ``bad_query`` error instead of the generic
+    ``bad_request`` — the request framing was fine, the query was not."""
+    try:
+        return parse_query(text)
+    except (ValueError, KeyError, TypeError) as error:
+        raise BadQueryError(str(error)) from error
+
+
+def _sql_guard(fn, *args: Any, **kwargs: Any):
+    """Run a SQL compile/explain step, mapping tokenizer/parser/binder
+    diagnostics (:class:`~repro.sql.SqlError`) to ``bad_query``."""
+    from ..sql import SqlError
+
+    try:
+        return fn(*args, **kwargs)
+    except SqlError as error:
+        raise BadQueryError(str(error)) from error
 
 
 class ServiceServer:
@@ -84,6 +107,7 @@ class ServiceServer:
             "overload_rejections": 0,
             "deadline_exceeded": 0,
             "bad_requests": 0,
+            "bad_queries": 0,
         }
         self._inflight = 0
         self._server: asyncio.AbstractServer | None = None
@@ -287,6 +311,11 @@ class ServiceServer:
             future = self._dispatch(op, request)
         except ShardUnreachable as error:
             return error_response(request_id, ERROR_SHARD_UNREACHABLE, str(error))
+        except BadQueryError as error:
+            # the request framing was fine; its query text was not —
+            # typed separately so clients can surface the diagnostic
+            self.counters["bad_queries"] += 1
+            return error_response(request_id, ERROR_BAD_QUERY, str(error))
         except (ProtocolError, ValueError, KeyError, TypeError) as error:
             # TypeError included: malformed payload values surface as
             # one (e.g. an interval endpoint of null), and an unanswered
@@ -337,14 +366,30 @@ class ServiceServer:
         """Turn one admitted request into a pool future.  Raises
         ``ProtocolError``/``ValueError`` for malformed payloads."""
         if op == "evaluate":
-            return self.pool.evaluate(parse_query(_field(request, "query", str)))
+            return self.pool.evaluate(
+                _parse_query_text(_field(request, "query", str))
+            )
         if op == "count":
-            return self.pool.count(parse_query(_field(request, "query", str)))
+            return self.pool.count(
+                _parse_query_text(_field(request, "query", str))
+            )
         if op == "evaluate_many":
             texts = _field(request, "queries", list)
             if not all(isinstance(t, str) for t in texts):
                 raise ProtocolError("queries must be a list of strings")
-            return self.pool.submit_many([parse_query(t) for t in texts])
+            return self.pool.submit_many([_parse_query_text(t) for t in texts])
+        if op == "sql":
+            return self._submit_sql(_field(request, "sql", str))
+        if op == "explain":
+            from ..sql import explain_data
+
+            done: Future = Future()
+            done.set_result(
+                _sql_guard(
+                    explain_data, _field(request, "sql", str), self.pool.db
+                )
+            )
+            return done
         if op == "mutate":
             kind = _field(request, "kind", str)
             if kind not in protocol.MUTATION_KINDS:
@@ -389,6 +434,21 @@ class ServiceServer:
             return self.pool.stats_async()
         raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
 
+    def _submit_sql(self, text: str) -> Future:
+        """Compile a SQL program against the served database and route
+        each disjunct to its canonical-form worker; the answers combine
+        per the head (``EXISTS``: any, ``COUNT(*)``: sum)."""
+        from ..sql import compile_sql
+
+        program = _sql_guard(compile_sql, text, self.pool.db)
+        futures = [
+            self.pool.submit("sql", d.query, sql=d.sql)
+            for d in program.disjuncts
+        ]
+        result: Future = Future()
+        _gather(futures, result, program.combine)
+        return result
+
     def _check_tuple_kinds(self, relation: str, values: tuple) -> None:
         _check_tuple_kinds(self.pool.db, relation, values)
 
@@ -414,19 +474,37 @@ class RouterServer(ServiceServer):
         if op == "evaluate":
             return router.evaluate(
                 _field(request, "tenant", str),
-                parse_query(_field(request, "query", str)),
+                _parse_query_text(_field(request, "query", str)),
             )
         if op == "count":
             return router.count(
                 _field(request, "tenant", str),
-                parse_query(_field(request, "query", str)),
+                _parse_query_text(_field(request, "query", str)),
             )
         if op == "evaluate_many":
             tenant = _field(request, "tenant", str)
             texts = _field(request, "queries", list)
             if not all(isinstance(t, str) for t in texts):
                 raise ProtocolError("queries must be a list of strings")
-            return router.submit_many([parse_query(t) for t in texts], tenant)
+            return router.submit_many(
+                [_parse_query_text(t) for t in texts], tenant
+            )
+        if op == "sql":
+            return _sql_guard(
+                router.sql,
+                _field(request, "tenant", str),
+                _field(request, "sql", str),
+            )
+        if op == "explain":
+            done: Future = Future()
+            done.set_result(
+                _sql_guard(
+                    router.explain,
+                    _field(request, "tenant", str),
+                    _field(request, "sql", str),
+                )
+            )
+            return done
         if op == "mutate":
             tenant = _field(request, "tenant", str)
             kind = _field(request, "kind", str)

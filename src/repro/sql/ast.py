@@ -1,0 +1,117 @@
+"""Logical-plan IR for the SQL front-end.
+
+The parser produces this tree verbatim; the rewrite passes
+(:mod:`repro.sql.rewrite`) normalize it and lower it onto the engine's
+:class:`~repro.queries.query.Query` AST.  Source positions ride along
+for diagnostics but are excluded from equality so the parse → unparse →
+parse fixpoint property holds structurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.intervals import Interval
+
+#: Heads supported by the dialect.  ``exists`` is the paper's Boolean
+#: semantics; ``count`` counts satisfying witness assignments (``UNION``
+#: therefore sums per-disjunct counts — UNION ALL bag semantics).
+HEAD_EXISTS = "exists"
+HEAD_COUNT = "count"
+
+#: Predicate operators after normalization.  ``contains`` is surface
+#: syntax only — the normalizer rewrites ``a CONTAINS b`` to
+#: ``b INSIDE a``.
+OP_EQ = "="
+OP_OVERLAPS = "OVERLAPS"
+OP_CONTAINS = "CONTAINS"
+OP_INSIDE = "INSIDE"
+
+SYMMETRIC_OPS = frozenset({OP_EQ, OP_OVERLAPS})
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``alias.column`` — ``alias`` may be a bare relation name."""
+
+    alias: str
+    column: str
+    position: int = field(compare=False, default=-1)
+
+    def unparse(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: a number, a ``'string'``, or an ``[l, r]`` interval."""
+
+    value: Union[float, str, Interval]
+    position: int = field(compare=False, default=-1)
+
+    def unparse(self) -> str:
+        v = self.value
+        if isinstance(v, Interval):
+            return f"[{v.left!r}, {v.right!r}]"
+        if isinstance(v, str):
+            escaped = v.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(v)
+
+
+Operand = Union[ColumnRef, Literal]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where ``op`` is ``=``, ``OVERLAPS``,
+    ``CONTAINS`` or ``INSIDE``."""
+
+    op: str
+    left: Operand
+    right: Operand
+    position: int = field(compare=False, default=-1)
+
+    def unparse(self) -> str:
+        return f"{self.left.unparse()} {self.op} {self.right.unparse()}"
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One ``FROM`` entry: ``relation`` optionally aliased."""
+
+    relation: str
+    alias: str
+    position: int = field(compare=False, default=-1)
+
+    def unparse(self) -> str:
+        if self.alias == self.relation:
+            return self.relation
+        return f"{self.relation} AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """One disjunct: head + cartesian ``FROM`` list + conjunction."""
+
+    head: str
+    tables: tuple[TableRef, ...]
+    predicates: tuple[Comparison, ...]
+
+    def unparse(self) -> str:
+        head = "COUNT(*)" if self.head == HEAD_COUNT else "EXISTS"
+        text = f"SELECT {head} FROM " + ", ".join(t.unparse() for t in self.tables)
+        if self.predicates:
+            text += " WHERE " + " AND ".join(p.unparse() for p in self.predicates)
+        return text
+
+
+@dataclass(frozen=True)
+class Program:
+    """A ``UNION`` of disjuncts (one or more)."""
+
+    selects: tuple[SelectStmt, ...]
+
+    def unparse(self) -> str:
+        return " UNION ".join(s.unparse() for s in self.selects)

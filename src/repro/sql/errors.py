@@ -1,0 +1,43 @@
+"""Typed diagnostics for the SQL front-end.
+
+Every failure in the tokenizer, the parser, or the binder raises
+:class:`SqlError`, which carries the offending source text and a
+character position so callers (the CLI, the service's ``bad_query``
+error path, tests) can render a caret snippet pointing at the problem.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(ValueError):
+    """A diagnostic for malformed or unbindable SQL.
+
+    ``position`` is a 0-based character offset into ``source`` (or -1
+    when no location applies).  ``str(error)`` renders the message plus
+    a source-line snippet with a caret under the offending character.
+    """
+
+    def __init__(self, message: str, source: str = "", position: int = -1):
+        super().__init__(message)
+        self.reason = message
+        self.source = source
+        self.position = position
+
+    def snippet(self) -> str:
+        """The offending source line with a caret under ``position``."""
+        if not self.source or self.position < 0:
+            return ""
+        clipped = min(self.position, len(self.source))
+        start = self.source.rfind("\n", 0, clipped) + 1
+        end = self.source.find("\n", clipped)
+        if end < 0:
+            end = len(self.source)
+        line = self.source[start:end]
+        caret = " " * (clipped - start) + "^"
+        return f"{line}\n{caret}"
+
+    def __str__(self) -> str:
+        snip = self.snippet()
+        if snip:
+            return f"{self.reason}\n{snip}"
+        return self.reason

@@ -1,0 +1,201 @@
+"""Recursive-descent parser for the repro SQL dialect.
+
+Grammar (keywords case-insensitive)::
+
+    program    := select (UNION [ALL] select)* EOF
+    select     := SELECT head FROM table ("," table)* [WHERE conjunction]
+    head       := COUNT "(" "*" ")" | EXISTS | "*"
+    table      := NAME [[AS] NAME]
+    conjunction:= predicate (AND predicate)*
+    predicate  := operand op operand
+    op         := "=" | OVERLAPS | CONTAINS | INSIDE
+    operand    := NAME "." NAME | NUMBER | STRING | "[" NUMBER "," NUMBER "]"
+
+``SELECT *`` and ``SELECT EXISTS`` both denote the Boolean head — the
+paper's queries are Boolean, so there is no output projection to name.
+All errors are :class:`~repro.sql.errors.SqlError` with a position and
+caret snippet.
+"""
+
+from __future__ import annotations
+
+from repro.intervals import Interval
+
+from .ast import (
+    HEAD_COUNT,
+    HEAD_EXISTS,
+    OP_CONTAINS,
+    OP_EQ,
+    OP_INSIDE,
+    OP_OVERLAPS,
+    ColumnRef,
+    Comparison,
+    Literal,
+    Operand,
+    Program,
+    SelectStmt,
+    TableRef,
+)
+from .errors import SqlError
+from .tokenizer import Token, tokenize
+
+
+class _Cursor:
+    def __init__(self, source: str):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def at_keyword(self, word: str) -> bool:
+        t = self.current
+        return t.kind == "keyword" and t.text == word
+
+    def at_symbol(self, symbol: str) -> bool:
+        t = self.current
+        return t.kind == "symbol" and t.text == symbol
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.at_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> Token:
+        if not self.at_keyword(word):
+            self.fail(f"expected {word}")
+        return self.advance()
+
+    def expect_symbol(self, symbol: str) -> Token:
+        if not self.at_symbol(symbol):
+            self.fail(f"expected {symbol!r}")
+        return self.advance()
+
+    def expect_name(self, what: str) -> Token:
+        if self.current.kind != "name":
+            self.fail(f"expected {what}")
+        return self.advance()
+
+    def fail(self, message: str) -> None:
+        t = self.current
+        got = "end of input" if t.kind == "eof" else repr(t.text)
+        raise SqlError(f"{message}, got {got}", self.source, t.position)
+
+
+def parse_sql(source: str) -> Program:
+    """Parse ``source`` into a :class:`~repro.sql.ast.Program`."""
+    cursor = _Cursor(source)
+    selects = [_select(cursor)]
+    while cursor.accept_keyword("UNION"):
+        cursor.accept_keyword("ALL")
+        selects.append(_select(cursor))
+    if cursor.current.kind != "eof":
+        cursor.fail("expected UNION or end of query")
+    heads = {s.head for s in selects}
+    if len(heads) > 1:
+        raise SqlError(
+            "all UNION branches must share one head (COUNT(*) or EXISTS)",
+            source,
+            cursor.source.upper().find("UNION"),
+        )
+    return Program(tuple(selects))
+
+
+def _select(cursor: _Cursor) -> SelectStmt:
+    cursor.expect_keyword("SELECT")
+    head = _head(cursor)
+    cursor.expect_keyword("FROM")
+    tables = [_table(cursor)]
+    while cursor.at_symbol(","):
+        cursor.advance()
+        tables.append(_table(cursor))
+    predicates: list[Comparison] = []
+    if cursor.accept_keyword("WHERE"):
+        predicates.append(_predicate(cursor))
+        while cursor.accept_keyword("AND"):
+            predicates.append(_predicate(cursor))
+    return SelectStmt(head, tuple(tables), tuple(predicates))
+
+
+def _head(cursor: _Cursor) -> str:
+    if cursor.accept_keyword("COUNT"):
+        cursor.expect_symbol("(")
+        cursor.expect_symbol("*")
+        cursor.expect_symbol(")")
+        return HEAD_COUNT
+    if cursor.accept_keyword("EXISTS"):
+        return HEAD_EXISTS
+    if cursor.at_symbol("*"):
+        cursor.advance()
+        return HEAD_EXISTS
+    cursor.fail("expected COUNT(*), EXISTS or *")
+    raise AssertionError("unreachable")
+
+
+def _table(cursor: _Cursor) -> TableRef:
+    name = cursor.expect_name("relation name")
+    alias = name.text
+    if cursor.accept_keyword("AS"):
+        alias = cursor.expect_name("alias").text
+    elif cursor.current.kind == "name":
+        alias = cursor.advance().text
+    return TableRef(name.text, alias, name.position)
+
+
+def _predicate(cursor: _Cursor) -> Comparison:
+    left = _operand(cursor)
+    t = cursor.current
+    if cursor.at_symbol("="):
+        op = OP_EQ
+    elif cursor.at_keyword("OVERLAPS"):
+        op = OP_OVERLAPS
+    elif cursor.at_keyword("CONTAINS"):
+        op = OP_CONTAINS
+    elif cursor.at_keyword("INSIDE"):
+        op = OP_INSIDE
+    else:
+        cursor.fail("expected =, OVERLAPS, CONTAINS or INSIDE")
+    cursor.advance()
+    right = _operand(cursor)
+    return Comparison(op, left, right, t.position)
+
+
+def _operand(cursor: _Cursor) -> Operand:
+    t = cursor.current
+    if t.kind == "name":
+        cursor.advance()
+        cursor.expect_symbol(".")
+        column = cursor.expect_name("column name")
+        return ColumnRef(t.text, column.text, t.position)
+    if t.kind == "number":
+        cursor.advance()
+        return Literal(float(t.text), t.position)
+    if t.kind == "string":
+        cursor.advance()
+        return Literal(t.text, t.position)
+    if cursor.at_symbol("["):
+        cursor.advance()
+        lo = cursor.current
+        if lo.kind != "number":
+            cursor.fail("expected number in interval literal")
+        cursor.advance()
+        cursor.expect_symbol(",")
+        hi = cursor.current
+        if hi.kind != "number":
+            cursor.fail("expected number in interval literal")
+        cursor.advance()
+        cursor.expect_symbol("]")
+        if float(lo.text) > float(hi.text):
+            raise SqlError("interval literal has left > right", cursor.source, t.position)
+        return Literal(Interval(float(lo.text), float(hi.text)), t.position)
+    cursor.fail("expected column, number, string or [l, r] interval")
+    raise AssertionError("unreachable")

@@ -1,0 +1,114 @@
+"""Tokenizer for the repro SQL dialect.
+
+The dialect is deliberately small — ``SELECT``/``FROM``/``WHERE``
+conjunctions with equality and interval predicates, ``UNION`` between
+disjuncts — so the lexer is a single forward scan producing position-
+stamped tokens.  Keywords are case-insensitive; identifiers keep their
+case (they name relations, aliases and columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import SqlError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "UNION",
+        "ALL",
+        "AS",
+        "COUNT",
+        "EXISTS",
+        "OVERLAPS",
+        "CONTAINS",
+        "INSIDE",
+    }
+)
+
+#: Single-character symbol tokens.
+SYMBOLS = frozenset("(),.*=[]")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: ``kind`` is ``keyword``/``name``/``number``/
+    ``string``/``symbol``/``eof``; ``text`` is the normalized lexeme
+    (keywords upper-cased); ``position`` is the character offset."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan ``source`` into tokens, ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    i, n = 0, len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if _is_name_start(ch):
+            start = i
+            while i < n and _is_name_char(source[i]):
+                i += 1
+            word = source[start:i]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("keyword", word.upper(), start))
+            else:
+                tokens.append(Token("name", word, start))
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and (source[i + 1].isdigit() or source[i + 1] == ".")
+        ):
+            start = i
+            i += 1  # sign or first digit
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == ".":
+                i += 1
+                if i >= n or not source[i].isdigit():
+                    raise SqlError("malformed number", source, start)
+                while i < n and source[i].isdigit():
+                    i += 1
+            tokens.append(Token("number", source[start:i], start))
+            continue
+        if ch == "'":
+            start = i
+            i += 1
+            chars: list[str] = []
+            while True:
+                if i >= n:
+                    raise SqlError("unterminated string literal", source, start)
+                if source[i] == "'":
+                    if i + 1 < n and source[i + 1] == "'":  # doubled quote escape
+                        chars.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chars.append(source[i])
+                i += 1
+            tokens.append(Token("string", "".join(chars), start))
+            continue
+        if ch in SYMBOLS:
+            tokens.append(Token("symbol", ch, i))
+            i += 1
+            continue
+        raise SqlError(f"unexpected character {ch!r}", source, i)
+    tokens.append(Token("eof", "", n))
+    return tokens

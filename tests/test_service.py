@@ -614,7 +614,9 @@ class TestServer:
             return codes, answer
 
         (codes, answer), _ = run_with_server(db, body)
-        assert codes == ["bad_request"] * 4
+        # malformed *query text* gets the dedicated bad_query code;
+        # framing-level garbage stays bad_request
+        assert codes == ["bad_request", "bad_query", "bad_request", "bad_request"]
         assert answer == naive_evaluate(parse_query(TRIANGLE), small_db(n=10))
 
 
