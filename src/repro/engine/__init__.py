@@ -15,6 +15,15 @@ from .generic_join import (
     generic_join_relation,
 )
 from .yannakakis import yannakakis_boolean, yannakakis_count, yannakakis_full
+from .columnar_eval import (
+    columnar_generic_join_boolean,
+    columnar_generic_join_count,
+    columnar_yannakakis_count,
+    columnar_yannakakis_full,
+    kernels_enabled,
+    use_columnar_kernels,
+)
+from .columnar_join import columnar_yannakakis_boolean
 from .decomposition import (
     count_with_decomposition,
     evaluate_boolean_with_decomposition,
@@ -49,6 +58,13 @@ __all__ = [
     "yannakakis_boolean",
     "yannakakis_count",
     "yannakakis_full",
+    "columnar_generic_join_boolean",
+    "columnar_generic_join_count",
+    "columnar_yannakakis_boolean",
+    "columnar_yannakakis_count",
+    "columnar_yannakakis_full",
+    "kernels_enabled",
+    "use_columnar_kernels",
     "count_with_decomposition",
     "evaluate_boolean_with_decomposition",
     "evaluate_full_with_decomposition",

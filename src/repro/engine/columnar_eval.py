@@ -1,0 +1,750 @@
+"""The columnar evaluation tier: counting DP, generic join and the full
+reducer on code arrays.
+
+PR 8 made transformed relations ``uint32`` code matrices over one shared
+:class:`~repro.reduction.columnar.CodeBook` and gave *Boolean* acyclic
+evaluation a code-array semijoin sweep
+(:mod:`repro.engine.columnar_join`).  This module extends the same
+execution model to everything else the evaluation tier does:
+
+* :func:`columnar_yannakakis_count` — the join-tree counting DP with
+  per-node extension counts held as ``int64`` arrays.  Each bottom-up
+  message is one vectorized group-by: the edge's shared code columns are
+  folded into mixed-radix ``int64`` keys (radices straight from the
+  shared codebook's domain size — no column rescans), child counts are
+  aggregated per key with ``np.bincount`` (small radices) or a stable
+  ``argsort`` + ``np.add.reduceat`` (large), and the aggregate is
+  broadcast-multiplied onto the parent rows through ``searchsorted``
+  lookups.  Exactness is guarded: any intermediate that could leave the
+  ``int64``-safe range falls back to the retained dict DP (which counts
+  in unbounded Python ints).
+
+* :func:`columnar_generic_join_count` / ``_boolean`` — the worst-case
+  optimal join on sorted column arrays instead of nested dict tries.
+  Each atom's code matrix is lexicographically sorted **once** per call
+  (``np.lexsort`` in the global variable order restricted to its
+  columns); the per-level candidate scan then narrows ``[lo, hi)`` row
+  ranges with ``searchsorted`` instead of descending trie nodes, and
+  the innermost level intersects whole sorted segments at once.
+
+* :func:`columnar_yannakakis_full` — full acyclic evaluation
+  (full reducer + output-projected bottom-up joins) over survivor masks
+  and gathered key arrays, generalizing the Boolean sweep.  Joins
+  expand ``searchsorted`` match ranges with ``np.repeat`` index
+  arithmetic, intermediate frames are deduplicated in packed-key space
+  (set semantics, exactly like the tuple path's projections), and rows
+  are decoded through the codebook only for the final output.
+
+Every kernel returns ``None`` whenever the atoms are not all columnar
+over one shared codebook (or a join column is not dictionary-encoded on
+both sides, or packed keys would overflow) — the caller then falls back
+to the retained tuple implementations, which stay in the tree as the
+differential oracles.  :func:`use_columnar_kernels` turns the tier off
+wholesale so tests and benchmarks can force the tuple tier on demand.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..reduction.columnar import (
+    COL_CODE,
+    COUNT_DTYPE,
+    ColumnBlock,
+    pack_key_columns,
+)
+from .generic_join import JoinAtom, default_variable_order
+from .relation import Relation
+from .yannakakis import _rooted_orders
+
+__all__ = [
+    "atom_blocks",
+    "columnar_generic_join_boolean",
+    "columnar_generic_join_count",
+    "columnar_yannakakis_count",
+    "columnar_yannakakis_full",
+    "edge_keys",
+    "kernels_enabled",
+    "key_isin",
+    "use_columnar_kernels",
+]
+
+#: Packed-key radix products at or below this are "small": membership
+#: tests use ``np.isin(kind="table")`` and counting messages use a dense
+#: ``np.bincount`` table (a few MB at most) instead of sort-based paths.
+TABLE_RADIX_LIMIT = 1 << 22
+
+#: Conservative ceiling for exact ``int64`` count arithmetic: any
+#: intermediate bound crossing it falls back to the dict DP, which
+#: counts in unbounded Python ints.
+_INT64_SAFE = 1 << 62
+
+#: ``np.bincount`` accumulates float64 weights; sums below this are
+#: exactly representable, larger ones take the sort-based path.
+_FLOAT_EXACT = 1 << 52
+
+
+class _Fallback(Exception):
+    """Internal unwind signal: this query needs the tuple tier."""
+
+
+# ----------------------------------------------------------------------
+# the kill switch (benchmarks/tests force the tuple tier through this)
+# ----------------------------------------------------------------------
+
+_ENABLED = True
+
+
+def kernels_enabled() -> bool:
+    """Whether the columnar evaluation kernels are active (default on)."""
+    return _ENABLED
+
+
+@contextmanager
+def use_columnar_kernels(enabled: bool) -> Iterator[None]:
+    """Temporarily force the columnar evaluation tier on or off — the
+    knob benchmarks and differential tests use to measure/pin the
+    retained tuple implementations through the very same call paths."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+# ----------------------------------------------------------------------
+# shared plumbing
+# ----------------------------------------------------------------------
+
+
+def atom_blocks(atoms: Sequence[JoinAtom]) -> list[ColumnBlock] | None:
+    """Every atom's live column block, or ``None`` when any atom has
+    materialized (or the blocks do not share one codebook, which would
+    make cross-relation code comparison meaningless)."""
+    blocks: list[ColumnBlock] = []
+    book = None
+    for atom in atoms:
+        block = getattr(atom.relation, "columnar", None)
+        if block is None or block.book is None:
+            return None
+        if block.width != len(atom.variables):
+            return None
+        if book is None:
+            book = block.book
+        elif block.book is not book:
+            return None
+        blocks.append(block)
+    return blocks
+
+
+def edge_keys(
+    book, left_cols: Sequence[np.ndarray], right_cols: Sequence[np.ndarray]
+) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Packed join keys for the two sides of one edge over *code*
+    columns.  Radices come from the shared codebook's domain size (every
+    code is ``< len(book)``) — an O(1) derivation instead of a full
+    ``.max()`` rescan per edge.  When the book is large enough that the
+    O(1) radices overflow the packable range, the per-column maxima are
+    scanned once as a second chance; only then does the edge fall back
+    to the tuple tier."""
+    radices: list[int] = [len(book)] * len(left_cols)
+    left = pack_key_columns(left_cols, radices)
+    right = pack_key_columns(right_cols, radices) if left is not None else None
+    if left is None or right is None:
+        radices = [
+            max(
+                int(lc.max()) if lc.size else 0,
+                int(rc.max()) if rc.size else 0,
+            )
+            + 1
+            for lc, rc in zip(left_cols, right_cols)
+        ]
+        left = pack_key_columns(left_cols, radices)
+        right = pack_key_columns(right_cols, radices)
+        if left is None or right is None:
+            raise _Fallback
+    return left, right, radices
+
+
+def key_isin(
+    haystack: np.ndarray, needles: np.ndarray, radices: Sequence[int]
+) -> np.ndarray:
+    """``np.isin`` over packed keys, using the dense table algorithm
+    whenever the radix product says the key space is small."""
+    total = 1
+    for radix in radices:
+        total *= max(int(radix), 1)
+    if total <= TABLE_RADIX_LIMIT:
+        return np.isin(haystack, needles, kind="table")
+    return np.isin(haystack, needles)
+
+
+def _shared_code_columns(
+    blocks: Sequence[ColumnBlock],
+    atoms: Sequence[JoinAtom],
+    a: int,
+    b: int,
+) -> tuple[list[str], list[int], list[int]]:
+    """Shared variables of atoms ``a``/``b`` (in ``a``'s schema order)
+    with their column indices; raises :class:`_Fallback` when a shared
+    column is not dictionary-encoded on both sides (verbatim ids joined
+    against codes are incomparable as raw ints)."""
+    a_vars = atoms[a].variables
+    b_vars = atoms[b].variables
+    shared = [v for v in a_vars if v in b_vars]
+    a_idx: list[int] = []
+    b_idx: list[int] = []
+    for v in shared:
+        ai = a_vars.index(v)
+        bi = b_vars.index(v)
+        if blocks[a].kinds[ai] != COL_CODE or blocks[b].kinds[bi] != COL_CODE:
+            raise _Fallback
+        a_idx.append(ai)
+        b_idx.append(bi)
+    return shared, a_idx, b_idx
+
+
+def _group_sum(
+    keys: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-key ``int64`` sums of ``weights``: sorted unique keys plus
+    their exact sums (stable argsort + ``np.add.reduceat``)."""
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_weights = weights[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    )
+    return sorted_keys[starts], np.add.reduceat(sorted_weights, starts)
+
+
+def _lookup_sums(
+    unique_keys: np.ndarray, sums: np.ndarray, queries: np.ndarray
+) -> np.ndarray:
+    """``sums`` gathered at each query key (0 where the key is absent)."""
+    idx = np.searchsorted(unique_keys, queries)
+    clipped = np.minimum(idx, unique_keys.size - 1)
+    hit = (idx < unique_keys.size) & (unique_keys[clipped] == queries)
+    return np.where(hit, sums[clipped], np.int64(0))
+
+
+# ----------------------------------------------------------------------
+# counting: the join-tree DP on int64 arrays
+# ----------------------------------------------------------------------
+
+
+def columnar_yannakakis_count(
+    atoms: Sequence[JoinAtom], tree: nx.Graph
+) -> int | None:
+    """Number of satisfying assignments via the join-tree counting DP on
+    code arrays, or ``None`` when the caller must fall back.
+
+    Mirrors :func:`repro.engine.yannakakis.yannakakis_count` exactly:
+    per-row extension counts start at 1, each bottom-up edge aggregates
+    child counts grouped by the shared columns and multiplies the
+    aggregate onto the matching parent rows (absent keys multiply by 0,
+    which is the array form of the dict DP dropping the tuple), and the
+    total is the product over components of the root's count sum.  All
+    arithmetic is overflow-guarded; a count that could leave the safe
+    ``int64`` range returns ``None`` so the dict DP's unbounded Python
+    ints take over.
+    """
+    if not _ENABLED:
+        return None
+    blocks = atom_blocks(atoms)
+    if blocks is None:
+        return None
+    if tree.number_of_nodes() == 0:
+        return 0
+    if any(block.row_count == 0 for block in blocks):
+        return 0
+    book = blocks[0].book
+    counts = [np.ones(block.row_count, dtype=COUNT_DTYPE) for block in blocks]
+    #: per node, an upper bound on any single count entry (Python int —
+    #: the overflow guard for the int64 arrays)
+    bounds = [1] * len(blocks)
+    total = 1
+    try:
+        for component in nx.connected_components(tree):
+            root = min(component)
+            order, parent = _rooted_orders(tree, root)
+            for node in reversed(order):
+                p = parent[node]
+                if p is None:
+                    continue
+                shared, p_idx, c_idx = _shared_code_columns(
+                    blocks, atoms, p, node
+                )
+                if not shared:
+                    # cartesian edge: every parent row extends by every
+                    # child assignment — multiply by the child's total
+                    child_total = _exact_sum(counts[node], bounds[node])
+                    if child_total == 0:
+                        return 0
+                    bounds[p] *= child_total
+                    if bounds[p] > _INT64_SAFE:
+                        raise _Fallback
+                    counts[p] = counts[p] * np.int64(child_total)
+                    continue
+                parent_cols = [np.asarray(blocks[p].column(j)) for j in p_idx]
+                child_cols = [
+                    np.asarray(blocks[node].column(j)) for j in c_idx
+                ]
+                parent_keys, child_keys, radices = edge_keys(
+                    book, parent_cols, child_cols
+                )
+                message_bound = bounds[node] * blocks[node].row_count
+                new_bound = bounds[p] * message_bound
+                if new_bound > _INT64_SAFE:
+                    raise _Fallback
+                radix_total = 1
+                for radix in radices:
+                    radix_total *= max(int(radix), 1)
+                if radix_total <= TABLE_RADIX_LIMIT and (
+                    message_bound < _FLOAT_EXACT
+                ):
+                    table = np.bincount(
+                        child_keys,
+                        weights=counts[node],
+                        minlength=radix_total,
+                    )
+                    message = table[parent_keys].astype(COUNT_DTYPE)
+                else:
+                    unique_keys, sums = _group_sum(child_keys, counts[node])
+                    message = _lookup_sums(unique_keys, sums, parent_keys)
+                counts[p] = counts[p] * message
+                bounds[p] = new_bound
+                if not counts[p].any():
+                    return 0
+            component_total = _exact_sum(counts[root], bounds[root])
+            if component_total == 0:
+                return 0
+            total *= component_total
+    except _Fallback:
+        return None
+    return int(total)
+
+
+def _exact_sum(values: np.ndarray, bound: int) -> int:
+    """``int(values.sum())``, guarded so the int64 accumulation cannot
+    have overflowed (``bound`` bounds every entry)."""
+    if bound * max(values.size, 1) > _INT64_SAFE:
+        raise _Fallback
+    return int(values.sum())
+
+
+# ----------------------------------------------------------------------
+# generic join: LFTJ on sorted column arrays
+# ----------------------------------------------------------------------
+
+
+def _generic_setup(
+    atoms: Sequence[JoinAtom],
+    variable_order: Sequence[str] | None,
+):
+    """Sorted-column state for the array LFTJ, or ``None`` on fallback.
+
+    Per atom: its code matrix restricted to its columns *in global
+    variable order* and lexicographically sorted once (``np.lexsort``),
+    stored column-contiguous so the per-level range narrowing runs
+    ``searchsorted`` over cache-friendly segments.
+    """
+    if not atoms:
+        return None
+    blocks = atom_blocks(atoms)
+    if blocks is None:
+        return None
+    order = (
+        list(variable_order)
+        if variable_order
+        else default_variable_order(atoms)
+    )
+    var_set = {v for atom in atoms for v in atom.variables}
+    if set(order) != var_set:
+        return None  # let the tuple path raise its usual error
+    # codes and verbatim ids are incomparable as raw ints: a variable's
+    # column kind must agree everywhere it occurs
+    kind_of: dict[str, str] = {}
+    for atom, block in zip(atoms, blocks):
+        for j, v in enumerate(atom.variables):
+            if kind_of.setdefault(v, block.kinds[j]) != block.kinds[j]:
+                return None
+    level_of = {v: i for i, v in enumerate(order)}
+    cols: list[list[np.ndarray]] = []
+    col_at: list[dict[int, int]] = []
+    sizes: list[int] = []
+    for atom, block in zip(atoms, blocks):
+        positions = sorted(
+            range(len(atom.variables)),
+            key=lambda j: level_of[atom.variables[j]],
+        )
+        matrix = np.asarray(block.codes)[:, positions]
+        if matrix.shape[0] and matrix.shape[1]:
+            perm = np.lexsort(
+                tuple(matrix[:, j] for j in reversed(range(matrix.shape[1])))
+            )
+            matrix = matrix[perm]
+        cols.append(
+            [np.ascontiguousarray(matrix[:, j]) for j in range(matrix.shape[1])]
+        )
+        col_at.append(
+            {
+                level_of[atom.variables[j]]: depth
+                for depth, j in enumerate(positions)
+            }
+        )
+        sizes.append(int(matrix.shape[0]))
+    advancing: list[list[int]] = [[] for _ in order]
+    for a, mapping in enumerate(col_at):
+        for level in mapping:
+            advancing[level].append(a)
+    if any(not active for active in advancing):
+        return None  # unconstrained variable: tuple path asserts
+    return order, cols, col_at, sizes, advancing
+
+
+def _segment_range(
+    column: np.ndarray, lo: int, hi: int, value
+) -> tuple[int, int]:
+    """The sub-range of ``[lo, hi)`` whose (sorted) entries equal
+    ``value``."""
+    segment = column[lo:hi]
+    return (
+        lo + int(np.searchsorted(segment, value, side="left")),
+        lo + int(np.searchsorted(segment, value, side="right")),
+    )
+
+
+def _sorted_member_mask(segment: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """Membership of ``values`` in a sorted ``segment`` via
+    ``searchsorted`` (no hashing, no table)."""
+    if segment.size == 0:
+        return np.zeros(values.shape, dtype=bool)
+    idx = np.searchsorted(segment, values)
+    clipped = np.minimum(idx, segment.size - 1)
+    return (idx < segment.size) & (segment[clipped] == values)
+
+
+def _lftj(setup, stop_at_first: bool) -> int:
+    """The array LFTJ core: number of satisfying assignments (or 1/0
+    when ``stop_at_first``).  At each level the pivot is the active atom
+    with the narrowest row range; candidate values are its distinct
+    entries at that level and every other active atom narrows its range
+    by binary search.  The innermost level intersects whole sorted
+    segments at once — each active atom's segment holds pairwise
+    distinct values there (all other columns are bound and rows are
+    unique), so the intersection size is exactly the assignment count.
+    """
+    order, cols, col_at, sizes, advancing = setup
+    n_levels = len(order)
+    if n_levels == 0:
+        return 1  # the single empty assignment, as the trie path yields
+    if any(size == 0 for size in sizes):
+        return 0
+    last = n_levels - 1
+
+    def recurse(level: int, los: list[int], his: list[int]) -> int:
+        active = advancing[level]
+        pivot = min(active, key=lambda a: his[a] - los[a])
+        column = cols[pivot][col_at[pivot][level]]
+        lo, hi = los[pivot], his[pivot]
+        if lo >= hi:
+            return 0
+        if level == last:
+            common = column[lo:hi]
+            for a in active:
+                if a == pivot:
+                    continue
+                other = cols[a][col_at[a][level]]
+                segment = other[los[a] : his[a]]
+                common = common[_sorted_member_mask(segment, common)]
+                if common.size == 0:
+                    return 0
+            return 1 if stop_at_first else int(common.size)
+        total = 0
+        position = lo
+        while position < hi:
+            value = column[position]
+            run_end = position + int(
+                np.searchsorted(column[position:hi], value, side="right")
+            )
+            new_los = list(los)
+            new_his = list(his)
+            new_los[pivot] = position
+            new_his[pivot] = run_end
+            matched = True
+            for a in active:
+                if a == pivot:
+                    continue
+                left, right = _segment_range(
+                    cols[a][col_at[a][level]], los[a], his[a], value
+                )
+                if left == right:
+                    matched = False
+                    break
+                new_los[a] = left
+                new_his[a] = right
+            if matched:
+                found = recurse(level + 1, new_los, new_his)
+                if found and stop_at_first:
+                    return 1
+                total += found
+            position = run_end
+        return total
+
+    return recurse(0, [0] * len(cols), list(sizes))
+
+
+def columnar_generic_join_count(
+    atoms: Sequence[JoinAtom],
+    variable_order: Sequence[str] | None = None,
+) -> int | None:
+    """Assignment count via the sorted-column-array LFTJ, or ``None``
+    when the atoms are not columnar and the trie path must run."""
+    if not _ENABLED:
+        return None
+    setup = _generic_setup(atoms, variable_order)
+    if setup is None:
+        return None
+    return _lftj(setup, stop_at_first=False)
+
+
+def columnar_generic_join_boolean(
+    atoms: Sequence[JoinAtom],
+    variable_order: Sequence[str] | None = None,
+) -> bool | None:
+    """Non-emptiness via the sorted-column-array LFTJ (stops at the
+    first witness), or ``None`` on fallback."""
+    if not _ENABLED:
+        return None
+    setup = _generic_setup(atoms, variable_order)
+    if setup is None:
+        return None
+    return bool(_lftj(setup, stop_at_first=True))
+
+
+# ----------------------------------------------------------------------
+# full evaluation: full reducer + output-projected joins on frames
+# ----------------------------------------------------------------------
+
+
+class _Frame:
+    """An intermediate join result as parallel code columns: the
+    columnar stand-in for the tuple path's intermediate relations.
+    ``rows`` is kept explicitly so zero-width frames (everything
+    projected away) still know whether they hold the empty tuple."""
+
+    __slots__ = ("vars", "cols", "rows")
+
+    def __init__(
+        self, vars: Sequence[str], cols: list[np.ndarray], rows: int
+    ):
+        self.vars = tuple(vars)
+        self.cols = cols
+        self.rows = rows
+
+
+def _semijoin_mask(
+    blocks: Sequence[ColumnBlock],
+    atoms: Sequence[JoinAtom],
+    alive: list[np.ndarray],
+    target: int,
+    source: int,
+    book,
+) -> None:
+    """Intersect ``target``'s survivor mask with membership of its
+    shared-column keys among ``source``'s surviving keys (one direction
+    of the full reducer's semijoin sweeps)."""
+    shared, t_idx, s_idx = _shared_code_columns(blocks, atoms, target, source)
+    if not shared:
+        if not alive[source].any():
+            alive[target][:] = False
+        return
+    target_cols = [np.asarray(blocks[target].column(j)) for j in t_idx]
+    source_cols = [
+        np.asarray(blocks[source].column(j))[alive[source]] for j in s_idx
+    ]
+    target_keys, source_keys, radices = edge_keys(
+        book, target_cols, source_cols
+    )
+    alive[target] &= key_isin(target_keys, source_keys, radices)
+
+
+def _unique_row_index(
+    cols: Sequence[np.ndarray], radices: Sequence[int] | None = None
+) -> np.ndarray:
+    """Indices of one representative row per distinct row (any order —
+    consumers are building sets).  Packs rows into scalars when the
+    per-column value ranges allow — using the caller's O(1) radix
+    bounds when given, rescanning for tight per-column maxima only if
+    those bounds overflow the packable range — else ``np.unique`` over
+    the row matrix."""
+    if radices is not None:
+        packed = pack_key_columns(cols, radices)
+        if packed is not None:
+            _, first = np.unique(packed, return_index=True)
+            return first
+    tight = [int(c.max()) + 1 if c.size else 1 for c in cols]
+    packed = pack_key_columns(cols, tight)
+    if packed is not None:
+        _, first = np.unique(packed, return_index=True)
+        return first
+    matrix = np.stack([c.astype(np.int64, copy=False) for c in cols], axis=1)
+    _, first = np.unique(matrix, axis=0, return_index=True)
+    return first
+
+
+def _join_frames(left: _Frame, right: _Frame, kind_of, book) -> _Frame:
+    """Natural join of two frames on their shared variables: sort the
+    right side's packed keys once, locate each left row's match range
+    with ``searchsorted``, and expand the ranges with ``np.repeat``
+    index arithmetic."""
+    shared = [v for v in left.vars if v in right.vars]
+    right_only = [j for j, v in enumerate(right.vars) if v not in left.vars]
+    if shared:
+        for v in shared:
+            if kind_of[v] != COL_CODE:
+                raise _Fallback
+        left_cols = [left.cols[left.vars.index(v)] for v in shared]
+        right_cols = [right.cols[right.vars.index(v)] for v in shared]
+        left_keys, right_keys, _ = edge_keys(book, left_cols, right_cols)
+        right_order = np.argsort(right_keys, kind="stable")
+        right_sorted = right_keys[right_order]
+        lo = np.searchsorted(right_sorted, left_keys, side="left")
+        hi = np.searchsorted(right_sorted, left_keys, side="right")
+        matches = hi - lo
+        left_idx = np.repeat(np.arange(left.rows), matches)
+        total = int(matches.sum())
+        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+            np.cumsum(matches) - matches, matches
+        )
+        right_idx = right_order[np.repeat(lo, matches) + offsets]
+    else:
+        left_idx = np.repeat(np.arange(left.rows), right.rows)
+        right_idx = np.tile(np.arange(right.rows), left.rows)
+    cols = [c[left_idx] for c in left.cols] + [
+        right.cols[j][right_idx] for j in right_only
+    ]
+    vars_ = left.vars + tuple(right.vars[j] for j in right_only)
+    return _Frame(vars_, cols, int(left_idx.size))
+
+
+def _project_frame(
+    frame: _Frame, keep: Sequence[str], radix_of: dict[str, int]
+) -> _Frame:
+    """Project onto ``keep`` and deduplicate rows — the frame analogue
+    of the tuple path's set-semantics projection.  ``radix_of`` carries
+    the per-variable O(1) value bounds (codebook domain size for code
+    columns) so dedup keys pack without rescanning columns."""
+    cols = [frame.cols[frame.vars.index(v)] for v in keep]
+    if not cols:
+        return _Frame((), [], 1 if frame.rows else 0)
+    unique = _unique_row_index(cols, [radix_of[v] for v in keep])
+    return _Frame(keep, [c[unique] for c in cols], int(unique.size))
+
+
+def _decode_frame(frame: _Frame, kind_of, book) -> list[tuple]:
+    """Decode a frame's rows into Python tuples — the only place the
+    full-evaluation kernel touches decoded values, and it runs on the
+    final (projected, deduplicated) output rows alone."""
+    if not frame.vars:
+        return [()] * frame.rows
+    columns: list[list] = []
+    for v, col in zip(frame.vars, frame.cols):
+        raw = col.tolist()
+        if kind_of[v] == COL_CODE:
+            values = book.values
+            columns.append([values[c] for c in raw])
+        else:
+            columns.append(raw)
+    return list(zip(*columns))
+
+
+def columnar_yannakakis_full(
+    atoms: Sequence[JoinAtom],
+    tree: nx.Graph,
+    output: Sequence[str] | None = None,
+) -> Relation | None:
+    """Full acyclic evaluation over code arrays, or ``None`` when the
+    caller must fall back to the tuple path.
+
+    Mirrors :func:`repro.engine.yannakakis.yannakakis_full`: the full
+    reducer (bottom-up then top-down semijoin sweeps) runs on survivor
+    masks, the bottom-up joins keep only output variables plus each
+    node's own bag schema (running intersection), and components are
+    joined at the end.  Output rows are decoded through the codebook
+    only once, at the very end.
+    """
+    if not _ENABLED:
+        return None
+    blocks = atom_blocks(atoms)
+    if blocks is None:
+        return None
+    book = blocks[0].book if blocks else None
+    kind_of: dict[str, str] = {}
+    radix_of: dict[str, int] = {}
+    for atom, block in zip(atoms, blocks):
+        for j, v in enumerate(atom.variables):
+            if kind_of.setdefault(v, block.kinds[j]) != block.kinds[j]:
+                return None
+            radix_of[v] = max(radix_of.get(v, 1), block.column_radix(j))
+    all_vars: list[str] = []
+    for atom in atoms:
+        for v in atom.variables:
+            if v not in all_vars:
+                all_vars.append(v)
+    out_vars = list(output) if output is not None else all_vars
+    if tree.number_of_nodes() == 0:
+        return Relation("result", out_vars, set())
+    out_set = set(out_vars)
+    try:
+        alive = [np.ones(block.row_count, dtype=bool) for block in blocks]
+        results: list[_Frame] = []
+        for component in nx.connected_components(tree):
+            root = min(component)
+            order, parent = _rooted_orders(tree, root)
+            for node in reversed(order):
+                p = parent[node]
+                if p is not None:
+                    _semijoin_mask(blocks, atoms, alive, p, node, book)
+            for node in order:
+                p = parent[node]
+                if p is not None:
+                    _semijoin_mask(blocks, atoms, alive, node, p, book)
+            acc = {
+                node: _Frame(
+                    atoms[node].variables,
+                    [
+                        np.asarray(blocks[node].column(j))[alive[node]]
+                        for j in range(blocks[node].width)
+                    ],
+                    int(alive[node].sum()),
+                )
+                for node in order
+            }
+            for node in reversed(order):
+                p = parent[node]
+                if p is None:
+                    continue
+                joined = _join_frames(acc[p], acc[node], kind_of, book)
+                keep = [
+                    v
+                    for v in joined.vars
+                    if v in out_set or v in atoms[p].variables
+                ]
+                acc[p] = _project_frame(joined, keep, radix_of)
+            results.append(acc[root])
+        final = results[0]
+        for frame in results[1:]:
+            final = _join_frames(final, frame, kind_of, book)
+    except _Fallback:
+        return None
+    present = [v for v in out_vars if v in final.vars]
+    final = _project_frame(final, present, radix_of)
+    return Relation("result", present, _decode_frame(final, kind_of, book))

@@ -6,17 +6,24 @@ their rows as ``uint32`` code matrices over one shared
 :mod:`repro.reduction.columnar`).  Code equality is value equality, so
 the bottom-up semijoin sweep of Yannakakis' algorithm never needs the
 decoded tuples: per join-tree edge, the shared columns are folded into
-one comparable ``int64`` key per row (mixed-radix pack) and the
-parent's survivor mask is intersected with an ``np.isin`` membership
-test against the child's surviving keys.  The disjunct short-circuit
-loop in :mod:`repro.core.disjunct_eval` therefore evaluates warm,
-memmap-loaded reductions without materializing a single Python tuple.
+one comparable ``int64`` key per row (mixed-radix pack, radices taken
+straight from the shared codebook's domain size — no per-edge column
+rescans) and the parent's survivor mask is intersected with an
+``np.isin`` membership test against the child's surviving keys (the
+dense ``kind="table"`` algorithm whenever the packed key space is
+small).  The disjunct short-circuit loop in
+:mod:`repro.core.disjunct_eval` therefore evaluates warm, memmap-loaded
+reductions without materializing a single Python tuple.
 
 The sweep applies only while every atom's relation is still columnar
 over one book (and the shared columns are dictionary-encoded on both
 sides); anything else returns ``None`` and the caller falls back to the
 tuple-based sweep.  Both paths compute the same Boolean — the columnar
 survivor mask is exactly the tuple sweep's semijoin residue.
+
+The shared edge plumbing (block collection, key packing, membership)
+lives in :mod:`repro.engine.columnar_eval`, which extends this
+execution model to counting, generic join, and full evaluation.
 """
 
 from __future__ import annotations
@@ -26,31 +33,17 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
-from ..reduction.columnar import COL_CODE, ColumnBlock, pack_key_columns
+from .columnar_eval import (
+    _Fallback,
+    _shared_code_columns,
+    atom_blocks,
+    edge_keys,
+    key_isin,
+)
 from .generic_join import JoinAtom
 from .yannakakis import _rooted_orders
 
 __all__ = ["columnar_yannakakis_boolean"]
-
-
-def _atom_blocks(atoms: Sequence[JoinAtom]) -> list[ColumnBlock] | None:
-    """Every atom's live column block, or ``None`` when any atom has
-    materialized (or the blocks do not share one codebook, which would
-    make cross-relation code comparison meaningless)."""
-    blocks: list[ColumnBlock] = []
-    book = None
-    for atom in atoms:
-        block = getattr(atom.relation, "columnar", None)
-        if block is None or block.book is None:
-            return None
-        if block.width != len(atom.variables):
-            return None
-        if book is None:
-            book = block.book
-        elif block.book is not book:
-            return None
-        blocks.append(block)
-    return blocks
 
 
 def columnar_yannakakis_boolean(
@@ -64,53 +57,45 @@ def columnar_yannakakis_boolean(
     semijoins each parent with its children and the query is true iff
     every root keeps a surviving row.
     """
-    blocks = _atom_blocks(atoms)
+    blocks = atom_blocks(atoms)
     if blocks is None:
         return None
     if any(block.row_count == 0 for block in blocks):
         return False
     if tree.number_of_nodes() == 0:
         return True
+    book = blocks[0].book
     alive = [np.ones(block.row_count, dtype=bool) for block in blocks]
-    for component in nx.connected_components(tree):
-        root = min(component)
-        order, parent = _rooted_orders(tree, root)
-        for node in reversed(order):
-            p = parent[node]
-            if p is None:
-                continue
-            child_vars = atoms[node].variables
-            parent_vars = atoms[p].variables
-            shared = [v for v in parent_vars if v in child_vars]
-            child_mask = alive[node]
-            if not child_mask.any():
-                return False
-            if not shared:
-                # cartesian edge: a non-empty child never filters
-                continue
-            child_cols = []
-            parent_cols = []
-            for v in shared:
-                ci = child_vars.index(v)
-                pi = parent_vars.index(v)
-                if (
-                    blocks[node].kinds[ci] != COL_CODE
-                    or blocks[p].kinds[pi] != COL_CODE
-                ):
-                    # verbatim (id) columns joined against code columns
-                    # are incomparable as raw ints — fall back
-                    return None
-                child_cols.append(blocks[node].column(ci)[child_mask])
-                parent_cols.append(blocks[p].column(pi))
-            radices = [
-                int(max(cc.max(), pc.max())) + 1
-                for cc, pc in zip(child_cols, parent_cols)
-            ]
-            child_keys = pack_key_columns(child_cols, radices)
-            parent_keys = pack_key_columns(parent_cols, radices)
-            if child_keys is None or parent_keys is None:
-                return None
-            alive[p] &= np.isin(parent_keys, child_keys)
-            if not alive[p].any():
-                return False
+    try:
+        for component in nx.connected_components(tree):
+            root = min(component)
+            order, parent = _rooted_orders(tree, root)
+            for node in reversed(order):
+                p = parent[node]
+                if p is None:
+                    continue
+                shared, p_idx, c_idx = _shared_code_columns(
+                    blocks, atoms, p, node
+                )
+                child_mask = alive[node]
+                if not child_mask.any():
+                    return False
+                if not shared:
+                    # cartesian edge: a non-empty child never filters
+                    continue
+                parent_cols = [blocks[p].column(j) for j in p_idx]
+                child_cols = [
+                    blocks[node].column(j)[child_mask] for j in c_idx
+                ]
+                parent_keys, child_keys, radices = edge_keys(
+                    book, parent_cols, child_cols
+                )
+                alive[p] &= key_isin(parent_keys, child_keys, radices)
+                if not alive[p].any():
+                    return False
+    except _Fallback:
+        # verbatim (id) columns joined against code columns are
+        # incomparable as raw ints, and unpackable keys have no cheap
+        # comparable form — fall back to the tuple sweep
+        return None
     return True

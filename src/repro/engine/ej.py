@@ -19,6 +19,10 @@ from ..hypergraph.hypergraph import Hypergraph
 from ..queries.query import Query
 from ..widths.fhtw import fhtw_with_decomposition
 from ..widths.tree_decomposition import TreeDecomposition
+from .columnar_eval import (
+    columnar_yannakakis_count,
+    columnar_yannakakis_full,
+)
 from .columnar_join import columnar_yannakakis_boolean
 from .decomposition import (
     count_with_decomposition,
@@ -146,7 +150,14 @@ def count_ej(query: Query, db: Database, method: Method = "auto") -> int:
         tree = join_tree(query.hypergraph())
         if tree is None:
             raise ValueError(f"{query.name} is not alpha-acyclic")
-        return yannakakis_count(atoms, _label_tree_to_index_tree(query, tree))
+        index_tree = _label_tree_to_index_tree(query, tree)
+        # vectorized counting DP on code arrays while every relation is
+        # still columnar; None means fall back (non-columnar atoms, or
+        # counts that could leave the int64-safe range)
+        fast = columnar_yannakakis_count(atoms, index_tree)
+        if fast is not None:
+            return fast
+        return yannakakis_count(atoms, index_tree)
     td = optimal_decomposition(query.hypergraph())
     return count_with_decomposition(atoms, td)
 
@@ -170,9 +181,13 @@ def evaluate_ej_full(
         tree = join_tree(query.hypergraph())
         if tree is None:
             raise ValueError(f"{query.name} is not alpha-acyclic")
-        return yannakakis_full(
-            atoms, _label_tree_to_index_tree(query, tree), output=output
-        )
+        index_tree = _label_tree_to_index_tree(query, tree)
+        # mask-sweep full reducer + frame joins on code arrays,
+        # decoding only the final output rows; None means fall back
+        fast = columnar_yannakakis_full(atoms, index_tree, output=output)
+        if fast is not None:
+            return fast
+        return yannakakis_full(atoms, index_tree, output=output)
     td = optimal_decomposition(query.hypergraph())
     return evaluate_full_with_decomposition(atoms, td, output=output)
 

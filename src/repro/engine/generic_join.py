@@ -117,7 +117,18 @@ def generic_join_boolean(
     atoms: Sequence[JoinAtom],
     variable_order: Sequence[str] | None = None,
 ) -> bool:
-    """True iff the join is non-empty (stops at the first witness)."""
+    """True iff the join is non-empty (stops at the first witness).
+
+    Runs on sorted column arrays (searchsorted range narrowing instead
+    of trie descent) while every atom is columnar over one codebook;
+    the trie path below is the retained fallback and oracle.
+    """
+    # local import: columnar_eval imports JoinAtom from this module
+    from .columnar_eval import columnar_generic_join_boolean
+
+    fast = columnar_generic_join_boolean(atoms, variable_order)
+    if fast is not None:
+        return fast
     for _ in generic_join(atoms, variable_order):
         return True
     return False
@@ -127,7 +138,17 @@ def generic_join_count(
     atoms: Sequence[JoinAtom],
     variable_order: Sequence[str] | None = None,
 ) -> int:
-    """Number of satisfying assignments of the join."""
+    """Number of satisfying assignments of the join.
+
+    Dispatches to the sorted-column-array backend when the atoms are
+    columnar (see :mod:`repro.engine.columnar_eval`); the trie-based
+    enumeration below is the retained fallback and differential oracle.
+    """
+    from .columnar_eval import columnar_generic_join_count
+
+    fast = columnar_generic_join_count(atoms, variable_order)
+    if fast is not None:
+        return fast
     return sum(1 for _ in generic_join(atoms, variable_order))
 
 

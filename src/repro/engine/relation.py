@@ -116,6 +116,16 @@ class Relation:
         ``None`` once the relation has materialized its tuple set."""
         return self._columns if self._tuples is None else None
 
+    def sample_tuple(self) -> tuple | None:
+        """An arbitrary row, or ``None`` when empty.  Columnar
+        relations decode exactly one row — unlike a ``.tuples`` touch,
+        sampling never materializes the set, so the column block (and
+        every kernel that needs it) survives."""
+        block = self.columnar
+        if block is not None:
+            return block.row(0) if block.row_count else None
+        return next(iter(self.tuples), None)
+
     # ------------------------------------------------------------------
     # persistence: always pickle the materialized form — column blocks
     # (possibly memmap-backed) never cross a pickle boundary, and the

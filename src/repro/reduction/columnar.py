@@ -142,10 +142,32 @@ class ColumnBlock:
     def column(self, j: int) -> np.ndarray:
         return self.codes[:, j]
 
+    def column_radix(self, j: int) -> int:
+        """An exclusive upper bound on column ``j``'s cell values — the
+        mixed radix :func:`pack_key_columns` needs.  Dictionary-encoded
+        columns answer in O(1): every code is an index into the shared
+        book, so the book's domain size bounds them all.  Verbatim id
+        columns need one max scan."""
+        if self.kinds[j] == COL_CODE and self.book is not None:
+            return len(self.book)
+        col = self.codes[:, j]
+        return int(col.max()) + 1 if col.size else 1
+
     def distinct_count(self, j: int) -> int:
         if self.codes.shape[0] == 0:
             return 0
         return int(np.unique(self.codes[:, j]).size)
+
+    def row(self, i: int) -> tuple:
+        """Decode the single row ``i`` — O(width), no memoization, and
+        crucially no whole-column decode: samplers (e.g. SQL column-kind
+        inference) get one tuple without the block's consumers losing
+        the arrays."""
+        out = []
+        for j, kind in enumerate(self.kinds):
+            c = int(self.codes[i, j])
+            out.append(self.book.values[c] if kind == COL_CODE else c)
+        return tuple(out)
 
     def rows(self) -> list[tuple]:
         """The decoded rows, in matrix order (memoized)."""

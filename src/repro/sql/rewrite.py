@@ -231,7 +231,10 @@ class _SchemaRegistry:
         return order.index(ref.column)
 
     def _sample_kind(self, relation: str, index: int) -> Optional[str]:
-        sample = next(iter(self.db[relation].tuples), None)  # type: ignore[union-attr]
+        # sample_tuple decodes a single row of a columnar relation: a
+        # .tuples touch here would materialize the whole set and drop
+        # the column block the evaluation kernels run on
+        sample = self.db[relation].sample_tuple()  # type: ignore[union-attr]
         if sample is None:
             return None
         return KIND_INTERVAL if isinstance(sample[index], Interval) else KIND_POINT

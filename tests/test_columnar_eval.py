@@ -1,0 +1,364 @@
+"""Differential pins for the columnar evaluation tier
+(:mod:`repro.engine.columnar_eval`).
+
+The evaluation kernels — the vectorized counting DP, the
+sorted-column-array generic join, and the mask-sweep full reducer —
+must be *bit/count-identical* to the retained tuple implementations,
+which stay in the tree as the oracles:
+
+* per reduced EJ disjunct, columnar count ≡ dict-of-tuples DP ≡
+  trie-based ``generic_join_count``, and columnar full evaluation ≡
+  tuple ``yannakakis_full`` (schema and tuple set);
+* end to end, ``count_ij`` / ``witnesses_ij`` answer identically with
+  the kernels on and forced off (``use_columnar_kernels``), and agree
+  with the strategy-free naive oracle;
+* the same identities hold on artifacts *after* ``apply_delta``
+  patches (where the patched relations have materialized and the
+  kernels must fall back correctly) and on **memmap-warm** artifacts
+  rebuilt from serialized v5 cache frames.
+
+Tuple oracles materialize relations (a ``.tuples`` touch drops the
+column block), so every comparison runs the columnar kernel on one
+artifact and its oracle on an independently-built twin.
+
+CI runs this module across the ``REPRO_FUZZ_SEED`` matrix — the
+scenario generators are imported from ``test_differential_cache`` so
+each matrix cell pins the kernels on the same query/database family it
+fuzzes the caches with.
+"""
+
+import random
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from test_differential_cache import (
+    SCENARIOS,
+    _patchable_deltas,
+    build_database,
+    random_queries,
+    scenario_seed,
+)
+
+from repro.core import naive_count
+from repro.core.baselines import naive_witnesses
+from repro.core.cache_format import load_result, serialize_result
+from repro.core.disjunct_eval import count_disjunction
+from repro.core.ij_engine import count_ij, witnesses_ij
+from repro.core.reduction_cache import FORMAT_VERSION
+from repro.engine import (
+    columnar_generic_join_count,
+    columnar_yannakakis_count,
+    columnar_yannakakis_full,
+    use_columnar_kernels,
+)
+from repro.engine.ej import (
+    _label_tree_to_index_tree,
+    count_ej,
+    evaluate_ej,
+    evaluate_ej_full,
+    join_atoms_for,
+)
+from repro.engine.generic_join import generic_join_count
+from repro.engine.relation import Database, Relation
+from repro.engine.yannakakis import yannakakis_count, yannakakis_full
+from repro.hypergraph.acyclicity import join_tree
+from repro.intervals import Interval
+from repro.queries import parse_query
+from repro.reduction import (
+    DomainChanged,
+    forward_reduce,
+    shift_distinct_left,
+)
+
+
+def _acyclic_disjuncts(result):
+    """(ej_query, index_tree) for every α-acyclic disjunct."""
+    out = []
+    for ej in result.ej_queries:
+        tree = join_tree(ej.hypergraph())
+        if tree is not None:
+            out.append((ej, _label_tree_to_index_tree(ej, tree)))
+    return out
+
+
+def _witness_set(witnesses):
+    return sorted(repr(w) for w in witnesses)
+
+
+# ----------------------------------------------------------------------
+# deterministic engagement: the kernels must actually run (and agree)
+# on a plain interval workload, not just fall back everywhere
+# ----------------------------------------------------------------------
+
+
+def _engagement_db(seed: int = 3) -> Database:
+    rng = random.Random(seed)
+
+    def iv():
+        lo = rng.randint(0, 12)
+        return Interval(lo, lo + rng.randint(0, 3))
+
+    def rows(n, width):
+        out = set()
+        while len(out) < n:
+            out.add(tuple(iv() for _ in range(width)))
+        return out
+
+    return Database(
+        [
+            Relation("R", ["a1"], rows(20, 1)),
+            Relation("S", ["b1", "b2"], rows(25, 2)),
+            Relation("T", ["c1"], rows(20, 1)),
+        ]
+    )
+
+
+def test_kernels_engage_on_columnar_disjuncts():
+    """On an all-interval acyclic query, every reduced disjunct is
+    columnar end to end: all three kernels must engage (no silent
+    always-fallback) and match their oracles exactly."""
+    query = parse_query("R([A]) & S([A],[B]) & T([B])")
+    db = _engagement_db()
+    kernel_side = forward_reduce(query, db, disjoint=False, provenance=True)
+    oracle_side = forward_reduce(query, db, disjoint=False, provenance=True)
+    disjuncts = _acyclic_disjuncts(kernel_side)
+    assert disjuncts
+    for (ej, tree), oracle_ej in zip(disjuncts, oracle_side.ej_queries):
+        atoms = join_atoms_for(ej, kernel_side.database)
+        count = columnar_yannakakis_count(atoms, tree)
+        generic = columnar_generic_join_count(
+            join_atoms_for(ej, kernel_side.database)
+        )
+        full = columnar_yannakakis_full(
+            join_atoms_for(ej, kernel_side.database), tree
+        )
+        assert count is not None, ej.name
+        assert generic is not None, ej.name
+        assert full is not None, ej.name
+        oracle_atoms = join_atoms_for(oracle_ej, oracle_side.database)
+        assert count == yannakakis_count(oracle_atoms, tree)
+        assert generic == count
+        reference = yannakakis_full(
+            join_atoms_for(oracle_ej, oracle_side.database), tree
+        )
+        assert full.schema == reference.schema
+        assert full.tuples == reference.tuples
+
+
+def test_kill_switch_forces_the_tuple_tier():
+    query = parse_query("R([A]) & S([A],[B]) & T([B])")
+    db = _engagement_db(seed=9)
+    result = forward_reduce(query, db, disjoint=False)
+    ej, tree = _acyclic_disjuncts(result)[0]
+    atoms = join_atoms_for(ej, result.database)
+    with use_columnar_kernels(False):
+        assert columnar_yannakakis_count(atoms, tree) is None
+        assert columnar_generic_join_count(atoms) is None
+        assert columnar_yannakakis_full(atoms, tree) is None
+    # the toggle restores itself — and the block survived the off-pass
+    assert columnar_yannakakis_count(atoms, tree) is not None
+
+
+# ----------------------------------------------------------------------
+# fuzz-matrix differential pins
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("index", range(SCENARIOS))
+def test_counting_kernels_match_dict_dp_and_trie(index):
+    """Columnar count ≡ dict DP ≡ trie ``generic_join_count`` per
+    acyclic disjunct, and ``count_ij`` end to end ≡ kernels-off ≡
+    naive, across the fuzz-seed scenario family."""
+    seed = scenario_seed(index)
+    rng = random.Random(seed)
+    queries = random_queries(rng)
+    db, _ = build_database(rng, queries)
+    for query in queries:
+        kernel_side = forward_reduce(query, db, disjoint=True, provenance=True)
+        dict_side = forward_reduce(query, db, disjoint=True, provenance=True)
+        trie_side = forward_reduce(query, db, disjoint=True, provenance=True)
+        for (ej, tree), dict_ej, trie_ej in zip(
+            _acyclic_disjuncts(kernel_side),
+            dict_side.ej_queries,
+            trie_side.ej_queries,
+        ):
+            fast = columnar_yannakakis_count(
+                join_atoms_for(ej, kernel_side.database), tree
+            )
+            expected = yannakakis_count(
+                join_atoms_for(dict_ej, dict_side.database), tree
+            )
+            if fast is not None:
+                assert fast == expected, (seed, query.name, ej.name)
+            with use_columnar_kernels(False):
+                trie = generic_join_count(
+                    join_atoms_for(trie_ej, trie_side.database)
+                )
+            assert trie == expected, (seed, query.name, ej.name)
+        total = count_ij(query, db)
+        with use_columnar_kernels(False):
+            tuple_total = count_ij(query, db)
+        assert total == tuple_total == naive_count(query, db), (
+            seed,
+            query.name,
+        )
+
+
+@pytest.mark.parametrize("index", range(SCENARIOS))
+def test_full_evaluation_matches_tuple_path(index):
+    """Columnar full evaluation ≡ tuple ``yannakakis_full`` per acyclic
+    disjunct (schema + tuple set, with and without output projection),
+    and the end-to-end witness pipeline is identical with the kernels
+    forced off — and agrees with the naive witness oracle."""
+    seed = scenario_seed(index)
+    rng = random.Random(seed)
+    queries = random_queries(rng)
+    db, _ = build_database(rng, queries)
+    for query in queries:
+        kernel_side = forward_reduce(query, db, disjoint=True, provenance=True)
+        oracle_side = forward_reduce(query, db, disjoint=True, provenance=True)
+        for (ej, tree), oracle_ej in zip(
+            _acyclic_disjuncts(kernel_side), oracle_side.ej_queries
+        ):
+            fast = columnar_yannakakis_full(
+                join_atoms_for(ej, kernel_side.database), tree
+            )
+            if fast is None:
+                continue
+            reference = yannakakis_full(
+                join_atoms_for(oracle_ej, oracle_side.database), tree
+            )
+            assert fast.schema == reference.schema, (seed, ej.name)
+            assert fast.tuples == reference.tuples, (seed, ej.name)
+        # projected full evaluation through the public dispatch
+        projected_kernel = forward_reduce(query, db, disjoint=False)
+        projected_oracle = forward_reduce(query, db, disjoint=False)
+        for ej_k, ej_o in zip(
+            projected_kernel.ej_queries, projected_oracle.ej_queries
+        ):
+            output = [v.name for v in ej_k.variables][:2]
+            got = evaluate_ej_full(
+                ej_k, projected_kernel.database, output=output
+            )
+            with use_columnar_kernels(False):
+                want = evaluate_ej_full(
+                    ej_o, projected_oracle.database, output=output
+                )
+            assert got.schema == want.schema, (seed, ej_k.name)
+            assert got.tuples == want.tuples, (seed, ej_k.name)
+        fast_witnesses = _witness_set(witnesses_ij(query, db))
+        with use_columnar_kernels(False):
+            tuple_witnesses = _witness_set(witnesses_ij(query, db))
+        assert fast_witnesses == tuple_witnesses, (seed, query.name)
+        assert fast_witnesses == _witness_set(
+            naive_witnesses(query, db)
+        ), (seed, query.name)
+
+
+@pytest.mark.parametrize("index", range(SCENARIOS))
+def test_kernels_agree_after_apply_delta(index):
+    """After every successful ``apply_delta`` patch, the kernel-on and
+    kernel-off answers still agree on every disjunct.  Patched variants
+    have materialized (their blocks are gone), so this pins the
+    *fallback* correctness as much as the kernels themselves."""
+    seed = scenario_seed(index)
+    rng = random.Random(seed)
+    queries = random_queries(rng)
+    db, _ = build_database(rng, queries)
+    patched_any = False
+    for query in queries:
+        kernel_side = forward_reduce(query, db, disjoint=False, provenance=True)
+        oracle_side = forward_reduce(query, db, disjoint=False, provenance=True)
+        deltas = _patchable_deltas(
+            random.Random(seed + 1), query, db, oracle_side
+        )
+        for delta in deltas:
+            try:
+                kernel_side.apply_delta(delta)
+            except DomainChanged:
+                continue
+            oracle_side.apply_delta(delta)
+            patched_any = True
+            for ej_k, ej_o in zip(
+                kernel_side.ej_queries, oracle_side.ej_queries
+            ):
+                got_count = count_ej(ej_k, kernel_side.database)
+                got_bool = evaluate_ej(ej_k, kernel_side.database)
+                got_full = evaluate_ej_full(ej_k, kernel_side.database)
+                with use_columnar_kernels(False):
+                    want_count = count_ej(ej_o, oracle_side.database)
+                    want_bool = evaluate_ej(ej_o, oracle_side.database)
+                    want_full = evaluate_ej_full(ej_o, oracle_side.database)
+                assert got_count == want_count, (seed, query.name, delta)
+                assert got_bool == want_bool, (seed, query.name, delta)
+                assert got_full.schema == want_full.schema
+                assert got_full.tuples == want_full.tuples, (
+                    seed,
+                    query.name,
+                    delta,
+                )
+    assert patched_any, f"seed={seed}: no delta patch exercised"
+
+
+@pytest.mark.parametrize("index", range(SCENARIOS))
+def test_memmap_warm_artifacts_count_identically(index):
+    """Serialize each disjoint reduction to a v5 frame, load it back as
+    a memmap-backed artifact, and pin the warm columnar count — per
+    disjunct and via ``count_disjunction`` — against the cold dict DP
+    twin and the naive oracle."""
+    seed = scenario_seed(index)
+    rng = random.Random(seed)
+    queries = random_queries(rng)
+    db, _ = build_database(rng, queries)
+    checked = False
+    for query in queries:
+        shifted = shift_distinct_left(query, db)
+        cold = forward_reduce(
+            query, shifted, disjoint=True, provenance=True
+        )
+        try:
+            frame = serialize_result(cold, FORMAT_VERSION)
+        except Exception:
+            continue
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "entry.bin"
+            path.write_bytes(frame)
+            warm = load_result(path, FORMAT_VERSION)
+            assert warm is not None, (seed, query.name)
+            checked = True
+            # warm relations come back columnar (memmap-backed blocks);
+            # point-only variants are stored as plain tuple relations on
+            # both sides, so require blocks only where the cold artifact
+            # has them
+            for cold_rel in cold.database:
+                if cold_rel.columnar is None:
+                    continue
+                assert warm.database[cold_rel.name].columnar is not None, (
+                    seed,
+                    query.name,
+                    cold_rel.name,
+                )
+            oracle = forward_reduce(
+                query, shifted, disjoint=True, provenance=True
+            )
+            for (ej, tree), oracle_ej in zip(
+                _acyclic_disjuncts(warm), oracle.ej_queries
+            ):
+                fast = columnar_yannakakis_count(
+                    join_atoms_for(ej, warm.database), tree
+                )
+                expected = yannakakis_count(
+                    join_atoms_for(oracle_ej, oracle.database), tree
+                )
+                if fast is not None:
+                    assert fast == expected, (seed, query.name, ej.name)
+            warm_total = count_disjunction(warm)
+            with use_columnar_kernels(False):
+                cold_total = count_disjunction(cold)
+            assert warm_total == cold_total == naive_count(query, db), (
+                seed,
+                query.name,
+            )
+    assert checked, f"seed={seed}: no artifact round-tripped"

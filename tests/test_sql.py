@@ -289,6 +289,32 @@ COST_SPLIT_SQL = (
 )
 
 
+def columnar_span_db() -> Database:
+    """``cost_split_db``'s ``Span`` relation re-hosted as a columnar
+    relation (one shared CodeBook, one ``uint32`` code column) — the
+    exact same tuples, so plans against the tuple twin differ only by
+    the columnar pricing."""
+    import numpy as np
+
+    from repro.reduction.columnar import (
+        CODE_DTYPE,
+        COL_CODE,
+        CodeBook,
+        ColumnBlock,
+    )
+
+    source = cost_split_db()["Span"]
+    book = CodeBook()
+    codes = np.array(
+        [[book.code(t[0])] for t in sorted(source.tuples)],
+        dtype=CODE_DTYPE,
+    )
+    block = ColumnBlock(codes, (COL_CODE,), book)
+    db = Database()
+    db.add(Relation.from_columns("Span", source.schema, block))
+    return db
+
+
 class TestOptimizer:
     def test_union_disjuncts_pick_different_strategies(self):
         """The acceptance workload: one EXPLAIN, two disjuncts, two
@@ -333,6 +359,7 @@ class TestOptimizer:
                 "ej_method",
                 "candidates",
                 "widths",
+                "columnar",
                 "reason",
             } <= set(entry)
 
@@ -342,6 +369,67 @@ class TestOptimizer:
         triangle = data["disjuncts"][1]
         assert triangle["widths"]["max_fhtw"] <= 1.0
         assert triangle["ej_method"] == "yannakakis"
+
+    def test_tuple_tables_render_columnar_no(self):
+        """`cost_split_db` holds plain tuple relations: every disjunct
+        reports ``columnar: no`` and no COUNT discount applies."""
+        db = cost_split_db()
+        data = explain_program(compile_sql(COST_SPLIT_SQL, db), db)
+        assert all(not d["columnar"] for d in data["disjuncts"])
+        assert "columnar: no" in render_explain(data)
+        assert "columnar: yes" not in render_explain(data)
+
+    def test_columnar_tables_discount_count_reduction(self):
+        """COUNT(*) over columnar tables is priced with the
+        vectorized-DP constant: the reduction candidate is exactly
+        ``COLUMNAR_COUNT_SPEEDUP`` cheaper than the same plan over the
+        tuple twin, the payload says ``columnar: yes``, and forcing the
+        kernels off restores the undiscounted price."""
+        from repro.engine import use_columnar_kernels
+        from repro.sql.cost import COLUMNAR_COUNT_SPEEDUP
+
+        columnar_db = columnar_span_db()
+        tuple_db = cost_split_db()
+        sql = (
+            "SELECT COUNT(*) FROM Span x, Span y, Span z "
+            "WHERE x.t OVERLAPS y.t AND y.t OVERLAPS z.t "
+            "AND x.t OVERLAPS z.t"
+        )
+        col_plan = plan_disjunct(
+            compile_sql(sql, columnar_db).disjuncts[0], columnar_db
+        )
+        tup_plan = plan_disjunct(
+            compile_sql(sql, tuple_db).disjuncts[0], tuple_db
+        )
+        assert col_plan.columnar and not tup_plan.columnar
+        assert col_plan.candidates["reduction"] == pytest.approx(
+            tup_plan.candidates["reduction"] / COLUMNAR_COUNT_SPEEDUP
+        )
+        assert col_plan.strategy == "reduction"
+        assert "vectorized counting DP" in col_plan.reason
+        data = explain_program(
+            compile_sql(sql, columnar_db), columnar_db
+        )
+        assert data["disjuncts"][0]["columnar"] is True
+        assert "columnar: yes" in render_explain(data)
+        # EXISTS heads never take the COUNT discount, columnar or not
+        exists_sql = sql.replace("SELECT COUNT(*)", "SELECT EXISTS")
+        exists_plan = plan_disjunct(
+            compile_sql(exists_sql, columnar_db).disjuncts[0], columnar_db
+        )
+        assert exists_plan.columnar
+        assert exists_plan.candidates["reduction"] == pytest.approx(
+            tup_plan.candidates["reduction"]
+        )
+        # the kill switch turns the columnar flag (and discount) off
+        with use_columnar_kernels(False):
+            off_plan = plan_disjunct(
+                compile_sql(sql, columnar_db).disjuncts[0], columnar_db
+            )
+        assert not off_plan.columnar
+        assert off_plan.candidates["reduction"] == pytest.approx(
+            tup_plan.candidates["reduction"]
+        )
 
 
 # ----------------------------------------------------------------------
